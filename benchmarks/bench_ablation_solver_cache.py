@@ -1,0 +1,83 @@
+"""E4 — ablation of the two solver-call optimisations (§3.3).
+
+"CP implements two optimizations that reduce the number of solver invocations:
+1) if two symbolic expressions depend on different sets of input bytes, CP
+does not invoke the solver and 2) CP caches all queries ... Together, these
+two optimizations produce an order of magnitude reduction in the translation
+times."  The bench reruns the rewrite stage of the worked example with the
+optimisations enabled and disabled and compares expensive solver invocations.
+"""
+
+import pytest
+
+from repro.apps import get_application
+from repro.core import (
+    Rewriter,
+    discover_candidate_checks,
+    excise_check,
+    find_insertion_points,
+    relevant_fields,
+)
+from repro.experiments import ERROR_CASES
+from repro.formats import get_format
+from repro.solver import EquivalenceChecker, EquivalenceOptions
+
+
+CASE = ERROR_CASES["cwebp-jpegdec"]
+
+
+@pytest.fixture(scope="module")
+def rewrite_inputs():
+    donor = get_application("feh")
+    fmt = get_format("jpeg")
+    seed, error = CASE.seed_input(), CASE.error_input()
+    discovery = discover_candidate_checks(
+        donor.program(), fmt, seed, error, relevant=relevant_fields(fmt, seed, error)
+    )
+    excised = excise_check(donor.program(), fmt, error, discovery.candidates[0], donor_name="feh")
+    report = find_insertion_points(
+        CASE.application().program(), seed, fmt.field_map(seed), excised.fields
+    )
+    return excised, report.stable_points
+
+
+def _rewrite_all(excised, points, options: EquivalenceOptions):
+    checker = EquivalenceChecker(options=options)
+    translated = 0
+    for point in points:
+        if Rewriter(point.names, checker=checker).rewrite(excised.guard) is not None:
+            translated += 1
+    return checker.statistics, translated
+
+
+def test_optimisations_reduce_solver_work(rewrite_inputs):
+    excised, points = rewrite_inputs
+    optimised, translated_opt = _rewrite_all(excised, points, EquivalenceOptions())
+    unoptimised, translated_raw = _rewrite_all(
+        excised, points, EquivalenceOptions(use_cache=False, use_disjoint_field_filter=False)
+    )
+    print("\nSolver statistics, optimisations on vs off:")
+    print(f"  queries evaluated: {optimised.evaluated_queries} vs {unoptimised.evaluated_queries}")
+    print(f"  cache hits: {optimised.cache_hits}, disjoint-field skips: {optimised.disjoint_field_skips}")
+    assert translated_opt == translated_raw  # same results, less work
+    assert optimised.cache_hits > 0
+    # The paper reports an order-of-magnitude reduction in translation times;
+    # the number of queries that must actually be evaluated shows the same factor.
+    assert optimised.evaluated_queries * 5 <= unoptimised.evaluated_queries
+
+
+def test_bench_rewrite_with_optimisations(rewrite_inputs, benchmark):
+    excised, points = rewrite_inputs
+    benchmark.pedantic(
+        _rewrite_all, args=(excised, points, EquivalenceOptions()), rounds=1, iterations=1
+    )
+
+
+def test_bench_rewrite_without_optimisations(rewrite_inputs, benchmark):
+    excised, points = rewrite_inputs
+    benchmark.pedantic(
+        _rewrite_all,
+        args=(excised, points, EquivalenceOptions(use_cache=False, use_disjoint_field_filter=False)),
+        rounds=1,
+        iterations=1,
+    )

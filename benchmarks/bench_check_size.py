@@ -1,0 +1,38 @@
+"""E6 — check-size reduction (the Figure 8 "Check Size" column).
+
+"We attribute the significant size reduction to the ability of the CP Rewrite
+algorithm to recognize complex expressions that are semantically equivalent"
+(§4.2).  Using the regenerated Figure 8 results, the bench checks that the
+translated checks are never larger than the excised application-independent
+checks and reports the aggregate reduction.
+"""
+
+
+def _pairs(figure8_results):
+    pairs = []
+    for record in figure8_results.records:
+        for piece in record.check_size.replace("[", "").replace("]", "").split(","):
+            if "->" in piece:
+                before, after = piece.split("->")
+                pairs.append((record.recipient, record.donor, int(before), int(after)))
+    return pairs
+
+
+def test_translated_checks_never_larger(figure8_results):
+    for recipient, donor, before, after in _pairs(figure8_results):
+        assert after <= before, f"{recipient}/{donor}: {before} -> {after}"
+
+
+def test_aggregate_reduction_reported(figure8_results):
+    pairs = _pairs(figure8_results)
+    assert pairs
+    total_before = sum(before for *_, before, _after in pairs)
+    total_after = sum(after for *_, after in pairs)
+    print(f"\nTotal excised ops {total_before} -> total translated ops {total_after}")
+    assert total_after < total_before
+
+
+def test_bench_summary_computation(figure8_results, benchmark):
+    summary = benchmark(figure8_results.summary)
+    assert summary["successful"] == summary["transfers"]
+    assert summary["mean_check_size_reduction"] >= 1.0

@@ -1,0 +1,42 @@
+"""E1 — regenerate the paper's Figure 8 results table.
+
+For every donor/recipient row the harness runs the full CP pipeline and
+reports the table's columns: generation time, relevant branches, flipped
+branches, used checks, candidate insertion-point accounting (X - Y - Z = W),
+and check size (excised -> translated).  The regenerated table is written to
+``results/figure8.md``.
+
+Shape expectations (absolute numbers differ from the paper because the
+substrate is a MicroC simulation rather than the authors' binaries):
+
+* every donor/recipient pair yields a successful validated transfer;
+* flipped branches are a small subset of the relevant branches;
+* the translated checks are no larger (usually much smaller) than the excised
+  application-independent checks.
+"""
+
+from repro.experiments import ERROR_CASES, FIGURE8_ROWS, Figure8Row, run_row
+
+
+def test_every_row_transfers_successfully(figure8_results):
+    failures = [record for record in figure8_results.records if not record.success]
+    assert not failures, f"failed rows: {[ (r.recipient, r.donor) for r in failures ]}"
+    assert len(figure8_results.records) == len(FIGURE8_ROWS)
+
+
+def test_flipped_branches_are_a_small_subset(figure8_results):
+    for record in figure8_results.records:
+        flipped = record.flipped_branches.strip("[]").split(",")
+        assert int(flipped[0]) <= record.relevant_branches
+
+
+def test_all_ten_errors_are_covered(figure8_results):
+    targets = {record.target for record in figure8_results.records}
+    assert targets == {case.target_id for case in ERROR_CASES.values()}
+
+
+def test_bench_single_row_generation_time(benchmark):
+    """Benchmark the worked-example row (CWebP <- FEH) end to end."""
+    row = Figure8Row(case_id="cwebp-jpegdec", donor="feh")
+    outcome = benchmark.pedantic(run_row, args=(row,), rounds=1, iterations=1)
+    assert outcome.success

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Section 2 example, end to end.
+
+CWebP 0.3.1 overflows its JPEG image-buffer size computation
+(``stride * height``).  DIODE finds an error-triggering input, FEH is selected
+as a donor because it processes both the seed and the error-triggering input,
+and Code Phage transfers FEH's ``IMAGE_DIMENSIONS_OK`` check into CWebP.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.apps import get_application
+from repro.core import CodePhage, select_donors
+from repro.experiments import ERROR_CASES
+from repro.formats import get_format
+from repro.lang import compile_program, run_program
+from repro.symbolic import to_paper_string
+
+
+def main() -> None:
+    case = ERROR_CASES["cwebp-jpegdec"]
+    recipient = case.application()
+    fmt = get_format(case.format_name)
+    seed, error_input = case.seed_input(), case.error_input()
+
+    print("=== Error discovery (DIODE inputs) ===")
+    crash = run_program(recipient.program(), error_input, fmt.field_map(error_input))
+    print(f"CWebP on the error-triggering input: {crash.status.value} "
+          f"({crash.error.kind.value} in {crash.error.function})")
+
+    print("\n=== Donor selection ===")
+    selection = select_donors(case.format_name, seed, error_input, recipient=recipient)
+    print("viable donors:", [donor.full_name for donor in selection.donors])
+
+    print("\n=== Code transfer (FEH -> CWebP) ===")
+    phage = CodePhage()
+    outcome = phage.transfer(
+        recipient, case.target(), get_application("feh"), seed, error_input, "jpeg"
+    )
+    check = outcome.checks[-1]
+    print("excised check (application-independent form):")
+    print(" ", to_paper_string(check.excised.condition)[:200], "...")
+    print("translated patch inserted into CWebP:")
+    print(" ", check.patch.render())
+    print("check size:", check.check_size, "| insertion points:", check.accounting)
+
+    print("\n=== Validation ===")
+    patched = compile_program(outcome.patched_source, name="cwebp-patched")
+    rejected = run_program(patched, error_input, fmt.field_map(error_input))
+    accepted = run_program(patched, seed, fmt.field_map(seed))
+    print(f"patched CWebP on the error-triggering input: {rejected.status.value} "
+          f"(exit code {rejected.exit_code})")
+    print(f"patched CWebP on the seed input: {accepted.status.value} "
+          f"(output {accepted.output})")
+    print("\nTransfer successful:", outcome.success)
+
+
+if __name__ == "__main__":
+    main()

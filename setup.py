@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) are unavailable.  This shim
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on newer toolchains) work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""The donor and recipient applications of the paper's evaluation.
+
+Importing this package registers all fourteen applications (seven donors and
+seven recipients) in the registry.  Use :func:`get_application`,
+:func:`donors_for_format`, and friends to look them up.
+"""
+
+from .registry import (
+    AppError,
+    Application,
+    ErrorTarget,
+    all_applications,
+    clear_registry,
+    donors,
+    donors_for_format,
+    get_application,
+    recipients,
+    register_application,
+)
+
+# Importing the application modules registers them.
+from . import cwebp as _cwebp  # noqa: F401
+from . import dillo as _dillo  # noqa: F401
+from . import display_donor as _display_donor  # noqa: F401
+from . import display_recipient as _display_recipient  # noqa: F401
+from . import feh as _feh  # noqa: F401
+from . import gif2tiff as _gif2tiff  # noqa: F401
+from . import gnash as _gnash  # noqa: F401
+from . import jasper as _jasper  # noqa: F401
+from . import mtpaint as _mtpaint  # noqa: F401
+from . import openjpeg as _openjpeg  # noqa: F401
+from . import swfplay as _swfplay  # noqa: F401
+from . import viewnior as _viewnior  # noqa: F401
+from . import wireshark_1_4 as _wireshark_1_4  # noqa: F401
+from . import wireshark_1_8 as _wireshark_1_8  # noqa: F401
+
+__all__ = [
+    "AppError",
+    "Application",
+    "ErrorTarget",
+    "all_applications",
+    "clear_registry",
+    "donors",
+    "donors_for_format",
+    "get_application",
+    "recipients",
+    "register_application",
+]

@@ -1,0 +1,109 @@
+"""CWebP 0.3.1 — recipient application (Section 2's worked example).
+
+CWebP's JPEG reader computes the image buffer size as
+``stride * height`` with ``stride = width * components * sizeof(*rgb)``; on a
+32-bit machine large ``width``/``height`` fields overflow the computation and
+the subsequent ``malloc`` at jpegdec.c:248 allocates a buffer that is too
+small (the DIODE-discovered integer overflow of Section 2).
+
+The MicroC re-implementation reproduces the missing check and the allocation
+site, and includes a small helper invoked with different values on different
+executions — the source of the *unstable* candidate insertion points that CP
+filters out (§2 reports 2 unstable points for CWebP).
+"""
+
+from __future__ import annotations
+
+from ..lang.trace import ErrorKind
+from .registry import Application, ErrorTarget, register_application
+
+SOURCE = """
+// CWebP 0.3.1 ReadJPEG (MicroC re-implementation of jpegdec.c).
+
+struct jpeg_dec {
+    u32 output_width;
+    u32 output_height;
+    u32 output_components;
+};
+
+u32 smaller_dimension(u32 a, u32 b) {
+    // Multipurpose helper: called with (width, height) while parsing and
+    // later with derived sizes; its interior points are unstable.
+    if (a < b) {
+        return a;
+    }
+    return b;
+}
+
+int ReadJPEG() {
+    struct jpeg_dec dinfo;
+    u8 hi;
+    u8 lo;
+
+    // Skip SOF0 marker, frame length, and precision (offsets 2..6).
+    skip_bytes(5);
+    hi = read_byte();
+    lo = read_byte();
+    dinfo.output_height = (((u32) hi) << 8) | ((u32) lo);
+    hi = read_byte();
+    lo = read_byte();
+    dinfo.output_width = (((u32) hi) << 8) | ((u32) lo);
+    u32 num_components = (u32) read_byte();
+
+    // libjpeg rejects frames with more than MAX_COMPONENTS colour components,
+    // and CWebP decompresses to RGB, so the output always has 3 components;
+    // the dimension computation below remains unchecked (the bug).
+    if (num_components > 10) {
+        return 4;
+    }
+    dinfo.output_components = 3;
+
+    u32 min_dim = smaller_dimension(dinfo.output_width, dinfo.output_height);
+    emit(min_dim);
+
+    u32 stride = dinfo.output_width * dinfo.output_components;
+    // The overflow error: stride * height wraps at 32 bits (jpegdec.c:248).
+    u8* rgb = malloc(stride * dinfo.output_height);
+    if (rgb == 0) {
+        return 1;
+    }
+    u32 total = stride * dinfo.output_height;
+    if (total > 0) {
+        store8(rgb, total - 1, 0);
+    }
+    u32 min_size = smaller_dimension(stride, total);
+    emit(min_size);
+    emit(dinfo.output_width);
+    emit(dinfo.output_height);
+    return 0;
+}
+
+int main() {
+    u8 m0 = read_byte();
+    u8 m1 = read_byte();
+    if ((m0 == 255) && (m1 == 216)) {
+        return ReadJPEG();
+    }
+    return 2;
+}
+"""
+
+CWEBP = register_application(
+    Application(
+        name="cwebp",
+        version="0.3.1",
+        source=SOURCE,
+        formats=("jpeg",),
+        role="recipient",
+        library="libjpeg",
+        description="Google's WebP conversion tool; overflows the JPEG image-buffer size computation.",
+        targets=(
+            ErrorTarget(
+                target_id="jpegdec.c:248",
+                error_kind=ErrorKind.INTEGER_OVERFLOW,
+                site_function="ReadJPEG",
+                description="stride * height overflows at the image buffer malloc",
+            ),
+        ),
+    )
+)

@@ -1,0 +1,144 @@
+"""Dillo 2.1 — recipient application (PNG integer overflows, CVE-2009-2294).
+
+Dillo computes the PNG image buffer size as a 32-bit product of width, height,
+and pixel depth.  "An overflow check is present, but the overflow check is
+itself vulnerable to an overflow" (§4.7): the guard compares the (already
+wrapped) 32-bit product against a limit, so carefully chosen dimensions slip
+through and the allocation at png.c:203 is undersized.  A second allocation in
+the FLTK image cache (fltkimagebuf.cc:39) has the same problem.
+
+Simplification relative to the real Dillo: the two allocation sites sit on the
+truecolour (``color_type == 2``) and alpha (``color_type != 2``) paths
+respectively, so that each error is independently reachable with its own
+seed/error-triggering input pair (in the real application the sites execute in
+sequence; the paper gives each its own DIODE-discovered inputs).
+"""
+
+from __future__ import annotations
+
+from ..lang.trace import ErrorKind
+from .registry import Application, ErrorTarget, register_application
+
+SOURCE = """
+// Dillo 2.1 PNG decoding (MicroC re-implementation of png.c + fltkimagebuf.cc).
+
+struct dillo_png {
+    u32 width;
+    u32 height;
+    u32 bit_depth;
+    u32 color_type;
+    u32 rowbytes;
+};
+
+u32 describe_pair(u32 a, u32 b) {
+    // Multipurpose logging helper; executed with different values on
+    // different invocations (a source of unstable insertion points).
+    emit(a);
+    emit(b);
+    return a + b;
+}
+
+int Png_datainfo_callback() {
+    struct dillo_png png;
+    u8 b0;
+    u8 b1;
+    u8 b2;
+    u8 b3;
+
+    // IHDR width/height live at offsets 16 and 20.
+    skip_bytes(14);
+    b0 = read_byte();
+    b1 = read_byte();
+    b2 = read_byte();
+    b3 = read_byte();
+    png.width = (((u32) b0) << 24) | (((u32) b1) << 16) | (((u32) b2) << 8) | ((u32) b3);
+    b0 = read_byte();
+    b1 = read_byte();
+    b2 = read_byte();
+    b3 = read_byte();
+    png.height = (((u32) b0) << 24) | (((u32) b1) << 16) | (((u32) b2) << 8) | ((u32) b3);
+    png.bit_depth = (u32) read_byte();
+    png.color_type = (u32) read_byte();
+
+    // libpng itself rejects dimensions above PNG_USER_WIDTH_MAX /
+    // PNG_USER_HEIGHT_MAX (1,000,000); Dillo inherits that cap, but the
+    // buffer-size computations below remain unchecked (the bug).
+    if ((png.width > 1000000) || (png.height > 1000000)) {
+        return 5;
+    }
+
+    u32 combined = describe_pair(png.width, png.height);
+
+    if (png.color_type == 2) {
+        // Truecolour path: the "overflow check" below is itself computed at
+        // 32 bits, so it wraps together with the buffer size (the bug).
+        u32 product = png.width * png.height;
+        if (product > 536870911) {
+            return 3;
+        }
+        u32 size = png.width * png.height * 4;
+        // The overflow error: png.c:203 image buffer allocation.
+        u8* image = malloc(size);
+        if (image == 0) {
+            return 1;
+        }
+        if (size > 0) {
+            store8(image, size - 1, 0);
+        }
+        png.rowbytes = png.width * 4;
+        u32 tail = describe_pair(png.rowbytes, size);
+        emit(tail);
+        return 0;
+    }
+
+    // Alpha/palette path: FLTK image cache allocation.
+    u32 cache_size = png.width * 3 * png.height;
+    // The overflow error: fltkimagebuf.cc:39 cache buffer allocation.
+    u8* cache = malloc(cache_size);
+    if (cache == 0) {
+        return 1;
+    }
+    if (cache_size > 0) {
+        store8(cache, cache_size - 1, 0);
+    }
+    png.rowbytes = png.width * 3;
+    u32 tail2 = describe_pair(png.rowbytes, cache_size);
+    emit(tail2);
+    return 0;
+}
+
+int main() {
+    u8 m0 = read_byte();
+    u8 m1 = read_byte();
+    if ((m0 == 137) && (m1 == 80)) {
+        return Png_datainfo_callback();
+    }
+    return 2;
+}
+"""
+
+DILLO = register_application(
+    Application(
+        name="dillo",
+        version="2.1",
+        source=SOURCE,
+        formats=("png",),
+        role="recipient",
+        library="libpng",
+        description="Lightweight graphical web browser; overflows its PNG buffer-size computations.",
+        targets=(
+            ErrorTarget(
+                target_id="png.c:203",
+                error_kind=ErrorKind.INTEGER_OVERFLOW,
+                site_function="Png_datainfo_callback",
+                description="width * height * 4 overflows at the image buffer malloc",
+            ),
+            ErrorTarget(
+                target_id="fltkimagebuf.cc:39",
+                error_kind=ErrorKind.INTEGER_OVERFLOW,
+                site_function="Png_datainfo_callback",
+                description="width * 3 * height overflows at the FLTK cache buffer malloc",
+            ),
+        ),
+    )
+)

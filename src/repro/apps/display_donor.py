@@ -1,0 +1,99 @@
+"""ImageMagick Display 6.5.2-9 — donor application (GIF reader).
+
+The later ImageMagick point release bounds the GIF LZW minimum code size::
+
+    #define MaximumLZWBits  12
+    if (data_size > MaximumLZWBits)
+        ThrowBinaryException(CorruptImageError, "CorruptImage", image.filename);
+
+This check is the donor for the gif2tiff out-of-bounds write (§4.4).  Note
+that ImageMagick Display appears in the evaluation both as a *recipient*
+(version 6.5.2-8, TIFF overflows) and as a *donor* (version 6.5.2-9, GIF
+check); the two versions are registered as separate applications.
+"""
+
+from __future__ import annotations
+
+from .registry import Application, register_application
+
+SOURCE = """
+// ImageMagick Display 6.5.2-9 GIF decoder (MicroC re-implementation).
+
+struct gif_image {
+    u32 screen_width;
+    u32 screen_height;
+    u32 width;
+    u32 height;
+    i32 data_size;
+};
+
+int read_gif_image() {
+    struct gif_image image;
+    u8 lo;
+    u8 hi;
+
+    // "GIF89a" signature: 4 more bytes after the sniffed "GI".
+    skip_bytes(4);
+    lo = read_byte();
+    hi = read_byte();
+    image.screen_width = ((u32) lo) | (((u32) hi) << 8);
+    lo = read_byte();
+    hi = read_byte();
+    image.screen_height = ((u32) lo) | (((u32) hi) << 8);
+
+    // Flags, background colour, aspect ratio, separator, left, top.
+    skip_bytes(8);
+    lo = read_byte();
+    hi = read_byte();
+    image.width = ((u32) lo) | (((u32) hi) << 8);
+    lo = read_byte();
+    hi = read_byte();
+    image.height = ((u32) lo) | (((u32) hi) << 8);
+    skip_bytes(1);
+    image.data_size = (i32) read_byte();
+
+    // Candidate check (coders/gif.c): MaximumLZWBits.
+    if (image.data_size > 12) {
+        return 3;
+    }
+
+    u32 clear = ((u32) 1) << ((u32) image.data_size);
+    u8* prefix = malloc(16388);
+    if (prefix == 0) {
+        return 1;
+    }
+    u32 i = 0;
+    while (i < clear) {
+        store8(prefix, i, 0);
+        i = i + 1;
+    }
+    emit(image.width);
+    emit(image.height);
+    emit((u32) image.data_size);
+    return 0;
+}
+
+int main() {
+    u8 m0 = read_byte();
+    u8 m1 = read_byte();
+    if ((m0 == 71) && (m1 == 73)) {
+        return read_gif_image();
+    }
+    return 2;
+}
+"""
+
+DISPLAY_DONOR = register_application(
+    Application(
+        name="display-6.5.2-9",
+        version="6.5.2-9",
+        source=SOURCE,
+        formats=("gif",),
+        role="donor",
+        library="imagemagick-gif",
+        description=(
+            "ImageMagick Display (later point release); its MaximumLZWBits check is the "
+            "donor check for the gif2tiff out-of-bounds write."
+        ),
+    )
+)

@@ -1,0 +1,122 @@
+"""ImageMagick Display 6.5.2-8 — recipient application (TIFF overflows, CVE-2009-1882).
+
+Display computes pixel-buffer lengths as 32-bit products of TIFF ImageWidth,
+ImageLength, bits-per-sample, and samples-per-pixel "with no overflow checking
+at all in this version" (§4.8).  Two allocation sites are evaluated in the
+paper: the X-window pixel buffer (xwindow.c:5619) and the resized image
+created for the GUI (display.c:4393).  The second site multiplies by a larger
+factor (``width << 2``), so inputs exist that overflow it while leaving the
+first site intact — each target therefore has its own error-triggering input.
+"""
+
+from __future__ import annotations
+
+from ..lang.trace import ErrorKind
+from .registry import Application, ErrorTarget, register_application
+
+SOURCE = """
+// ImageMagick Display 6.5.2-8 TIFF path (MicroC re-implementation).
+
+struct tiff_info {
+    u32 width;
+    u32 height;
+    u32 bits_per_sample;
+    u32 samples_per_pixel;
+};
+
+int ReadTIFFImage() {
+    struct tiff_info tiff;
+    u8 b0;
+    u8 b1;
+    u8 b2;
+    u8 b3;
+
+    // ImageWidth value (offset 18), ImageLength (30), BitsPerSample (42),
+    // SamplesPerPixel (54); all little-endian LONG values.
+    skip_bytes(16);
+    b0 = read_byte();
+    b1 = read_byte();
+    b2 = read_byte();
+    b3 = read_byte();
+    tiff.width = ((u32) b0) | (((u32) b1) << 8) | (((u32) b2) << 16) | (((u32) b3) << 24);
+    skip_bytes(8);
+    b0 = read_byte();
+    b1 = read_byte();
+    b2 = read_byte();
+    b3 = read_byte();
+    tiff.height = ((u32) b0) | (((u32) b1) << 8) | (((u32) b2) << 16) | (((u32) b3) << 24);
+    skip_bytes(8);
+    tiff.bits_per_sample = read_u32_le();
+    skip_bytes(8);
+    tiff.samples_per_pixel = read_u32_le();
+
+    // libtiff rejects unsupported sample layouts before ImageMagick sizes its
+    // buffers; the dimension computation itself remains unchecked (the bug).
+    if ((tiff.bits_per_sample > 32) || (tiff.samples_per_pixel > 8)) {
+        return 4;
+    }
+
+    u32 bytes_per_pixel = (tiff.bits_per_sample / 8) * tiff.samples_per_pixel;
+
+    // The overflow error: xwindow.c:5619 window pixel buffer.
+    u32 window_size = tiff.width * tiff.height * bytes_per_pixel;
+    u8* window_pixels = malloc(window_size);
+    if (window_pixels == 0) {
+        return 1;
+    }
+    if (window_size > 0) {
+        store8(window_pixels, window_size - 1, 0);
+    }
+
+    // The overflow error: display.c:4393 resized image for the GUI.
+    u32 resize_size = (tiff.width << 2) * tiff.height;
+    u8* resize_pixels = malloc(resize_size);
+    if (resize_pixels == 0) {
+        return 1;
+    }
+    if (resize_size > 0) {
+        store8(resize_pixels, resize_size - 1, 0);
+    }
+
+    emit(tiff.width);
+    emit(tiff.height);
+    emit(tiff.bits_per_sample);
+    emit(tiff.samples_per_pixel);
+    return 0;
+}
+
+int main() {
+    u8 m0 = read_byte();
+    u8 m1 = read_byte();
+    if ((m0 == 73) && (m1 == 73)) {
+        return ReadTIFFImage();
+    }
+    return 2;
+}
+"""
+
+DISPLAY_RECIPIENT = register_application(
+    Application(
+        name="display",
+        version="6.5.2-8",
+        source=SOURCE,
+        formats=("tiff",),
+        role="recipient",
+        library="imagemagick-tiff",
+        description="ImageMagick image viewer; overflows its TIFF pixel-buffer size computations.",
+        targets=(
+            ErrorTarget(
+                target_id="xwindow.c:5619",
+                error_kind=ErrorKind.INTEGER_OVERFLOW,
+                site_function="ReadTIFFImage",
+                description="width * height * bytes_per_pixel overflows at the window pixel buffer",
+            ),
+            ErrorTarget(
+                target_id="display.c:4393",
+                error_kind=ErrorKind.INTEGER_OVERFLOW,
+                site_function="ReadTIFFImage",
+                description="(width << 2) * height overflows at the resized image buffer",
+            ),
+        ),
+    )
+)

@@ -1,0 +1,193 @@
+"""FEH 2.9.3 (imlib2-based image viewer) — donor application.
+
+FEH is the donor in the paper's worked example (Section 2): its imlib2 JPEG
+loader guards image allocation with the ``IMAGE_DIMENSIONS_OK`` macro::
+
+    #define IMAGE_DIMENSIONS_OK(w, h) \
+        ( ((w) > 0) && ((h) > 0) && \
+          ((unsigned long long)(w) * (unsigned long long)(h) <= (1ULL << 29) - 1) )
+
+The same check protects its PNG and TIFF loaders, which is why FEH also serves
+as a donor for the Dillo (PNG) and Display (TIFF) errors.  The MicroC
+re-implementation assembles multi-byte fields from individual input bytes with
+explicit shifts and ors — exactly the bit manipulation that makes the paper's
+excised checks large before simplification.
+"""
+
+from __future__ import annotations
+
+from .registry import Application, register_application
+
+SOURCE = """
+// FEH 2.9.3 / imlib2 loaders (MicroC re-implementation).
+
+struct jpeg_decompress {
+    u32 output_width;
+    u32 output_height;
+    i32 output_components;
+    i32 rec_outbuf_height;
+};
+
+struct imlib_image {
+    i32 w;
+    i32 h;
+};
+
+int load_jpeg() {
+    struct jpeg_decompress cinfo;
+    struct imlib_image im;
+    i32 w;
+    i32 h;
+    u8 hi;
+    u8 lo;
+
+    // Skip SOF0 marker, frame length, and precision (offsets 2..6).
+    skip_bytes(5);
+
+    hi = read_byte();
+    lo = read_byte();
+    cinfo.output_height = (((u32) hi) << 8) | ((u32) lo);
+    hi = read_byte();
+    lo = read_byte();
+    cinfo.output_width = (((u32) hi) << 8) | ((u32) lo);
+    cinfo.output_components = (i32) read_byte();
+    cinfo.rec_outbuf_height = 1;
+
+    im.w = (i32) cinfo.output_width;
+    im.h = (i32) cinfo.output_height;
+    w = im.w;
+    h = im.h;
+
+    // Candidate check (imlib2 loader_jpeg.c): rejects dimensions whose
+    // product could overflow downstream 32-bit size computations.
+    if ((cinfo.rec_outbuf_height > 16) || (cinfo.output_components <= 0) ||
+        (!((w > 0) && (h > 0) &&
+           ((u64) w * (u64) h <= 536870911)))) {
+        return 0;
+    }
+
+    u32 size = ((u32) w) * ((u32) h) * 4;
+    u8* data = malloc(size);
+    if (data == 0) {
+        return 1;
+    }
+    store8(data, size - 1, 255);
+    emit(cinfo.output_width);
+    emit(cinfo.output_height);
+    return 0;
+}
+
+int load_png() {
+    i32 w32;
+    i32 h32;
+    u8 b0;
+    u8 b1;
+    u8 b2;
+    u8 b3;
+
+    // Signature bytes 2..7, IHDR length and type (offsets 8..15).
+    skip_bytes(14);
+
+    b0 = read_byte();
+    b1 = read_byte();
+    b2 = read_byte();
+    b3 = read_byte();
+    w32 = (i32) ((((u32) b0) << 24) | (((u32) b1) << 16) | (((u32) b2) << 8) | ((u32) b3));
+    b0 = read_byte();
+    b1 = read_byte();
+    b2 = read_byte();
+    b3 = read_byte();
+    h32 = (i32) ((((u32) b0) << 24) | (((u32) b1) << 16) | (((u32) b2) << 8) | ((u32) b3));
+    u8 bit_depth = read_byte();
+    u8 color_type = read_byte();
+
+    // Candidate check (imlib2 loader_png.c): IMAGE_DIMENSIONS_OK(w32, h32).
+    if (!((w32 > 0) && (h32 > 0) &&
+          ((u64) w32 * (u64) h32 <= 536870911))) {
+        return 0;
+    }
+
+    u32 size = ((u32) w32) * ((u32) h32) * 4;
+    u8* data = malloc(size);
+    if (data == 0) {
+        return 1;
+    }
+    store8(data, size - 1, 255);
+    emit((u32) w32);
+    emit((u32) h32);
+    emit((u32) bit_depth);
+    emit((u32) color_type);
+    return 0;
+}
+
+int load_tiff() {
+    i32 w32;
+    i32 h32;
+    u8 b0;
+    u8 b1;
+    u8 b2;
+    u8 b3;
+
+    // Header and IFD entry headers up to the ImageWidth value (offset 18).
+    skip_bytes(16);
+    b0 = read_byte();
+    b1 = read_byte();
+    b2 = read_byte();
+    b3 = read_byte();
+    w32 = (i32) (((u32) b0) | (((u32) b1) << 8) | (((u32) b2) << 16) | (((u32) b3) << 24));
+
+    // ImageLength value lives at offset 30.
+    skip_bytes(8);
+    b0 = read_byte();
+    b1 = read_byte();
+    b2 = read_byte();
+    b3 = read_byte();
+    h32 = (i32) (((u32) b0) | (((u32) b1) << 8) | (((u32) b2) << 16) | (((u32) b3) << 24));
+
+    // Candidate check (imlib2 loader_tiff.c): IMAGE_DIMENSIONS_OK(w32, h32).
+    if (!((w32 > 0) && (h32 > 0) &&
+          ((u64) w32 * (u64) h32 <= 536870911))) {
+        return 0;
+    }
+
+    u32 size = ((u32) w32) * ((u32) h32) * 4;
+    u8* data = malloc(size);
+    if (data == 0) {
+        return 1;
+    }
+    store8(data, size - 1, 255);
+    emit((u32) w32);
+    emit((u32) h32);
+    return 0;
+}
+
+int main() {
+    u8 m0 = read_byte();
+    u8 m1 = read_byte();
+    if ((m0 == 255) && (m1 == 216)) {
+        return load_jpeg();
+    }
+    if ((m0 == 137) && (m1 == 80)) {
+        return load_png();
+    }
+    if ((m0 == 73) && (m1 == 73)) {
+        return load_tiff();
+    }
+    return 2;
+}
+"""
+
+FEH = register_application(
+    Application(
+        name="feh",
+        version="2.9.3",
+        source=SOURCE,
+        formats=("jpeg", "png", "tiff"),
+        role="donor",
+        library="imlib2",
+        description=(
+            "Fast imlib2-based image viewer; its IMAGE_DIMENSIONS_OK check is the donor "
+            "check for the CWebP, Dillo, and Display integer-overflow errors."
+        ),
+    )
+)

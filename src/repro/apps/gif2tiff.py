@@ -1,0 +1,98 @@
+"""gif2tiff 4.0.3 (libtiff tools) — recipient application (CVE-2013-4231).
+
+gif2tiff initialises its LZW decoder tables from the GIF minimum code size
+without enforcing the specification's limit of 12 bits; a larger code size
+makes the initialisation loop at gif2tiff.c:355 run past the ends of the
+statically sized tables (§4.4).
+"""
+
+from __future__ import annotations
+
+from ..lang.trace import ErrorKind
+from .registry import Application, ErrorTarget, register_application
+
+SOURCE = """
+// gif2tiff 4.0.3 (libtiff tools) GIF reader (MicroC re-implementation).
+
+struct gif_reader {
+    u32 screen_width;
+    u32 screen_height;
+    u32 width;
+    u32 height;
+    i32 datasize;
+};
+
+int readgifimage() {
+    struct gif_reader gif;
+    u8 lo;
+    u8 hi;
+
+    // "GIF89a" signature: 4 more bytes after the sniffed "GI".
+    skip_bytes(4);
+    lo = read_byte();
+    hi = read_byte();
+    gif.screen_width = ((u32) lo) | (((u32) hi) << 8);
+    lo = read_byte();
+    hi = read_byte();
+    gif.screen_height = ((u32) lo) | (((u32) hi) << 8);
+
+    // Flags, background colour, aspect ratio, separator, left, top.
+    skip_bytes(8);
+    lo = read_byte();
+    hi = read_byte();
+    gif.width = ((u32) lo) | (((u32) hi) << 8);
+    lo = read_byte();
+    hi = read_byte();
+    gif.height = ((u32) lo) | (((u32) hi) << 8);
+    skip_bytes(1);
+    gif.datasize = (i32) read_byte();
+
+    // No check on the LZW code size: the GIF specification limits it to 12
+    // but gif2tiff never enforces that (the bug).
+    u32 clear = ((u32) 1) << ((u32) gif.datasize);
+    u8* prefix = malloc(4098);
+    if (prefix == 0) {
+        return 1;
+    }
+    u32 i = 0;
+    // The out-of-bounds write: gif2tiff.c:355 table initialisation loop.
+    while (i < clear + 2) {
+        store8(prefix, i, 0);
+        i = i + 1;
+    }
+
+    emit(gif.width);
+    emit(gif.height);
+    emit((u32) gif.datasize);
+    return 0;
+}
+
+int main() {
+    u8 m0 = read_byte();
+    u8 m1 = read_byte();
+    if ((m0 == 71) && (m1 == 73)) {
+        return readgifimage();
+    }
+    return 2;
+}
+"""
+
+GIF2TIFF = register_application(
+    Application(
+        name="gif2tiff",
+        version="4.0.3",
+        source=SOURCE,
+        formats=("gif",),
+        role="recipient",
+        library="libtiff-tools",
+        description="libtiff GIF-to-TIFF converter; unbounded LZW code size overruns its tables.",
+        targets=(
+            ErrorTarget(
+                target_id="gif2tiff.c:355",
+                error_kind=ErrorKind.OUT_OF_BOUNDS_WRITE,
+                site_function="readgifimage",
+                description="LZW table initialisation loop overruns the statically sized tables",
+            ),
+        ),
+    )
+)

@@ -1,0 +1,118 @@
+"""GNU Gnash 0.8.11 — donor application (SWF player).
+
+Gnash's embedded-JPEG decoding path contains the checks the paper transfers
+into Swfplay (§4.9):
+
+* ``jpeg-8b/jdinput.c``: sampling factors bounded by ``MAX_SAMP_FACTOR`` (4)
+  and dimensions bounded by ``JPEG_MAX_DIMENSION`` (65500);
+* the RGBA merge path: a channel-aware overflow check built from successive
+  divisions of ``std::numeric_limits<int32_t>::max()``.
+"""
+
+from __future__ import annotations
+
+from .registry import Application, register_application
+
+SOURCE = """
+// Gnash 0.8.11 embedded-JPEG decoder (MicroC re-implementation).
+
+struct jpeg_component {
+    i32 h_samp_factor;
+    i32 v_samp_factor;
+};
+
+struct swf_decoder {
+    u32 width;
+    u32 height;
+    u32 channels;
+};
+
+int decode_swf_jpeg() {
+    struct swf_decoder dec;
+    struct jpeg_component comp;
+    u8 hi;
+    u8 lo;
+
+    // Skip version, file length, and the embedded JPEG SOI (offsets 3..9).
+    skip_bytes(7);
+    hi = read_byte();
+    lo = read_byte();
+    dec.height = (((u32) hi) << 8) | ((u32) lo);
+    hi = read_byte();
+    lo = read_byte();
+    dec.width = (((u32) hi) << 8) | ((u32) lo);
+    comp.h_samp_factor = (i32) read_byte();
+    comp.v_samp_factor = (i32) read_byte();
+    dec.channels = (u32) read_byte();
+
+    // Candidate check (jpeg-8b/jdinput.c@233): JPEG limit on sampling factors.
+    if ((comp.h_samp_factor <= 0) || (comp.h_samp_factor > 4) ||
+        (comp.v_samp_factor <= 0) || (comp.v_samp_factor > 4)) {
+        return 3;
+    }
+
+    // Candidate check (jpeg-8b/jdinput.c@215): a tad under 64K to prevent overflows.
+    if (((i64) dec.height > 65500) || ((i64) dec.width > 65500)) {
+        return 4;
+    }
+
+    // Component (YUV) buffers, sized from the sampling factors.
+    u32 comp_size = dec.width * ((u32) comp.h_samp_factor) * ((u32) comp.v_samp_factor) * 2;
+    u8* comp_buf = malloc(comp_size);
+    if (comp_buf == 0) {
+        return 1;
+    }
+    if (comp_size > 0) {
+        store8(comp_buf, comp_size - 1, 0);
+    }
+
+    // Candidate check (gnash GnashImageJpeg.cpp): channel-aware overflow
+    // check for the merged RGBA buffer, built from successive divisions.
+    u32 maxSize = 2147483647;
+    if ((dec.width >= maxSize) || (dec.height >= maxSize)) {
+        return 5;
+    }
+    maxSize = maxSize / 3;
+    maxSize = maxSize / dec.width;
+    maxSize = maxSize / dec.height;
+    if (maxSize > 0) {
+        u32 rgba_size = dec.width * dec.height * 4;
+        u8* rgba = malloc(rgba_size);
+        if (rgba == 0) {
+            return 1;
+        }
+        if (rgba_size > 0) {
+            store8(rgba, rgba_size - 1, 0);
+        }
+        emit(dec.width);
+        emit(dec.height);
+        return 0;
+    }
+    return 5;
+}
+
+int main() {
+    u8 m0 = read_byte();
+    u8 m1 = read_byte();
+    u8 m2 = read_byte();
+    if ((m0 == 70) && (m1 == 87) && (m2 == 83)) {
+        return decode_swf_jpeg();
+    }
+    return 2;
+}
+"""
+
+GNASH = register_application(
+    Application(
+        name="gnash",
+        version="0.8.11",
+        source=SOURCE,
+        formats=("swf",),
+        role="donor",
+        library="gnash-jpeg",
+        description=(
+            "GNU Flash player; its sampling-factor, dimension, and channel-aware overflow "
+            "checks are the donor checks for the Swfplay integer-overflow errors."
+        ),
+    )
+)

@@ -1,0 +1,99 @@
+"""JasPer 1.9 — recipient application (JPEG-2000 off-by-one, CVE-2012-3352).
+
+JasPer checks the tile number of an SOT segment against the number of tiles in
+the image, but the check is miscoded: at jpc_dec.c:492 it uses ``>`` where the
+correct comparison (present in OpenJPEG) is ``>=``.  A tile-part whose index
+equals the tile count therefore slips through and JasPer writes tile data one
+slot beyond the end of the tile table (§4.3).
+"""
+
+from __future__ import annotations
+
+from ..lang.trace import ErrorKind
+from .registry import Application, ErrorTarget, register_application
+
+SOURCE = """
+// JasPer 1.9 jpc_dec.c tile handling (MicroC re-implementation).
+
+struct jpc_dec {
+    u32 numtiles;
+    u32 tiles_x;
+    u32 tiles_y;
+    u32 image_width;
+    u32 image_height;
+};
+
+struct jpc_sot {
+    u32 tileno;
+    u32 tile_bytes;
+};
+
+int jpc_dec_process_sot() {
+    struct jpc_dec dec;
+    struct jpc_sot sot;
+    u8 hi;
+    u8 lo;
+
+    // SIZ segment: image size and tile grid (offsets 6..15).
+    skip_bytes(4);
+    dec.image_width = read_u32_be();
+    dec.image_height = read_u32_be();
+    dec.tiles_x = (u32) read_byte();
+    dec.tiles_y = (u32) read_byte();
+    dec.numtiles = dec.tiles_x * dec.tiles_y;
+
+    u8* tile_table = malloc(dec.numtiles * 8);
+    if (tile_table == 0) {
+        return 1;
+    }
+
+    // SOT segment: tile index and tile-part length (offsets 16..23).
+    skip_bytes(4);
+    hi = read_byte();
+    lo = read_byte();
+    sot.tileno = (((u32) hi) << 8) | ((u32) lo);
+    hi = read_byte();
+    lo = read_byte();
+    sot.tile_bytes = (((u32) hi) << 8) | ((u32) lo);
+
+    // The miscoded check (jpc_dec.c:492): should be >= (off-by-one).
+    if (sot.tileno > dec.numtiles) {
+        return 3;
+    }
+
+    // Out-of-bounds write when sot.tileno == dec.numtiles.
+    store8(tile_table, sot.tileno * 8, 1);
+    emit(sot.tileno);
+    emit(dec.numtiles);
+    return 0;
+}
+
+int main() {
+    u8 m0 = read_byte();
+    u8 m1 = read_byte();
+    if ((m0 == 255) && (m1 == 79)) {
+        return jpc_dec_process_sot();
+    }
+    return 2;
+}
+"""
+
+JASPER = register_application(
+    Application(
+        name="jasper",
+        version="1.9",
+        source=SOURCE,
+        formats=("jp2",),
+        role="recipient",
+        library="jasper",
+        description="JPEG-2000 reference implementation; off-by-one tile-number check.",
+        targets=(
+            ErrorTarget(
+                target_id="jpc_dec.c:492",
+                error_kind=ErrorKind.OUT_OF_BOUNDS_WRITE,
+                site_function="jpc_dec_process_sot",
+                description="tile index equal to the tile count writes past the tile table",
+            ),
+        ),
+    )
+)

@@ -1,0 +1,121 @@
+"""mtPaint 3.40 — donor application.
+
+mtPaint caps image dimensions with explicit ``MAX_WIDTH`` / ``MAX_HEIGHT``
+constants (16384) before allocating pixel storage::
+
+    if ((settings->width > MAX_WIDTH) || (settings->height > MAX_HEIGHT))
+        return (TOO_BIG);
+
+The paper transfers this check into CWebP (§4.6.1) and into Dillo (§4.7.2).
+The transferred patch constrains the dimensions rather than checking the
+product, which "may reject some valid input files ... consistent with the
+behavior of the mtpaint donor".
+"""
+
+from __future__ import annotations
+
+from .registry import Application, register_application
+
+SOURCE = """
+// mtPaint 3.40 PNG/JPEG loaders (MicroC re-implementation).
+
+struct ls_settings {
+    i32 width;
+    i32 height;
+    i32 bpp;
+};
+
+int load_jpeg() {
+    struct ls_settings settings;
+    u8 hi;
+    u8 lo;
+
+    // Skip SOF0 marker, frame length, and precision (offsets 2..6).
+    skip_bytes(5);
+    hi = read_byte();
+    lo = read_byte();
+    settings.height = (i32) ((((u32) hi) << 8) | ((u32) lo));
+    hi = read_byte();
+    lo = read_byte();
+    settings.width = (i32) ((((u32) hi) << 8) | ((u32) lo));
+    settings.bpp = 3;
+
+    // Candidate check (mtpaint png.c:234 and jpeg loader): dimension caps
+    // (mtpaint also rejects non-positive dimensions).
+    if ((settings.width < 1) || (settings.height < 1) ||
+        (settings.width > 16384) || (settings.height > 16384)) {
+        return 6;
+    }
+
+    u32 size = ((u32) settings.width) * ((u32) settings.height) * ((u32) settings.bpp);
+    u8* image = malloc(size);
+    if (image == 0) {
+        return 1;
+    }
+    store8(image, size - 1, 0);
+    emit((u32) settings.width);
+    emit((u32) settings.height);
+    return 0;
+}
+
+int load_png() {
+    struct ls_settings settings;
+    i32 pwidth;
+    i32 pheight;
+
+    // IHDR width/height live at offsets 16 and 20.
+    skip_bytes(14);
+    pwidth = (i32) read_u32_be();
+    pheight = (i32) read_u32_be();
+    u8 bit_depth = read_byte();
+    u8 color_type = read_byte();
+    settings.width = pwidth;
+    settings.height = pheight;
+    settings.bpp = 3;
+
+    // Candidate check (mtpaint png.c:234): dimension caps (mtpaint also
+    // rejects non-positive dimensions).
+    if ((pwidth < 1) || (pheight < 1) || (pwidth > 16384) || (pheight > 16384)) {
+        return 6;
+    }
+
+    u32 size = ((u32) pwidth) * ((u32) pheight) * ((u32) settings.bpp);
+    u8* image = malloc(size);
+    if (image == 0) {
+        return 1;
+    }
+    store8(image, size - 1, 0);
+    emit((u32) pwidth);
+    emit((u32) pheight);
+    emit((u32) bit_depth);
+    emit((u32) color_type);
+    return 0;
+}
+
+int main() {
+    u8 m0 = read_byte();
+    u8 m1 = read_byte();
+    if ((m0 == 255) && (m1 == 216)) {
+        return load_jpeg();
+    }
+    if ((m0 == 137) && (m1 == 80)) {
+        return load_png();
+    }
+    return 2;
+}
+"""
+
+MTPAINT = register_application(
+    Application(
+        name="mtpaint",
+        version="3.40",
+        source=SOURCE,
+        formats=("jpeg", "png"),
+        role="donor",
+        library="mtpaint-loaders",
+        description=(
+            "Pixel-art editor; its MAX_WIDTH/MAX_HEIGHT dimension caps are the donor "
+            "check for the CWebP and Dillo integer-overflow errors."
+        ),
+    )
+)

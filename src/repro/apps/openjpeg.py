@@ -1,0 +1,86 @@
+"""OpenJPEG 1.5.2 — donor application (JPEG-2000 codec).
+
+OpenJPEG validates the tile index of an SOT segment against the total number
+of tiles before using it (j2k.c:1394)::
+
+    if ((tileno < 0) || (tileno >= (cp->tw * cp->th))) { ... }
+
+This is the check the paper transfers into JasPer, whose own version of the
+check is off by one (§4.3).  The transfer requires recognising that OpenJPEG's
+``cp->tw * cp->th`` product has the same value as JasPer's ``dec->numtiles``
+field — the paper's showcase for data-structure translation.
+"""
+
+from __future__ import annotations
+
+from .registry import Application, register_application
+
+SOURCE = """
+// OpenJPEG 1.5.2 J2K decoder (MicroC re-implementation).
+
+struct opj_cp {
+    i32 tw;
+    i32 th;
+    u32 image_width;
+    u32 image_height;
+};
+
+int j2k_read_sot() {
+    struct opj_cp cp;
+    u8 hi;
+    u8 lo;
+
+    // SIZ marker and Lsiz already behind the cursor (offsets 2..5).
+    skip_bytes(4);
+    cp.image_width = read_u32_be();
+    cp.image_height = read_u32_be();
+    cp.tw = (i32) read_byte();
+    cp.th = (i32) read_byte();
+
+    // SOT marker and Lsot (offsets 16..19).
+    skip_bytes(4);
+    hi = read_byte();
+    lo = read_byte();
+    i32 tileno = (i32) ((((u32) hi) << 8) | ((u32) lo));
+    u16 tile_bytes = read_u16_be();
+
+    // Candidate check (j2k.c:1394): tile index must be within range.
+    if ((tileno < 0) || (tileno >= (cp.tw * cp.th))) {
+        return 3;
+    }
+
+    u32 numtiles = ((u32) cp.tw) * ((u32) cp.th);
+    u8* tile_table = malloc(numtiles * 4);
+    if (tile_table == 0) {
+        return 1;
+    }
+    store8(tile_table, ((u32) tileno) * 4, 1);
+    emit((u32) tileno);
+    emit(numtiles);
+    return 0;
+}
+
+int main() {
+    u8 m0 = read_byte();
+    u8 m1 = read_byte();
+    if ((m0 == 255) && (m1 == 79)) {
+        return j2k_read_sot();
+    }
+    return 2;
+}
+"""
+
+OPENJPEG = register_application(
+    Application(
+        name="openjpeg",
+        version="1.5.2",
+        source=SOURCE,
+        formats=("jp2",),
+        role="donor",
+        library="openjpeg",
+        description=(
+            "Open-source JPEG-2000 codec; its tile-index range check is the donor check "
+            "for the JasPer out-of-bounds write."
+        ),
+    )
+)

@@ -1,0 +1,117 @@
+"""Swfplay 0.5.5 (Swfdec) — recipient application (SWF/JPEG overflows).
+
+Swfplay decodes JPEG data embedded in SWF files.  Two families of 32-bit
+buffer-size computations overflow (§4.9): the per-component YUVA buffers sized
+from the dimensions and sampling factors (jpeg.c:192), and the merged RGBA
+buffers sized as ``width * height * 4`` (jpeg_rgb_decoder.c:253 and :257).
+"""
+
+from __future__ import annotations
+
+from ..lang.trace import ErrorKind
+from .registry import Application, ErrorTarget, register_application
+
+SOURCE = """
+// Swfplay 0.5.5 embedded-JPEG decoding (MicroC re-implementation).
+
+struct swf_jpeg_dec {
+    u32 width;
+    u32 height;
+    u32 max_h_sample;
+    u32 max_v_sample;
+    u32 channels;
+};
+
+int jpeg_rgb_decode(struct swf_jpeg_dec* dec) {
+    // The overflow error: jpeg_rgb_decoder.c:253 temporary RGBA buffer.
+    u32 rgba_size = dec->width * dec->height * 4;
+    u8* temp = malloc(rgba_size);
+    if (temp == 0) {
+        return 1;
+    }
+    if (rgba_size > 0) {
+        store8(temp, rgba_size - 1, 0);
+    }
+    // The overflow error: jpeg_rgb_decoder.c:257 image RGBA buffer.
+    u8* image = malloc(rgba_size);
+    if (image == 0) {
+        return 1;
+    }
+    if (rgba_size > 0) {
+        store8(image, rgba_size - 1, 0);
+    }
+    emit(rgba_size);
+    return 0;
+}
+
+int jpeg_decoder_decode() {
+    struct swf_jpeg_dec dec;
+    u8 hi;
+    u8 lo;
+
+    // Skip version, file length, and the embedded JPEG SOI (offsets 3..9).
+    skip_bytes(7);
+    hi = read_byte();
+    lo = read_byte();
+    dec.height = (((u32) hi) << 8) | ((u32) lo);
+    hi = read_byte();
+    lo = read_byte();
+    dec.width = (((u32) hi) << 8) | ((u32) lo);
+    dec.max_h_sample = (u32) read_byte();
+    dec.max_v_sample = (u32) read_byte();
+    dec.channels = (u32) read_byte();
+
+    // The overflow error: jpeg.c:192 per-component YUVA buffers sized from
+    // the dimensions and sampling factors, with no overflow checking.
+    u32 comp_size = dec.width * dec.max_h_sample * dec.max_v_sample * 2;
+    u8* component = malloc(comp_size);
+    if (component == 0) {
+        return 1;
+    }
+    if (comp_size > 0) {
+        store8(component, comp_size - 1, 0);
+    }
+
+    emit(dec.width);
+    emit(dec.height);
+    emit(dec.max_h_sample);
+    emit(dec.max_v_sample);
+    return jpeg_rgb_decode(&dec);
+}
+
+int main() {
+    u8 m0 = read_byte();
+    u8 m1 = read_byte();
+    u8 m2 = read_byte();
+    if ((m0 == 70) && (m1 == 87) && (m2 == 83)) {
+        return jpeg_decoder_decode();
+    }
+    return 2;
+}
+"""
+
+SWFPLAY = register_application(
+    Application(
+        name="swfplay",
+        version="0.5.5",
+        source=SOURCE,
+        formats=("swf",),
+        role="recipient",
+        library="swfdec",
+        description="Adobe Flash player from the Swfdec library; overflows its JPEG buffer-size computations.",
+        targets=(
+            ErrorTarget(
+                target_id="jpeg.c:192",
+                error_kind=ErrorKind.INTEGER_OVERFLOW,
+                site_function="jpeg_decoder_decode",
+                description="width * sampling factors overflows at the component buffer malloc",
+            ),
+            ErrorTarget(
+                target_id="jpeg_rgb_decoder.c:253",
+                error_kind=ErrorKind.INTEGER_OVERFLOW,
+                site_function="jpeg_rgb_decode",
+                description="width * height * 4 overflows at the RGBA merge buffer mallocs",
+            ),
+        ),
+    )
+)

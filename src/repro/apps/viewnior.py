@@ -1,0 +1,171 @@
+"""Viewnior 1.4 (gdk-pixbuf based image viewer) — donor application.
+
+Viewnior's gdk-pixbuf loaders detect overflow of the pixel-buffer size with a
+division-based check::
+
+    channels  = has_alpha ? 4 : 3;
+    rowstride = width * channels;
+    rowstride = (rowstride + 3) & ~3;      /* align rows to 32-bit boundaries */
+    if (bytes / rowstride != height)       /* overflow */
+        return NULL;
+
+and, in the TIFF loader, an additional row-stride check
+(``rowstride = width * 4; if (rowstride / 4 != width)``).  These checks are the
+donors for the CWebP (§4.6.2), Dillo (§4.7.3), and Display (§4.8.1, §4.8.3)
+errors; the paper's translated patches show the characteristic
+``(x + 3) & 4294967292`` alignment mask.
+"""
+
+from __future__ import annotations
+
+from .registry import Application, register_application
+
+SOURCE = """
+// Viewnior 1.4 / gdk-pixbuf loaders (MicroC re-implementation).
+
+struct pixbuf_info {
+    u32 width;
+    u32 height;
+    u32 channels;
+    u32 rowstride;
+};
+
+int load_jpeg() {
+    struct pixbuf_info pb;
+    u8 hi;
+    u8 lo;
+
+    // Skip SOF0 marker, frame length, and precision (offsets 2..6).
+    skip_bytes(5);
+    hi = read_byte();
+    lo = read_byte();
+    pb.height = (((u32) hi) << 8) | ((u32) lo);
+    hi = read_byte();
+    lo = read_byte();
+    pb.width = (((u32) hi) << 8) | ((u32) lo);
+    pb.channels = 3;
+
+    if ((pb.width == 0) || (pb.height == 0)) {
+        return 0;
+    }
+
+    u32 rowstride = pb.width * pb.channels;
+    rowstride = (rowstride + 3) & (~3);
+    u32 bytes = rowstride * pb.height;
+    // Candidate check (gdk-pixbuf io-jpeg.c / gdk-pixbuf.c:350): overflow test.
+    if (bytes / rowstride != pb.height) {
+        return 0;
+    }
+    pb.rowstride = rowstride;
+
+    u8* pixels = malloc(bytes);
+    if (pixels == 0) {
+        return 1;
+    }
+    store8(pixels, bytes - 1, 0);
+    emit(pb.width);
+    emit(pb.height);
+    return 0;
+}
+
+int load_png() {
+    struct pixbuf_info pb;
+
+    // IHDR width/height live at offsets 16 and 20.
+    skip_bytes(14);
+    pb.width = read_u32_be();
+    pb.height = read_u32_be();
+    u8 bit_depth = read_byte();
+    u8 color_type = read_byte();
+    pb.channels = 4;
+
+    if ((pb.width == 0) || (pb.height == 0)) {
+        return 0;
+    }
+
+    u32 rowstride = pb.width * pb.channels;
+    rowstride = (rowstride + 3) & (~3);
+    u32 bytes = rowstride * pb.height;
+    // Candidate check (gdk-pixbuf.c:350): overflow test via division.
+    if (bytes / rowstride != pb.height) {
+        return 0;
+    }
+    pb.rowstride = rowstride;
+
+    u8* pixels = malloc(bytes);
+    if (pixels == 0) {
+        return 1;
+    }
+    store8(pixels, bytes - 1, 0);
+    emit(pb.width);
+    emit(pb.height);
+    emit((u32) bit_depth);
+    emit((u32) color_type);
+    return 0;
+}
+
+int load_tiff() {
+    struct pixbuf_info pb;
+
+    // ImageWidth value at offset 18, ImageLength value at offset 30.
+    skip_bytes(16);
+    pb.width = read_u32_le();
+    skip_bytes(8);
+    pb.height = read_u32_le();
+    pb.channels = 4;
+
+    if ((pb.width == 0) || (pb.height == 0)) {
+        return 0;
+    }
+
+    // Candidate check (viewnior io-tiff.c:134): rowstride overflow.
+    u32 rowstride = pb.width * 4;
+    if (rowstride / 4 != pb.width) {
+        return 0;
+    }
+    u32 bytes = pb.height * rowstride;
+    if (bytes / rowstride != pb.height) {
+        return 0;
+    }
+    pb.rowstride = rowstride;
+
+    u8* pixels = malloc(bytes);
+    if (pixels == 0) {
+        return 1;
+    }
+    store8(pixels, bytes - 1, 0);
+    emit(pb.width);
+    emit(pb.height);
+    return 0;
+}
+
+int main() {
+    u8 m0 = read_byte();
+    u8 m1 = read_byte();
+    if ((m0 == 255) && (m1 == 216)) {
+        return load_jpeg();
+    }
+    if ((m0 == 137) && (m1 == 80)) {
+        return load_png();
+    }
+    if ((m0 == 73) && (m1 == 73)) {
+        return load_tiff();
+    }
+    return 2;
+}
+"""
+
+VIEWNIOR = register_application(
+    Application(
+        name="viewnior",
+        version="1.4",
+        source=SOURCE,
+        formats=("jpeg", "png", "tiff"),
+        role="donor",
+        library="gdk-pixbuf",
+        description=(
+            "Elegant gdk-pixbuf image viewer; its division-based overflow checks are the "
+            "donor checks for CWebP, Dillo, and Display integer-overflow errors."
+        ),
+    )
+)

@@ -1,0 +1,82 @@
+"""Wireshark 1.4.14 — recipient application (DCP-ETSI divide-by-zero).
+
+The DCP-ETSI dissector divides the reassembled data length by the
+per-fragment payload length to compute the fragment count; degenerate packets
+with a zero payload-length field crash the dissector at
+packet-dcp-etsi.c:258/:276 (§4.5).  Wireshark 1.8.6 guards the division with
+``if (real_len)``; transferring that guard back is the paper's multiversion /
+targeted-update scenario.
+"""
+
+from __future__ import annotations
+
+from ..lang.trace import ErrorKind
+from .registry import Application, ErrorTarget, register_application
+
+SOURCE = """
+// Wireshark 1.4.14 packet-dcp-etsi.c dissector (MicroC re-implementation).
+
+struct pft_info {
+    u32 packet_type;
+    u32 total_len;
+    u32 plen;
+    u32 fragment_index;
+};
+
+int dissect_pft() {
+    struct pft_info info;
+    u8 hi;
+    u8 lo;
+
+    info.packet_type = (u32) read_byte();
+    hi = read_byte();
+    lo = read_byte();
+    info.total_len = (((u32) hi) << 8) | ((u32) lo);
+    hi = read_byte();
+    lo = read_byte();
+    info.plen = (((u32) hi) << 8) | ((u32) lo);
+    hi = read_byte();
+    lo = read_byte();
+    info.fragment_index = (((u32) hi) << 8) | ((u32) lo);
+
+    // The divide-by-zero error: packet-dcp-etsi.c:258 / :276 (no guard on
+    // the payload length in this version).
+    u32 fragments = info.total_len / info.plen;
+    u32 padding = info.total_len % info.plen;
+
+    emit(fragments);
+    emit(padding);
+    emit(info.total_len);
+    emit(info.plen);
+    return 0;
+}
+
+int main() {
+    u8 m0 = read_byte();
+    u8 m1 = read_byte();
+    if ((m0 == 68) && (m1 == 67)) {
+        return dissect_pft();
+    }
+    return 2;
+}
+"""
+
+WIRESHARK_1_4 = register_application(
+    Application(
+        name="wireshark-1.4.14",
+        version="1.4.14",
+        source=SOURCE,
+        formats=("dcp",),
+        role="recipient",
+        library="wireshark-dcp-etsi",
+        description="Network protocol analyser; divides by a zero payload-length field.",
+        targets=(
+            ErrorTarget(
+                target_id="packet-dcp-etsi.c:258",
+                error_kind=ErrorKind.DIVIDE_BY_ZERO,
+                site_function="dissect_pft",
+                description="fragment count division by the zero payload-length field",
+            ),
+        ),
+    )
+)

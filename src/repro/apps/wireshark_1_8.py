@@ -1,0 +1,79 @@
+"""Wireshark 1.8.6 — donor application (DCP-ETSI dissector).
+
+The later Wireshark release guards the fragment-count division with a check on
+the per-fragment payload length (§4.5)::
+
+    if (real_len) ...
+
+Transferring this check into Wireshark 1.4.14 is the paper's *multiversion*
+scenario: a targeted update that eliminates the divide-by-zero error without
+the disruption of a full upgrade.
+"""
+
+from __future__ import annotations
+
+from .registry import Application, register_application
+
+SOURCE = """
+// Wireshark 1.8.6 packet-dcp-etsi.c dissector (MicroC re-implementation).
+
+struct dcp_packet {
+    u32 packet_type;
+    u32 total_len;
+    u32 real_len;
+    u32 fragment_index;
+};
+
+int dissect_dcp_etsi() {
+    struct dcp_packet packet;
+    u8 hi;
+    u8 lo;
+
+    packet.packet_type = (u32) read_byte();
+    hi = read_byte();
+    lo = read_byte();
+    packet.total_len = (((u32) hi) << 8) | ((u32) lo);
+    hi = read_byte();
+    lo = read_byte();
+    packet.real_len = (((u32) hi) << 8) | ((u32) lo);
+    hi = read_byte();
+    lo = read_byte();
+    packet.fragment_index = (((u32) hi) << 8) | ((u32) lo);
+
+    // Candidate check (packet-dcp-etsi.c, 1.8.6): only divide when the
+    // payload length is non-zero.
+    if (packet.real_len) {
+        u32 fragments = packet.total_len / packet.real_len;
+        u32 padding = packet.total_len % packet.real_len;
+        emit(fragments);
+        emit(padding);
+    }
+    emit(packet.total_len);
+    emit(packet.real_len);
+    return 0;
+}
+
+int main() {
+    u8 m0 = read_byte();
+    u8 m1 = read_byte();
+    if ((m0 == 68) && (m1 == 67)) {
+        return dissect_dcp_etsi();
+    }
+    return 2;
+}
+"""
+
+WIRESHARK_1_8 = register_application(
+    Application(
+        name="wireshark-1.8.6",
+        version="1.8.6",
+        source=SOURCE,
+        formats=("dcp",),
+        role="donor",
+        library="wireshark-dcp-etsi",
+        description=(
+            "Network protocol analyser (later release); its payload-length guard is the "
+            "donor check for the Wireshark 1.4.14 divide-by-zero error."
+        ),
+    )
+)

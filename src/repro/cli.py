@@ -1,0 +1,110 @@
+"""Command-line interface for the CP reproduction.
+
+Subcommands::
+
+    codephage list                       # applications and formats in the database
+    codephage transfer CASE [--donor D]  # run one transfer (e.g. cwebp-jpegdec)
+    codephage figure8 [--out FILE]       # regenerate the Figure 8 table
+    codephage discover CASE              # re-discover the error input with DIODE/fuzzing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps import all_applications, get_application
+from .core.pipeline import CodePhage
+from .core.reporting import ResultsDatabase
+from .experiments import ERROR_CASES, FIGURE8_ROWS, discover_error_input, run_row
+from .formats import all_formats
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("Applications:")
+    for app in all_applications():
+        targets = ", ".join(t.target_id for t in app.targets) or "-"
+        print(f"  {app.full_name:20s} role={app.role:9s} formats={','.join(app.formats):18s} targets={targets}")
+    print("\nFormats:")
+    for spec in all_formats():
+        print(f"  {spec.name:6s} {spec.description}")
+    print("\nError cases:")
+    for case_id, case in ERROR_CASES.items():
+        print(f"  {case_id:18s} {case.recipient:18s} {case.target_id:22s} donors={','.join(case.donors)}")
+    return 0
+
+
+def _cmd_transfer(args: argparse.Namespace) -> int:
+    case = ERROR_CASES[args.case]
+    donor_name = args.donor or case.donors[0]
+    phage = CodePhage()
+    outcome = phage.transfer(
+        case.application(),
+        case.target(),
+        get_application(donor_name),
+        case.seed_input(),
+        case.error_input(),
+        case.format_name,
+    )
+    print(f"{case.recipient} <- {donor_name}: {'SUCCESS' if outcome.success else 'FAILED'}")
+    for check in outcome.checks:
+        print("  patch:", check.patch.render())
+        print("  check size:", check.check_size, "| insertion points:", check.accounting)
+    if not outcome.success:
+        print("  reason:", outcome.failure_reason)
+    return 0 if outcome.success else 1
+
+
+def _cmd_figure8(args: argparse.Namespace) -> int:
+    database = ResultsDatabase()
+    for row in FIGURE8_ROWS:
+        record = database.add(run_row(row))
+        status = "ok" if record.success else "FAIL"
+        print(f"[{status}] {record.recipient} {record.target} <- {record.donor}")
+    table = database.to_table(title="Figure 8 (reproduction)")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(table + "\n")
+        print(f"\nwrote {args.out}")
+    else:
+        print("\n" + table)
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    error_input = discover_error_input(args.case)
+    if error_input is None:
+        print("no error-triggering input found")
+        return 1
+    print(f"discovered a {len(error_input)}-byte error-triggering input: {error_input.hex()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="codephage", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications, formats, and error cases")
+
+    transfer = sub.add_parser("transfer", help="run one donor/recipient transfer")
+    transfer.add_argument("case", choices=sorted(ERROR_CASES))
+    transfer.add_argument("--donor", default=None)
+
+    figure8 = sub.add_parser("figure8", help="regenerate the Figure 8 table")
+    figure8.add_argument("--out", default=None)
+
+    discover = sub.add_parser("discover", help="re-discover an error input")
+    discover.add_argument("case", choices=sorted(ERROR_CASES))
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "transfer": _cmd_transfer,
+        "figure8": _cmd_figure8,
+        "discover": _cmd_discover,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

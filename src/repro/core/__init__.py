@@ -1,0 +1,63 @@
+"""The Code Phage pipeline — the paper's primary contribution."""
+
+from .check_discovery import (
+    CandidateCheck,
+    DiscoveryResult,
+    discover_candidate_checks,
+    relevant_fields,
+    run_instrumented,
+)
+from .donor_selection import DonorCandidate, DonorSelection, select_donors
+from .excision import ExcisedCheck, excise_check
+from .insertion import InsertionPoint, InsertionReport, find_insertion_points
+from .patch import GeneratedPatch, PatchStrategy, build_patch, render_microc
+from .pipeline import (
+    CodePhage,
+    CodePhageOptions,
+    InsertionAccounting,
+    TransferMetrics,
+    TransferOutcome,
+    TransferredCheck,
+)
+from .reporting import ResultsDatabase, TransferRecord
+from .rewrite import RewriteResult, RewriteStatistics, Rewriter
+from .traversal import RecipientName, collect_names, names_at_statement, traverse_cell
+from .validation import ValidationOptions, ValidationOutcome, validate_patch
+
+__all__ = [
+    "CandidateCheck",
+    "CodePhage",
+    "CodePhageOptions",
+    "DiscoveryResult",
+    "DonorCandidate",
+    "DonorSelection",
+    "ExcisedCheck",
+    "GeneratedPatch",
+    "InsertionAccounting",
+    "InsertionPoint",
+    "InsertionReport",
+    "PatchStrategy",
+    "RecipientName",
+    "ResultsDatabase",
+    "RewriteResult",
+    "RewriteStatistics",
+    "Rewriter",
+    "TransferMetrics",
+    "TransferOutcome",
+    "TransferRecord",
+    "TransferredCheck",
+    "ValidationOptions",
+    "ValidationOutcome",
+    "build_patch",
+    "collect_names",
+    "discover_candidate_checks",
+    "excise_check",
+    "find_insertion_points",
+    "names_at_statement",
+    "relevant_fields",
+    "render_microc",
+    "run_instrumented",
+    "select_donors",
+    "traverse_cell",
+    "validate_patch",
+]

@@ -1,0 +1,168 @@
+"""Candidate check discovery (§3.2).
+
+CP runs the instrumented donor twice — on the seed input and on the
+error-triggering input — and compares the executed conditional branches.
+Branches whose conditions depend on the *relevant* input fields (the fields
+that differ between the two inputs) and that take different directions in the
+two runs are the candidate checks, considered in execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..formats.fields import FormatSpec
+from ..lang.checker import Program
+from ..lang.trace import BranchRecord, RunResult
+from ..lang.vm import VM, VMConfig
+from ..symbolic.expr import Expr
+from ..symbolic.simplify import SimplifyOptions
+
+
+@dataclass(frozen=True)
+class CandidateCheck:
+    """A flipped branch in the donor: a potential check to transfer."""
+
+    branch_id: int
+    function: str
+    line: int
+    condition: Expr                 # symbolic condition (application independent)
+    error_direction: bool           # direction the error-triggering input takes
+    seed_direction: bool
+    sequence: int                   # execution order of the first divergence
+    fields: frozenset[str]
+
+    @property
+    def guard(self) -> Expr:
+        """The condition under which an input should be *rejected*.
+
+        If the error-triggering input takes the true direction, the guard is
+        the condition itself; otherwise its negation (the transferred patch
+        fires exactly when the input behaves like the error-triggering one).
+        """
+        from ..symbolic import builder
+
+        return self.condition if self.error_direction else builder.logical_not(self.condition)
+
+
+@dataclass
+class DiscoveryResult:
+    """Outcome of candidate check discovery for one donor / error pair."""
+
+    relevant_fields: frozenset[str]
+    relevant_branches: int
+    candidates: list[CandidateCheck] = field(default_factory=list)
+    seed_run: Optional[RunResult] = None
+    error_run: Optional[RunResult] = None
+
+    @property
+    def flipped_branches(self) -> int:
+        return len(self.candidates)
+
+
+def relevant_fields(format_spec: FormatSpec, seed: bytes, error_input: bytes) -> frozenset[str]:
+    """The input fields that differ between the seed and error-triggering inputs.
+
+    "In our experiments, CP identifies the relevant bytes as those input fields
+    that differ between the seed and error-triggering inputs." (§3.2)
+    """
+    field_map = format_spec.field_map(seed)
+    return frozenset(field_map.differing_fields(seed, error_input))
+
+
+def run_instrumented(
+    program: Program,
+    format_spec: FormatSpec,
+    data: bytes,
+    simplify_options: Optional[SimplifyOptions] = None,
+) -> RunResult:
+    """One instrumented (taint + symbolic) execution."""
+    config = VMConfig(track_symbolic=True)
+    if simplify_options is not None:
+        config.simplify_options = simplify_options
+    vm = VM(program, config=config)
+    return vm.run(data, field_map=format_spec.field_map(data))
+
+
+def discover_candidate_checks(
+    donor_program: Program,
+    format_spec: FormatSpec,
+    seed: bytes,
+    error_input: bytes,
+    relevant: Optional[frozenset[str]] = None,
+    simplify_options: Optional[SimplifyOptions] = None,
+) -> DiscoveryResult:
+    """Compare donor executions on the seed and error inputs (Figure 4 stages 2-3)."""
+    if relevant is None:
+        relevant = relevant_fields(format_spec, seed, error_input)
+
+    seed_run = run_instrumented(donor_program, format_spec, seed, simplify_options)
+    error_run = run_instrumented(donor_program, format_spec, error_input, simplify_options)
+
+    seed_by_site = _group_by_site(seed_run.branches)
+    error_by_site = _group_by_site(error_run.branches)
+
+    relevant_sites = set()
+    for site, records in {**seed_by_site, **error_by_site}.items():
+        sample = seed_by_site.get(site, []) + error_by_site.get(site, [])
+        if any(record.fields() & relevant for record in sample):
+            relevant_sites.add(site)
+
+    candidates: list[CandidateCheck] = []
+    for site in relevant_sites:
+        seed_records = seed_by_site.get(site)
+        error_records = error_by_site.get(site)
+        if not seed_records or not error_records:
+            continue  # only branches executed in both runs can flip
+        divergence = _first_divergence(seed_records, error_records)
+        if divergence is None:
+            continue
+        seed_record, error_record = divergence
+        condition = error_record.symbolic if error_record.symbolic is not None else seed_record.symbolic
+        if condition is None:
+            continue
+        candidates.append(
+            CandidateCheck(
+                branch_id=site,
+                function=error_record.function,
+                line=error_record.line,
+                condition=condition,
+                error_direction=error_record.taken,
+                seed_direction=seed_record.taken,
+                sequence=error_record.sequence,
+                fields=condition.fields(),
+            )
+        )
+
+    # "Starting with the first (in the program execution order) candidate
+    # branch, CP attempts to transfer each check in turn."
+    candidates.sort(key=lambda candidate: candidate.sequence)
+
+    return DiscoveryResult(
+        relevant_fields=relevant,
+        relevant_branches=len(relevant_sites),
+        candidates=candidates,
+        seed_run=seed_run,
+        error_run=error_run,
+    )
+
+
+def _group_by_site(records: list[BranchRecord]) -> dict[int, list[BranchRecord]]:
+    grouped: dict[int, list[BranchRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.branch_id, []).append(record)
+    return grouped
+
+
+def _first_divergence(
+    seed_records: list[BranchRecord], error_records: list[BranchRecord]
+) -> Optional[tuple[BranchRecord, BranchRecord]]:
+    """The first execution at which the two runs take different directions."""
+    for seed_record, error_record in zip(seed_records, error_records):
+        if seed_record.taken != error_record.taken:
+            return seed_record, error_record
+    # One run executed the site more often; a direction "appears" at the first
+    # extra execution only if the branch also flips there — treat unequal
+    # lengths without a direction change as not flipped.
+    return None

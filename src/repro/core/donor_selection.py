@@ -1,0 +1,86 @@
+"""Donor selection (§3.1, §4.1).
+
+For each input format CP works with a database of applications that can read
+that format.  Given the seed and error-triggering inputs, the applications
+that process *both* without error are potential donors.  Following the paper's
+methodology, donors that parse the input with the same underlying library (and
+version) as an already-selected donor are filtered out, and the recipient
+itself (same application, same version) is never its own donor — although a
+*different version* of the recipient is allowed, which is exactly the
+Wireshark multiversion scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..apps.registry import Application, donors_for_format
+from ..formats.fields import FormatSpec
+from ..formats.registry import get_format
+from ..lang.vm import VM, VMConfig
+
+
+@dataclass
+class DonorCandidate:
+    """One donor that survives both inputs."""
+
+    application: Application
+    seed_ok: bool
+    error_ok: bool
+
+    @property
+    def viable(self) -> bool:
+        return self.seed_ok and self.error_ok
+
+
+@dataclass
+class DonorSelection:
+    """Result of donor selection for one error."""
+
+    format_name: str
+    candidates: list[DonorCandidate] = field(default_factory=list)
+
+    @property
+    def donors(self) -> list[Application]:
+        return [candidate.application for candidate in self.candidates if candidate.viable]
+
+
+def _processes(application: Application, format_spec: FormatSpec, data: bytes) -> bool:
+    """Whether the application processes ``data`` without a detected error."""
+    vm = VM(application.program(), config=VMConfig(track_symbolic=False))
+    result = vm.run(data, field_map=format_spec.field_map(data))
+    return result.ok
+
+
+def select_donors(
+    format_name: str,
+    seed: bytes,
+    error_input: bytes,
+    recipient: Optional[Application] = None,
+    applications: Optional[Iterable[Application]] = None,
+    filter_same_library: bool = True,
+) -> DonorSelection:
+    """Select donor applications for an error in the given format."""
+    format_spec = get_format(format_name)
+    pool = list(applications) if applications is not None else donors_for_format(format_name)
+    selection = DonorSelection(format_name=format_name)
+    seen_libraries: set[str] = set()
+
+    for application in pool:
+        if recipient is not None and application.name == recipient.name:
+            continue
+        if not application.reads_format(format_name):
+            continue
+        if filter_same_library and application.library and application.library in seen_libraries:
+            continue
+        candidate = DonorCandidate(
+            application=application,
+            seed_ok=_processes(application, format_spec, seed),
+            error_ok=_processes(application, format_spec, error_input),
+        )
+        selection.candidates.append(candidate)
+        if candidate.viable and application.library:
+            seen_libraries.add(application.library)
+
+    return selection

@@ -1,0 +1,69 @@
+"""Check excision (§3.2's "Check Excision" stage).
+
+Excision turns a candidate donor check into its application-independent form:
+a symbolic expression over named input fields capturing every computation the
+donor performed to produce the branch condition — endianness conversions,
+casts, shifts, masks, and all.  In this reproduction the instrumented VM
+already reconstructs that expression during execution; excision re-runs the
+donor on the error-triggering input with the requested simplification options
+(the rewrite-rule ablation disables the Figure 5 rules here) and extracts the
+condition of the chosen branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..formats.fields import FormatSpec
+from ..lang.checker import Program
+from ..symbolic import builder, metrics
+from ..symbolic.expr import Expr
+from ..symbolic.simplify import SimplifyOptions
+from .check_discovery import CandidateCheck, run_instrumented
+
+
+@dataclass(frozen=True)
+class ExcisedCheck:
+    """The application-independent form of a donor check."""
+
+    candidate: CandidateCheck
+    condition: Expr       # the branch condition over input fields
+    guard: Expr           # condition under which the input must be rejected
+    donor: str = ""
+
+    @property
+    def fields(self) -> frozenset[str]:
+        return self.condition.fields()
+
+    @property
+    def operation_count(self) -> int:
+        return metrics.operation_count(self.condition)
+
+
+def excise_check(
+    donor_program: Program,
+    format_spec: FormatSpec,
+    error_input: bytes,
+    candidate: CandidateCheck,
+    simplify_options: Optional[SimplifyOptions] = None,
+    donor_name: str = "",
+) -> ExcisedCheck:
+    """Re-execute the donor on the error-triggering input and excise the check.
+
+    When ``simplify_options`` is None the condition recorded during candidate
+    discovery is reused; otherwise the donor is re-run with those options so
+    that the excised expression reflects them (used by the Figure 5 ablation).
+    """
+    condition = candidate.condition
+    if simplify_options is not None:
+        error_run = run_instrumented(donor_program, format_spec, error_input, simplify_options)
+        for record in error_run.branches:
+            if record.branch_id == candidate.branch_id and record.symbolic is not None:
+                condition = record.symbolic
+                break
+
+    guard = condition if candidate.error_direction else builder.logical_not(condition)
+    return ExcisedCheck(
+        candidate=candidate, condition=condition, guard=guard, donor=donor_name
+    )

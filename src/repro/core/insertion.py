@@ -1,0 +1,136 @@
+"""Candidate insertion point identification and unstable-point filtering (§3.3).
+
+CP runs an instrumented version of the recipient on the seed input.  A
+statement is a *candidate insertion point* when, at some execution of that
+statement, the enclosing function has read all of the input fields that the
+excised check needs.  Because multipurpose code can execute the same point
+with different values on different executions, CP filters out *unstable*
+points — points whose reachable relevant values differ across executions — so
+that the inserted check "performs the check only when it is relevant to the
+error".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..formats.fields import FieldMap
+from ..lang.checker import Program
+from ..lang.trace import RunResult
+from ..lang.vm import VM, VMConfig
+from .traversal import RecipientName, names_at_statement
+
+
+@dataclass(frozen=True)
+class InsertionPoint:
+    """A stable candidate insertion point with its reachable relevant values."""
+
+    statement_id: int
+    function: str
+    line: int
+    names: tuple[RecipientName, ...]
+
+
+@dataclass
+class InsertionReport:
+    """Outcome of the insertion-point analysis for one recipient/check pair.
+
+    The Figure 8 accounting ``X - Y - Z = W`` reads: ``X`` candidate points,
+    minus ``Y`` unstable points, minus ``Z`` points where translation fails,
+    leaves ``W`` usable points.  ``Z`` and ``W`` are filled in later by the
+    rewrite stage; this report provides ``X`` and ``Y`` and the stable points.
+    """
+
+    required_fields: frozenset[str]
+    candidate_count: int
+    unstable_count: int
+    stable_points: list[InsertionPoint] = field(default_factory=list)
+    unstable_points: list[InsertionPoint] = field(default_factory=list)
+    run_result: Optional[RunResult] = None
+
+    @property
+    def stable_count(self) -> int:
+        return self.candidate_count - self.unstable_count
+
+
+class _InsertionHooks:
+    """VM hooks that snapshot reachable names at qualifying program points."""
+
+    def __init__(self, program: Program, required_fields: frozenset[str]) -> None:
+        self.program = program
+        self.required_fields = required_fields
+        # statement id -> list of snapshots (one per qualifying execution)
+        self.snapshots: dict[int, list[tuple[RecipientName, ...]]] = {}
+        self.locations: dict[int, tuple[str, int]] = {}
+
+    # Hook protocol -----------------------------------------------------------
+
+    def on_statement(self, vm, frame, statement) -> None:
+        if not self.required_fields:
+            return
+        if not self.required_fields.issubset(frame.fields_accessed):
+            return
+        if not self.program.debug_info.has(statement.node_id):
+            return
+        names = names_at_statement(
+            frame.locals, vm.globals, self.program.debug_info, statement.node_id
+        )
+        relevant = tuple(
+            name for name in names if name.expression.fields() & self.required_fields
+        )
+        self.snapshots.setdefault(statement.node_id, []).append(relevant)
+        self.locations[statement.node_id] = (frame.function, statement.line)
+
+    def on_branch(self, vm, frame, record) -> None:
+        return None
+
+    def on_allocation(self, vm, frame, record) -> None:
+        return None
+
+    def on_call(self, vm, frame) -> None:
+        return None
+
+    def on_return(self, vm, frame) -> None:
+        return None
+
+
+def find_insertion_points(
+    program: Program,
+    seed_input: bytes,
+    field_map: FieldMap,
+    required_fields: frozenset[str],
+) -> InsertionReport:
+    """Run the recipient on the seed input and identify insertion points."""
+    hooks = _InsertionHooks(program, required_fields)
+    vm = VM(program, config=VMConfig(track_symbolic=True))
+    result = vm.run(seed_input, field_map=field_map, hooks=hooks)
+
+    report = InsertionReport(
+        required_fields=required_fields,
+        candidate_count=len(hooks.snapshots),
+        unstable_count=0,
+        run_result=result,
+    )
+    for statement_id, snapshots in sorted(hooks.snapshots.items()):
+        function, line = hooks.locations[statement_id]
+        point = InsertionPoint(
+            statement_id=statement_id,
+            function=function,
+            line=line,
+            names=snapshots[0],
+        )
+        if _is_unstable(snapshots):
+            report.unstable_count += 1
+            report.unstable_points.append(point)
+            continue
+        report.stable_points.append(point)
+    return report
+
+
+def _is_unstable(snapshots: list[tuple[RecipientName, ...]]) -> bool:
+    """A point is unstable when different executions see different values."""
+    if len(snapshots) <= 1:
+        return False
+    first = snapshots[0]
+    return any(snapshot != first for snapshot in snapshots[1:])

@@ -1,0 +1,202 @@
+"""Patch construction: from a translated check to recipient source.
+
+CP "transforms the constructed bitvector condition into a C expression as the
+if condition (appropriately generating any casts, shifts, and masks required
+to preserve the semantics of the transferred check).  If the condition is
+satisfied, the patch exits the application with an exit(-1)." (§3.3)
+
+The reproduction's recipients are MicroC programs, so the renderer here emits
+MicroC (``u32``/``u64`` casts instead of ``unsigned int``/``unsigned long
+long``); :func:`repro.symbolic.printer.to_c_string` provides the C-flavoured
+rendering used for reports.  The alternate divide-by-zero strategy of §4.5
+(return 0 instead of exiting) is selected with :class:`PatchStrategy`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.patcher import PatchAction, SourcePatch
+from ..symbolic import metrics
+from ..symbolic.expr import (
+    Binary,
+    Concat,
+    Constant,
+    Expr,
+    Extend,
+    Extract,
+    InputField,
+    Ite,
+    Kind,
+    Unary,
+)
+from ..symbolic.printer import to_c_string
+from .insertion import InsertionPoint
+
+
+class PatchStrategy(enum.Enum):
+    """What the generated patch does when the transferred check fires."""
+
+    EXIT = "exit"            # exit(-1) before the error can occur (default)
+    RETURN_ZERO = "return0"  # §4.5: return 0 and continue executing
+
+
+@dataclass(frozen=True)
+class GeneratedPatch:
+    """A candidate patch for one insertion point."""
+
+    guard: Expr                      # fires (true) exactly when the input must be rejected
+    condition_source: str            # MicroC rendering of the guard
+    c_source: str                    # C-flavoured rendering (for reports)
+    insertion_point: InsertionPoint
+    strategy: PatchStrategy
+    excised_size: int
+    translated_size: int
+
+    @property
+    def check_size(self) -> metrics.CheckSize:
+        return metrics.CheckSize(self.excised_size, self.translated_size)
+
+    def source_patch(self) -> SourcePatch:
+        action = PatchAction.EXIT if self.strategy is PatchStrategy.EXIT else PatchAction.RETURN_ZERO
+        return SourcePatch(
+            insertion_statement_id=self.insertion_point.statement_id,
+            condition_source=self.condition_source,
+            action=action,
+            description=f"transferred check at {self.insertion_point.function}",
+        )
+
+    def render(self) -> str:
+        body = "exit(-1);" if self.strategy is PatchStrategy.EXIT else "return 0;"
+        return f"if ({self.condition_source}) {{ {body} }}"
+
+
+# ---------------------------------------------------------------------------
+# MicroC rendering of translated expressions
+# ---------------------------------------------------------------------------
+
+_MICROC_BINARY = {
+    Kind.ADD: "+",
+    Kind.SUB: "-",
+    Kind.MUL: "*",
+    Kind.UDIV: "/",
+    Kind.SDIV: "/",
+    Kind.UREM: "%",
+    Kind.SREM: "%",
+    Kind.AND: "&",
+    Kind.OR: "|",
+    Kind.XOR: "^",
+    Kind.SHL: "<<",
+    Kind.LSHR: ">>",
+    Kind.ASHR: ">>",
+    Kind.EQ: "==",
+    Kind.NE: "!=",
+    Kind.ULT: "<",
+    Kind.ULE: "<=",
+    Kind.UGT: ">",
+    Kind.UGE: ">=",
+    Kind.SLT: "<",
+    Kind.SLE: "<=",
+    Kind.SGT: ">",
+    Kind.SGE: ">=",
+    Kind.BOOL_AND: "&&",
+    Kind.BOOL_OR: "||",
+}
+
+
+def _microc_type(width: int, signed: bool = False) -> str:
+    for candidate in (8, 16, 32, 64):
+        if width <= candidate:
+            return f"{'i' if signed else 'u'}{candidate}"
+    return "u64"
+
+
+def render_microc(expression: Expr) -> str:
+    """Render a translated check as a MicroC expression.
+
+    Leaves are :class:`InputField` nodes whose paths are already recipient
+    expressions, so they are emitted verbatim.  Extensions and truncations
+    become explicit casts; unsigned/signed comparisons force the intended
+    signedness with casts on both operands.
+    """
+    if isinstance(expression, Constant):
+        return str(expression.value)
+
+    if isinstance(expression, InputField):
+        return expression.path
+
+    if isinstance(expression, Unary):
+        operand = render_microc(expression.operand)
+        if expression.op is Kind.NEG:
+            return f"(-{operand})"
+        if expression.op is Kind.NOT:
+            return f"(~{operand})"
+        return f"(!{operand})"
+
+    if isinstance(expression, Extend):
+        inner = render_microc(expression.operand)
+        # Force zero- or sign-extension regardless of the operand's own type
+        # by casting to the matching signedness at the narrow width first.
+        narrow = _microc_type(expression.operand.width, expression.signed)
+        wide = _microc_type(expression.width, expression.signed)
+        return f"(({wide}) (({narrow}) {inner}))"
+
+    if isinstance(expression, Extract):
+        inner = render_microc(expression.operand)
+        cast = _microc_type(expression.width)
+        if expression.lo == 0:
+            return f"(({cast}) {inner})"
+        mask = (1 << expression.width) - 1
+        return f"(({cast}) (({inner} >> {expression.lo}) & {mask}))"
+
+    if isinstance(expression, Concat):
+        pieces = []
+        shift = expression.width
+        wide = _microc_type(expression.width)
+        for part in expression.parts:
+            shift -= part.width
+            rendered = f"(({wide}) (({_microc_type(part.width)}) {render_microc(part)}))"
+            pieces.append(f"({rendered} << {shift})" if shift else rendered)
+        return "(" + " | ".join(pieces) + ")"
+
+    if isinstance(expression, Ite):
+        # MicroC has no ternary operator; encode arithmetically when needed.
+        cond = render_microc(expression.cond)
+        then = render_microc(expression.then)
+        otherwise = render_microc(expression.otherwise)
+        wide = _microc_type(expression.width)
+        return f"((({wide}) ({cond}) * {then}) + (({wide}) (1 - ({cond})) * {otherwise}))"
+
+    if isinstance(expression, Binary):
+        op = expression.op
+        left, right = expression.left, expression.right
+        if op.is_boolean:
+            return f"({render_microc(left)} {_MICROC_BINARY[op]} {render_microc(right)})"
+        operand_width = left.width
+        signed = op.is_signed
+        cast = _microc_type(operand_width, signed)
+        left_src = f"(({cast}) {render_microc(left)})"
+        right_src = f"(({cast}) {render_microc(right)})"
+        return f"({left_src} {_MICROC_BINARY[op]} {right_src})"
+
+    raise TypeError(f"cannot render {type(expression).__name__}")
+
+
+def build_patch(
+    guard: Expr,
+    excised_condition: Expr,
+    insertion_point: InsertionPoint,
+    strategy: PatchStrategy = PatchStrategy.EXIT,
+) -> GeneratedPatch:
+    """Assemble a :class:`GeneratedPatch` from a translated guard expression."""
+    return GeneratedPatch(
+        guard=guard,
+        condition_source=render_microc(guard),
+        c_source=to_c_string(guard),
+        insertion_point=insertion_point,
+        strategy=strategy,
+        excised_size=metrics.operation_count(excised_condition),
+        translated_size=metrics.operation_count(guard),
+    )

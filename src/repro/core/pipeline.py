@@ -1,0 +1,392 @@
+"""The Code Phage pipeline (paper Figure 4).
+
+:class:`CodePhage` wires the stages together: donor selection, candidate check
+discovery, check excision, insertion-point identification, data-structure
+traversal and rewrite, patch generation, and patch validation with retry over
+candidate checks, insertion points, and donors.  When validation's DIODE
+rescan discovers residual errors, the pipeline recursively transfers further
+checks until no error remains (the multi-patch rows of Figure 8).
+
+The per-transfer :class:`TransferMetrics` capture exactly the columns of the
+paper's Figure 8 so the benchmark harness can regenerate the table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..apps.registry import Application, ErrorTarget
+from ..formats.fields import FormatSpec
+from ..formats.generator import InputGenerator
+from ..formats.registry import get_format
+from ..lang.checker import Program, compile_program
+from ..lang.patcher import PatchError, PatchedProgram, apply_patch
+from ..lang.trace import ErrorKind
+from ..solver.equivalence import EquivalenceChecker, EquivalenceOptions
+from ..symbolic.simplify import SimplifyOptions
+from .check_discovery import DiscoveryResult, discover_candidate_checks, relevant_fields
+from .donor_selection import select_donors
+from .excision import ExcisedCheck, excise_check
+from .insertion import InsertionReport, find_insertion_points
+from .patch import GeneratedPatch, PatchStrategy, build_patch
+from .rewrite import Rewriter
+from .validation import ValidationOptions, ValidationOutcome, validate_patch
+
+
+@dataclass
+class CodePhageOptions:
+    """Pipeline configuration."""
+
+    patch_strategy: PatchStrategy = PatchStrategy.EXIT
+    simplify_options: SimplifyOptions = field(default_factory=SimplifyOptions)
+    equivalence_options: EquivalenceOptions = field(default_factory=EquivalenceOptions)
+    validation: ValidationOptions = field(default_factory=ValidationOptions)
+    regression_inputs: int = 6
+    max_candidate_checks: int = 8
+    max_recursive_patches: int = 4
+    filter_unstable_points: bool = True
+
+
+@dataclass
+class InsertionAccounting:
+    """The Figure 8 ``X - Y - Z = W`` bookkeeping for one transferred check."""
+
+    candidate_points: int
+    unstable_points: int
+    untranslatable_points: int
+    usable_points: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.candidate_points} - {self.unstable_points} - "
+            f"{self.untranslatable_points} = {self.usable_points}"
+        )
+
+
+@dataclass
+class TransferredCheck:
+    """One successfully transferred and validated check."""
+
+    donor: str
+    patch: GeneratedPatch
+    excised: ExcisedCheck
+    accounting: InsertionAccounting
+    validation: ValidationOutcome
+    patched_source: str
+
+    @property
+    def check_size(self) -> str:
+        return f"{self.patch.excised_size} -> {self.patch.translated_size}"
+
+
+@dataclass
+class TransferMetrics:
+    """Per-row metrics matching the columns of Figure 8."""
+
+    recipient: str = ""
+    target: str = ""
+    donor: str = ""
+    generation_time_s: float = 0.0
+    relevant_branches: int = 0
+    flipped_branches: list[int] = field(default_factory=list)
+    used_checks: int = 0
+    insertion_accounting: list[InsertionAccounting] = field(default_factory=list)
+    check_sizes: list[tuple[int, int]] = field(default_factory=list)
+
+    def flipped_display(self) -> str:
+        if len(self.flipped_branches) == 1:
+            return str(self.flipped_branches[0])
+        return "[" + ",".join(str(value) for value in self.flipped_branches) + "]"
+
+    def sizes_display(self) -> str:
+        parts = [f"{before} -> {after}" for before, after in self.check_sizes]
+        if len(parts) == 1:
+            return parts[0]
+        return "[" + ", ".join(parts) + "]"
+
+
+@dataclass
+class TransferOutcome:
+    """Result of one CP repair attempt for a recipient error."""
+
+    success: bool
+    recipient: str
+    target: str
+    donor: str
+    checks: list[TransferredCheck] = field(default_factory=list)
+    metrics: TransferMetrics = field(default_factory=TransferMetrics)
+    failure_reason: str = ""
+
+    @property
+    def patched_source(self) -> Optional[str]:
+        if not self.checks:
+            return None
+        return self.checks[-1].patched_source
+
+
+class CodePhage:
+    """The horizontal code transfer system."""
+
+    def __init__(self, options: Optional[CodePhageOptions] = None) -> None:
+        self.options = options or CodePhageOptions()
+        self.checker = EquivalenceChecker(
+            options=self.options.equivalence_options,
+            simplify_options=self.options.simplify_options,
+        )
+
+    # -- public API ------------------------------------------------------------------
+
+    def transfer(
+        self,
+        recipient: Application,
+        target: ErrorTarget,
+        donor: Application,
+        seed: bytes,
+        error_input: bytes,
+        format_name: Optional[str] = None,
+    ) -> TransferOutcome:
+        """Transfer a check from ``donor`` to eliminate ``target`` in ``recipient``."""
+        start = time.perf_counter()
+        format_name = format_name or recipient.formats[0]
+        format_spec = get_format(format_name)
+        metrics = TransferMetrics(
+            recipient=recipient.full_name, target=target.target_id, donor=donor.full_name
+        )
+        outcome = TransferOutcome(
+            success=False,
+            recipient=recipient.full_name,
+            target=target.target_id,
+            donor=donor.full_name,
+            metrics=metrics,
+        )
+
+        regression = InputGenerator(format_spec).regression_corpus(
+            self.options.regression_inputs
+        )
+        current_source = recipient.source
+        current_error: Optional[bytes] = error_input
+
+        for round_index in range(self.options.max_recursive_patches):
+            if current_error is None:
+                break
+            transferred = self._transfer_once(
+                current_source,
+                recipient,
+                target,
+                donor,
+                seed,
+                current_error,
+                format_spec,
+                regression,
+                metrics,
+            )
+            if transferred is None:
+                if round_index == 0:
+                    outcome.failure_reason = "no validated patch found"
+                    metrics.generation_time_s = time.perf_counter() - start
+                    return outcome
+                break
+            outcome.checks.append(transferred)
+            metrics.used_checks += 1
+            metrics.insertion_accounting.append(transferred.accounting)
+            metrics.check_sizes.append(
+                (transferred.patch.excised_size, transferred.patch.translated_size)
+            )
+            current_source = transferred.patched_source
+
+            # Residual errors discovered by the DIODE rescan drive recursion.
+            residual = transferred.validation.residual_findings
+            if residual:
+                current_error = residual[0].error_input
+            else:
+                current_error = None
+
+        outcome.success = bool(outcome.checks) and current_error is None
+        if not outcome.success and not outcome.failure_reason:
+            outcome.failure_reason = "residual errors remain after recursive patching"
+        metrics.generation_time_s = time.perf_counter() - start
+        return outcome
+
+    def repair(
+        self,
+        recipient: Application,
+        target: ErrorTarget,
+        seed: bytes,
+        error_input: bytes,
+        format_name: Optional[str] = None,
+        donors: Optional[Sequence[Application]] = None,
+    ) -> TransferOutcome:
+        """Full pipeline including donor selection: try donors until one validates."""
+        format_name = format_name or recipient.formats[0]
+        if donors is None:
+            selection = select_donors(format_name, seed, error_input, recipient=recipient)
+            donors = selection.donors
+        last: Optional[TransferOutcome] = None
+        for donor in donors:
+            outcome = self.transfer(recipient, target, donor, seed, error_input, format_name)
+            if outcome.success:
+                return outcome
+            last = outcome
+        if last is not None:
+            return last
+        return TransferOutcome(
+            success=False,
+            recipient=recipient.full_name,
+            target=target.target_id,
+            donor="<none>",
+            failure_reason="no viable donor found",
+        )
+
+    # -- single-check transfer -----------------------------------------------------------
+
+    def _transfer_once(
+        self,
+        recipient_source: str,
+        recipient: Application,
+        target: ErrorTarget,
+        donor: Application,
+        seed: bytes,
+        error_input: bytes,
+        format_spec: FormatSpec,
+        regression: Sequence[bytes],
+        metrics: TransferMetrics,
+    ) -> Optional[TransferredCheck]:
+        recipient_program = compile_program(recipient_source, name=recipient.full_name)
+
+        relevant = relevant_fields(format_spec, seed, error_input)
+        discovery = discover_candidate_checks(
+            donor.program(),
+            format_spec,
+            seed,
+            error_input,
+            relevant=relevant,
+            simplify_options=self.options.simplify_options,
+        )
+        metrics.relevant_branches = max(metrics.relevant_branches, discovery.relevant_branches)
+        metrics.flipped_branches.append(discovery.flipped_branches)
+
+        for candidate in discovery.candidates[: self.options.max_candidate_checks]:
+            excised = excise_check(
+                donor.program(),
+                format_spec,
+                error_input,
+                candidate,
+                simplify_options=self.options.simplify_options,
+                donor_name=donor.full_name,
+            )
+            transferred = self._try_candidate(
+                recipient_source,
+                recipient_program,
+                excised,
+                format_spec,
+                seed,
+                error_input,
+                regression,
+                target,
+            )
+            if transferred is not None:
+                return transferred
+        return None
+
+    def _try_candidate(
+        self,
+        recipient_source: str,
+        recipient_program: Program,
+        excised: ExcisedCheck,
+        format_spec: FormatSpec,
+        seed: bytes,
+        error_input: bytes,
+        regression: Sequence[bytes],
+        target: ErrorTarget,
+    ) -> Optional[TransferredCheck]:
+        required = excised.fields
+        report = find_insertion_points(
+            recipient_program, seed, format_spec.field_map(seed), required
+        )
+        if self.options.filter_unstable_points:
+            points = report.stable_points
+        else:
+            # Without the filter every candidate point is considered (used by
+            # the unstable-point ablation benchmark).
+            points = report.stable_points + report.unstable_points
+
+        untranslatable = 0
+        patches: list[GeneratedPatch] = []
+        for point in points:
+            rewriter = Rewriter(point.names, checker=self.checker)
+            result = rewriter.rewrite(excised.guard)
+            if result is None:
+                untranslatable += 1
+                continue
+            patches.append(
+                build_patch(
+                    guard=result.expression,
+                    excised_condition=excised.condition,
+                    insertion_point=point,
+                    strategy=self.options.patch_strategy,
+                )
+            )
+
+        accounting = InsertionAccounting(
+            candidate_points=report.candidate_count,
+            unstable_points=report.unstable_count,
+            untranslatable_points=untranslatable,
+            usable_points=len(patches),
+        )
+
+        # "CP then sorts the remaining generated patches by size and attempts
+        # to validate the patches in that order."
+        patches.sort(key=lambda patch: patch.translated_size)
+
+        overflow_expr = None
+        if target.error_kind is ErrorKind.INTEGER_OVERFLOW:
+            overflow_expr = self._allocation_expression(recipient_program, format_spec, seed, target)
+
+        for patch in patches:
+            try:
+                patched = apply_patch(recipient_source, patch.source_patch(), recipient_program.name)
+            except PatchError:
+                continue
+            validation = validate_patch(
+                recipient_program,
+                patched,
+                format_spec,
+                seed,
+                error_input,
+                regression_corpus=regression,
+                target_function=target.site_function,
+                options=self.options.validation,
+                donor_guard=excised.guard,
+                overflow_size_expr=overflow_expr,
+                checker=self.checker,
+            )
+            if validation.ok:
+                return TransferredCheck(
+                    donor=excised.donor,
+                    patch=patch,
+                    excised=excised,
+                    accounting=accounting,
+                    validation=validation,
+                    patched_source=patched.source,
+                )
+        return None
+
+    def _allocation_expression(
+        self,
+        recipient_program: Program,
+        format_spec: FormatSpec,
+        seed: bytes,
+        target: ErrorTarget,
+    ):
+        """The symbolic allocation-size expression at the target site (seed run)."""
+        from .check_discovery import run_instrumented
+
+        result = run_instrumented(
+            recipient_program, format_spec, seed, self.options.simplify_options
+        )
+        for record in result.allocations:
+            if record.function == target.site_function and record.symbolic is not None:
+                return record.symbolic
+        return None

@@ -1,0 +1,127 @@
+"""Result recording and Figure 8-style table rendering.
+
+The original CP includes Python "code that manages the database of relevant
+experimental results" (§3); this module plays that role for the reproduction:
+transfer outcomes are stored as JSON-serialisable records and rendered as the
+paper's results table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .pipeline import TransferOutcome
+
+
+@dataclass
+class TransferRecord:
+    """One row of the results table."""
+
+    recipient: str
+    target: str
+    donor: str
+    success: bool
+    generation_time_s: float
+    relevant_branches: int
+    flipped_branches: str
+    used_checks: int
+    insertion_points: str
+    check_size: str
+    patch_preview: str = ""
+    failure_reason: str = ""
+
+    @classmethod
+    def from_outcome(cls, outcome: TransferOutcome) -> "TransferRecord":
+        metrics = outcome.metrics
+        insertion = "; ".join(str(entry) for entry in metrics.insertion_accounting) or "-"
+        preview = outcome.checks[-1].patch.render() if outcome.checks else ""
+        return cls(
+            recipient=outcome.recipient,
+            target=outcome.target,
+            donor=outcome.donor,
+            success=outcome.success,
+            generation_time_s=round(metrics.generation_time_s, 2),
+            relevant_branches=metrics.relevant_branches,
+            flipped_branches=metrics.flipped_display(),
+            used_checks=metrics.used_checks,
+            insertion_points=insertion,
+            check_size=metrics.sizes_display(),
+            patch_preview=preview,
+            failure_reason=outcome.failure_reason,
+        )
+
+
+@dataclass
+class ResultsDatabase:
+    """A collection of transfer records with persistence helpers."""
+
+    records: list[TransferRecord] = field(default_factory=list)
+
+    def add(self, outcome: TransferOutcome) -> TransferRecord:
+        record = TransferRecord.from_outcome(outcome)
+        self.records.append(record)
+        return record
+
+    def extend(self, outcomes: Iterable[TransferOutcome]) -> None:
+        for outcome in outcomes:
+            self.add(outcome)
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        payload = [asdict(record) for record in self.records]
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ResultsDatabase":
+        payload = json.loads(Path(path).read_text())
+        return cls(records=[TransferRecord(**entry) for entry in payload])
+
+    # -- rendering --------------------------------------------------------------------
+
+    def to_table(self, title: Optional[str] = None) -> str:
+        """Render the records as a Figure 8-style markdown table."""
+        header = (
+            "| Recipient | Target | Donor | Time (s) | Relevant | Flipped | Checks "
+            "| Insertion Pts | Check Size |"
+        )
+        separator = "|" + "---|" * 9
+        lines = []
+        if title:
+            lines.append(f"### {title}")
+            lines.append("")
+        lines.append(header)
+        lines.append(separator)
+        for record in self.records:
+            lines.append(
+                f"| {record.recipient} | {record.target} | {record.donor} "
+                f"| {record.generation_time_s} | {record.relevant_branches} "
+                f"| {record.flipped_branches} | {record.used_checks} "
+                f"| {record.insertion_points} | {record.check_size} |"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> dict:
+        """Aggregate statistics (used by EXPERIMENTS.md and tests)."""
+        total = len(self.records)
+        successes = sum(1 for record in self.records if record.success)
+        reductions = []
+        for record in self.records:
+            for piece in record.check_size.replace("[", "").replace("]", "").split(","):
+                if "->" in piece:
+                    before, after = piece.split("->")
+                    try:
+                        reductions.append(int(before.strip()) / max(int(after.strip()), 1))
+                    except ValueError:
+                        continue
+        return {
+            "transfers": total,
+            "successful": successes,
+            "success_rate": successes / total if total else 0.0,
+            "mean_check_size_reduction": (
+                sum(reductions) / len(reductions) if reductions else 0.0
+            ),
+        }

@@ -1,0 +1,107 @@
+"""Recipient data-structure traversal (paper Figure 6).
+
+Starting from the local and global variables in scope at a candidate insertion
+point (obtained from the debug information), the traversal follows pointers
+and struct fields to every reachable value, recording for each one
+
+* a *path*: a MicroC expression, in the recipient's name space, that evaluates
+  to the value (``dinfo.output_width``, ``png_ptr->width``, ``(*p)``), and
+* the symbolic expression describing how the recipient computed that value
+  from the input fields (taken from the VM's shadow state).
+
+These ⟨path, expression⟩ pairs are the ``Names`` consumed by the Rewrite
+algorithm (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from ..lang.debuginfo import DebugInfo, ScopeVariable
+from ..lang.memory import Buffer, Cell, Pointer, StructInstance, TaintedValue
+from ..symbolic.expr import Expr
+
+
+@dataclass(frozen=True)
+class RecipientName:
+    """One reachable relevant value in the recipient (a Figure 6 ⟨p, E⟩ pair)."""
+
+    path: str
+    expression: Expr
+    width: int
+    signed: bool
+
+    def __str__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"{self.path} ≡ {self.expression}"
+
+
+def traverse_cell(path: str, cell: Cell, visited: set[int]) -> list[RecipientName]:
+    """Figure 6's ``Traverse`` for a single root cell."""
+    names: list[RecipientName] = []
+    if id(cell) in visited:
+        return names
+    visited.add(id(cell))
+    value = cell.value
+
+    if isinstance(value, TaintedValue):
+        if value.symbolic is not None:
+            names.append(
+                RecipientName(
+                    path=path,
+                    expression=value.symbolic,
+                    width=value.width,
+                    signed=value.signed,
+                )
+            )
+        return names
+
+    if isinstance(value, StructInstance):
+        for field_name, field_cell in value.cells.items():
+            names.extend(traverse_cell(f"{path}.{field_name}", field_cell, visited))
+        return names
+
+    if isinstance(value, Pointer):
+        if value.is_null or isinstance(value.target, Buffer):
+            return names
+        target = value.target
+        if isinstance(target.value, StructInstance):
+            # Render pointer-to-struct accesses with the arrow operator so the
+            # generated patch reads like the paper's (png_ptr->width ...).
+            for field_name, field_cell in target.value.cells.items():
+                names.extend(traverse_cell(f"{path}->{field_name}", field_cell, visited))
+            return names
+        return traverse_cell(f"(*{path})", target, visited)
+
+    return names
+
+
+def collect_names(
+    locals_: Mapping[str, Cell],
+    globals_: Mapping[str, Cell],
+    scope: Iterable[ScopeVariable],
+) -> list[RecipientName]:
+    """Names reachable from every variable in scope at a program point."""
+    visited: set[int] = set()
+    names: list[RecipientName] = []
+    for variable in scope:
+        cell: Optional[Cell] = None
+        if variable.kind in ("local", "param"):
+            cell = locals_.get(variable.name)
+        if cell is None:
+            cell = globals_.get(variable.name)
+        if cell is None:
+            continue
+        names.extend(traverse_cell(variable.name, cell, visited))
+    return names
+
+
+def names_at_statement(
+    frame_locals: Mapping[str, Cell],
+    globals_: Mapping[str, Cell],
+    debug_info: DebugInfo,
+    statement_id: int,
+) -> list[RecipientName]:
+    """Names available immediately after ``statement_id`` given live frame state."""
+    scope = debug_info.scope_at(statement_id)
+    return collect_names(frame_locals, globals_, scope)

@@ -1,0 +1,17 @@
+"""Automatic error discovery: DIODE-style overflow search and a field fuzzer."""
+
+from .diode import Diode, DiodeOptions, OverflowFinding, diode_rescan
+from .errors import DiscoveredError, same_error
+from .fuzzer import FieldFuzzer, FuzzerOptions, fuzz_for_error
+
+__all__ = [
+    "Diode",
+    "DiodeOptions",
+    "DiscoveredError",
+    "FieldFuzzer",
+    "FuzzerOptions",
+    "OverflowFinding",
+    "diode_rescan",
+    "fuzz_for_error",
+    "same_error",
+]

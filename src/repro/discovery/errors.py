@@ -1,0 +1,44 @@
+"""Error-case descriptions shared by the discovery tools and the CP pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.trace import ErrorKind, ErrorReport
+
+
+@dataclass(frozen=True)
+class DiscoveredError:
+    """A concrete error found by DIODE or the fuzzer.
+
+    ``seed_input`` processes cleanly; ``error_input`` triggers the error whose
+    report is attached.  This is exactly the input pair CP starts from.
+    """
+
+    application: str
+    format_name: str
+    seed_input: bytes
+    error_input: bytes
+    report: ErrorReport
+    discovered_by: str = "diode"
+    allocation_site: Optional[int] = None
+
+    @property
+    def kind(self) -> ErrorKind:
+        return self.report.kind
+
+    def describe(self) -> str:
+        return (
+            f"{self.report.kind.value} in {self.application} "
+            f"({self.report.function}@{self.report.line}), found by {self.discovered_by}"
+        )
+
+
+def same_error(first: ErrorReport, second: ErrorReport) -> bool:
+    """Whether two reports refer to the same error site."""
+    return (
+        first.kind == second.kind
+        and first.function == second.function
+        and first.line == second.line
+    )

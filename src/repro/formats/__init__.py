@@ -1,0 +1,47 @@
+"""Input formats and field trees (the reproduction's Hachoir).
+
+The formats here are simplified but structurally faithful versions of the
+formats the paper's benchmark applications consume: JPEG, PNG, GIF, TIFF, SWF,
+JPEG-2000 codestreams, and DCP-ETSI network packets, plus a raw
+byte-per-field mode for unknown formats.
+"""
+
+from .dcp import DcpFormat
+from .fields import Field, FieldMap, FormatError, FormatSpec, merge_values
+from .generator import InputGenerator, LabeledInput, corpus_for
+from .gif import GifFormat
+from .jp2 import Jp2Format
+from .jpeg import JpegFormat
+from .layout import FieldDefault, FixedLayoutFormat, LiteralBytes
+from .png import PngFormat
+from .raw import RawFormat, raw_path
+from .registry import all_formats, get_format, identify, register_format
+from .swf import SwfFormat
+from .tiff import TiffFormat
+
+__all__ = [
+    "DcpFormat",
+    "Field",
+    "FieldDefault",
+    "FieldMap",
+    "FixedLayoutFormat",
+    "FormatError",
+    "FormatSpec",
+    "GifFormat",
+    "InputGenerator",
+    "Jp2Format",
+    "JpegFormat",
+    "LabeledInput",
+    "LiteralBytes",
+    "PngFormat",
+    "RawFormat",
+    "SwfFormat",
+    "TiffFormat",
+    "all_formats",
+    "corpus_for",
+    "get_format",
+    "identify",
+    "merge_values",
+    "raw_path",
+    "register_format",
+]

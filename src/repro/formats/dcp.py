@@ -1,0 +1,49 @@
+"""Simplified DCP (ETSI) network packet format.
+
+Wireshark 1.4.14's divide-by-zero (packet-dcp-etsi.c) is triggered by
+degenerate packets whose payload-length field is zero: the dissector divides
+the total data length by the per-fragment payload length to compute the
+fragment count.  Wireshark 1.8.6 guards the division with ``if (real_len)``.
+
+Layout (12 bytes, big-endian network order)::
+
+    00  44 43                "DC" sync bytes
+    02  pt                   /dcp/packet_type
+    03  tl tl                /dcp/total_len      (total reassembled length)
+    05  pl pl                /dcp/plen           (per-fragment payload length)
+    07  fi fi                /dcp/fragment_index
+    09  cf                   /dcp/crc_flag
+    0A  00 00                padding
+"""
+
+from __future__ import annotations
+
+from .layout import FieldDefault, FixedLayoutFormat, LiteralBytes
+
+
+class DcpFormat(FixedLayoutFormat):
+    """Simplified DCP-ETSI packet."""
+
+    name = "dcp"
+    description = "DCP (ETSI) network packet"
+    total_size = 12
+
+    literals = (
+        LiteralBytes(0, b"DC", "sync"),
+        LiteralBytes(10, b"\x00\x00", "padding"),
+    )
+
+    field_defaults = (
+        FieldDefault("/dcp/packet_type", 2, 1, 1, "big", "packet type"),
+        FieldDefault("/dcp/total_len", 3, 2, 96, "big", "total reassembled length"),
+        FieldDefault("/dcp/plen", 5, 2, 24, "big", "per-fragment payload length"),
+        FieldDefault("/dcp/fragment_index", 7, 2, 0, "big", "fragment index"),
+        FieldDefault("/dcp/crc_flag", 9, 1, 0, "big", "CRC present flag"),
+    )
+
+
+PACKET_TYPE = "/dcp/packet_type"
+TOTAL_LEN = "/dcp/total_len"
+PLEN = "/dcp/plen"
+FRAGMENT_INDEX = "/dcp/fragment_index"
+CRC_FLAG = "/dcp/crc_flag"

@@ -1,0 +1,59 @@
+"""Simplified GIF format.
+
+gif2tiff's out-of-bounds write (CVE-2013-4231) is driven by the LZW minimum
+code size byte of the image descriptor: the GIF specification limits it to 12,
+and gif2tiff iterates over tables sized for 12-bit codes without checking.
+The donor check (ImageMagick Display 6.5.2-9) enforces ``data_size <= 12``.
+
+Layout (26 bytes, little-endian fields per the GIF spec)::
+
+    00  47 49 46 38 39 61    "GIF89a"
+    06  ww ww                /screen/width       (16-bit LE)
+    08  hh hh                /screen/height      (16-bit LE)
+    0A  flags bg aspect
+    0D  2C                   image separator
+    0E  00 00 00 00          image left, top
+    12  ww ww                /image/width        (16-bit LE)
+    14  hh hh                /image/height       (16-bit LE)
+    16  flags
+    17  cs                   /image/code_size    (LZW minimum code size)
+    18  00                   block terminator
+    19  3B                   trailer
+"""
+
+from __future__ import annotations
+
+from .layout import FieldDefault, FixedLayoutFormat, LiteralBytes
+
+
+class GifFormat(FixedLayoutFormat):
+    """Simplified GIF89a with one image descriptor."""
+
+    name = "gif"
+    description = "GIF image (logical screen + image descriptor)"
+    total_size = 26
+
+    literals = (
+        LiteralBytes(0, b"GIF89a", "signature"),
+        LiteralBytes(10, b"\x00\x00\x00", "screen flags / background / aspect"),
+        LiteralBytes(13, b"\x2c", "image separator"),
+        LiteralBytes(14, b"\x00\x00\x00\x00", "image left/top"),
+        LiteralBytes(22, b"\x00", "image flags"),
+        LiteralBytes(24, b"\x00", "block terminator"),
+        LiteralBytes(25, b"\x3b", "trailer"),
+    )
+
+    field_defaults = (
+        FieldDefault("/screen/width", 6, 2, 64, "little", "logical screen width"),
+        FieldDefault("/screen/height", 8, 2, 64, "little", "logical screen height"),
+        FieldDefault("/image/width", 18, 2, 64, "little", "image width"),
+        FieldDefault("/image/height", 20, 2, 64, "little", "image height"),
+        FieldDefault("/image/code_size", 23, 1, 8, "little", "LZW minimum code size"),
+    )
+
+
+SCREEN_WIDTH = "/screen/width"
+SCREEN_HEIGHT = "/screen/height"
+IMAGE_WIDTH = "/image/width"
+IMAGE_HEIGHT = "/image/height"
+CODE_SIZE = "/image/code_size"

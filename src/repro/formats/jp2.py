@@ -1,0 +1,60 @@
+"""Simplified JPEG-2000 codestream format.
+
+JasPer 1.9's out-of-bounds write (CVE-2012-3352) comes from an off-by-one in
+its tile-number check: the code that processes an SOT (start of tile) segment
+checks ``tileno > numtiles`` where the correct check — present in OpenJPEG —
+is ``tileno >= numtiles`` (with ``numtiles = tw * th``).
+
+Layout (26 bytes, big-endian per the JPEG-2000 codestream syntax)::
+
+    00  FF 4F                SOC marker
+    02  FF 51                SIZ marker
+    04  00 0C                Lsiz
+    06  ww ww ww ww          /siz/width          (32-bit BE)
+    0A  hh hh hh hh          /siz/height         (32-bit BE)
+    0E  tx                   /siz/tiles_x        (tiles across)
+    0F  ty                   /siz/tiles_y        (tiles down)
+    10  FF 90                SOT marker
+    12  00 0A                Lsot
+    14  tn tn                /sot/tileno         (16-bit BE tile index)
+    16  ll ll                /sot/tile_bytes     (tile-part length)
+    18  FF D9                EOC marker
+"""
+
+from __future__ import annotations
+
+from .layout import FieldDefault, FixedLayoutFormat, LiteralBytes
+
+
+class Jp2Format(FixedLayoutFormat):
+    """Simplified JPEG-2000 codestream with one SOT segment."""
+
+    name = "jp2"
+    description = "JPEG-2000 codestream (SIZ + SOT segments)"
+    total_size = 26
+
+    literals = (
+        LiteralBytes(0, b"\xff\x4f", "SOC"),
+        LiteralBytes(2, b"\xff\x51", "SIZ"),
+        LiteralBytes(4, b"\x00\x0c", "Lsiz"),
+        LiteralBytes(16, b"\xff\x90", "SOT"),
+        LiteralBytes(18, b"\x00\x0a", "Lsot"),
+        LiteralBytes(24, b"\xff\xd9", "EOC"),
+    )
+
+    field_defaults = (
+        FieldDefault("/siz/width", 6, 4, 256, "big", "image width"),
+        FieldDefault("/siz/height", 10, 4, 256, "big", "image height"),
+        FieldDefault("/siz/tiles_x", 14, 1, 2, "big", "number of tile columns"),
+        FieldDefault("/siz/tiles_y", 15, 1, 2, "big", "number of tile rows"),
+        FieldDefault("/sot/tileno", 20, 2, 0, "big", "tile index of this tile-part"),
+        FieldDefault("/sot/tile_bytes", 22, 2, 4, "big", "tile-part length"),
+    )
+
+
+WIDTH = "/siz/width"
+HEIGHT = "/siz/height"
+TILES_X = "/siz/tiles_x"
+TILES_Y = "/siz/tiles_y"
+TILENO = "/sot/tileno"
+TILE_BYTES = "/sot/tile_bytes"

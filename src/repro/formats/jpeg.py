@@ -1,0 +1,77 @@
+"""Simplified JPEG/JFIF format.
+
+The paper's CWebP example (Section 2) and three of its donors (FEH, mtpaint,
+Viewnior) read JPEG images; the fields that matter to the transferred checks
+are the SOF0 frame header's ``height`` and ``width`` (16-bit big-endian) and
+the per-component sampling factors.  The paper's excised checks refer to the
+dimensions as ``/start_frame/content/height`` and
+``/start_frame/content/width`` — the same paths are used here.
+
+Layout (23 bytes)::
+
+    00  FF D8              SOI marker
+    02  FF C0              SOF0 marker
+    04  00 11              frame header length
+    06  08                 sample precision
+    07  hh hh              /start_frame/content/height   (16-bit BE)
+    09  ww ww              /start_frame/content/width    (16-bit BE)
+    0B  nn                 /start_frame/content/nr_components
+    0C  01 sf 00           component 1: id, sampling (/start_frame/component0/sampling), qtable
+    0F  02 11 01           component 2
+    12  03 11 01           component 3
+    15  FF D9              EOI marker
+"""
+
+from __future__ import annotations
+
+from .layout import FieldDefault, FixedLayoutFormat, LiteralBytes
+
+#: Default sampling byte: horizontal factor 2 in the high nibble, vertical 2 in the low.
+_DEFAULT_SAMPLING = 0x22
+
+
+class JpegFormat(FixedLayoutFormat):
+    """Simplified JPEG with an SOF0 frame header."""
+
+    name = "jpeg"
+    description = "JPEG image (SOF0 frame header)"
+    total_size = 23
+
+    literals = (
+        LiteralBytes(0, b"\xff\xd8", "SOI"),
+        LiteralBytes(2, b"\xff\xc0", "SOF0"),
+        LiteralBytes(4, b"\x00\x11", "frame header length"),
+        LiteralBytes(6, b"\x08", "precision"),
+        LiteralBytes(12, b"\x01", "component 1 id"),
+        LiteralBytes(14, b"\x00", "component 1 quant table"),
+        LiteralBytes(15, b"\x02\x11\x01", "component 2"),
+        LiteralBytes(18, b"\x03\x11\x01", "component 3"),
+        LiteralBytes(21, b"\xff\xd9", "EOI"),
+    )
+
+    field_defaults = (
+        FieldDefault(
+            "/start_frame/content/height", 7, 2, 64, "big", "image height in pixels"
+        ),
+        FieldDefault(
+            "/start_frame/content/width", 9, 2, 64, "big", "image width in pixels"
+        ),
+        FieldDefault(
+            "/start_frame/content/nr_components", 11, 1, 3, "big", "number of colour components"
+        ),
+        FieldDefault(
+            "/start_frame/component0/sampling",
+            13,
+            1,
+            _DEFAULT_SAMPLING,
+            "big",
+            "component 1 sampling factors (high nibble horizontal, low nibble vertical)",
+        ),
+    )
+
+
+#: Field paths used by applications and tests.
+HEIGHT = "/start_frame/content/height"
+WIDTH = "/start_frame/content/width"
+COMPONENTS = "/start_frame/content/nr_components"
+SAMPLING = "/start_frame/component0/sampling"

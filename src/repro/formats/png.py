@@ -1,0 +1,51 @@
+"""Simplified PNG format.
+
+Dillo's integer-overflow error (CVE-2009-2294) is triggered by PNG images
+whose IHDR ``width`` and ``height`` make the 32-bit buffer-size product
+``width * height * depth`` overflow.  The donors (FEH, mtpaint, Viewnior) read
+the same IHDR fields.
+
+Layout (33 bytes)::
+
+    00  89 50 4E 47 0D 0A 1A 0A    PNG signature
+    08  00 00 00 0D                IHDR chunk length (13)
+    0C  49 48 44 52                "IHDR"
+    10  ww ww ww ww                /ihdr/width        (32-bit BE)
+    14  hh hh hh hh                /ihdr/height       (32-bit BE)
+    18  bd                         /ihdr/bit_depth
+    19  ct                         /ihdr/color_type
+    1A  00 00 00                   compression, filter, interlace
+    1D  00 00 00 00                CRC (unchecked)
+"""
+
+from __future__ import annotations
+
+from .layout import FieldDefault, FixedLayoutFormat, LiteralBytes
+
+
+class PngFormat(FixedLayoutFormat):
+    """Simplified PNG with a single IHDR chunk."""
+
+    name = "png"
+    description = "PNG image (IHDR chunk)"
+    total_size = 33
+
+    literals = (
+        LiteralBytes(0, b"\x89PNG\r\n\x1a\n", "signature"),
+        LiteralBytes(8, b"\x00\x00\x00\x0d", "IHDR length"),
+        LiteralBytes(12, b"IHDR", "chunk type"),
+        LiteralBytes(26, b"\x00\x00\x00", "compression/filter/interlace"),
+    )
+
+    field_defaults = (
+        FieldDefault("/ihdr/width", 16, 4, 64, "big", "image width in pixels"),
+        FieldDefault("/ihdr/height", 20, 4, 64, "big", "image height in pixels"),
+        FieldDefault("/ihdr/bit_depth", 24, 1, 8, "big", "bits per sample"),
+        FieldDefault("/ihdr/color_type", 25, 1, 2, "big", "colour type (2 = truecolour)"),
+    )
+
+
+WIDTH = "/ihdr/width"
+HEIGHT = "/ihdr/height"
+BIT_DEPTH = "/ihdr/bit_depth"
+COLOR_TYPE = "/ihdr/color_type"

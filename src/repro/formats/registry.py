@@ -1,0 +1,64 @@
+"""Registry of the input formats known to the reproduction."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .dcp import DcpFormat
+from .fields import FormatError, FormatSpec
+from .gif import GifFormat
+from .jp2 import Jp2Format
+from .jpeg import JpegFormat
+from .png import PngFormat
+from .raw import RawFormat
+from .swf import SwfFormat
+from .tiff import TiffFormat
+
+_FORMATS: dict[str, FormatSpec] = {}
+
+
+def register_format(format_spec: FormatSpec) -> FormatSpec:
+    """Register a format specification under its name."""
+    if not format_spec.name:
+        raise FormatError("cannot register a format without a name")
+    _FORMATS[format_spec.name] = format_spec
+    return format_spec
+
+
+def get_format(name: str) -> FormatSpec:
+    """Look up a format by name."""
+    try:
+        return _FORMATS[name]
+    except KeyError:
+        known = ", ".join(sorted(_FORMATS))
+        raise FormatError(f"unknown format {name!r} (known formats: {known})") from None
+
+
+def all_formats() -> list[FormatSpec]:
+    """All registered formats (raw mode excluded)."""
+    return [spec for name, spec in sorted(_FORMATS.items()) if name != "raw"]
+
+
+def identify(data: bytes) -> FormatSpec:
+    """Identify the format of ``data`` by magic bytes (falling back to raw)."""
+    for spec in all_formats():
+        if spec.matches(data):
+            return spec
+    return get_format("raw")
+
+
+def _register_builtin_formats() -> None:
+    for spec in (
+        JpegFormat(),
+        PngFormat(),
+        GifFormat(),
+        TiffFormat(),
+        SwfFormat(),
+        Jp2Format(),
+        DcpFormat(),
+        RawFormat(),
+    ):
+        register_format(spec)
+
+
+_register_builtin_formats()

@@ -1,0 +1,57 @@
+"""Simplified SWF format (with an embedded JPEG bitmap tag).
+
+Swfplay 0.5.5 overflows 32-bit buffer-size computations when decoding JPEG
+data embedded in SWF files: the per-component YUVA buffers are sized as
+``width * height * sampling`` (jpeg.c:192) and the merged RGBA buffer as
+``width * height * 4`` (jpeg_rgb_decoder.c:253/257).  The donor (Gnash) checks
+the JPEG sampling factors (``MAX_SAMP_FACTOR``) and dimensions
+(``JPEG_MAX_DIMENSION``), plus a channel-aware overflow check.
+
+Layout (20 bytes)::
+
+    00  46 57 53             "FWS"
+    03  06                   version
+    04  ll ll ll ll          file length (32-bit LE)
+    08  FF D8                embedded JPEG SOI
+    0A  hh hh                /jpeg/height     (16-bit BE)
+    0C  ww ww                /jpeg/width      (16-bit BE)
+    0E  hs                   /jpeg/h_samp     (horizontal sampling factor)
+    0F  vs                   /jpeg/v_samp     (vertical sampling factor)
+    10  nc                   /jpeg/components
+    11  FF D9 00             embedded JPEG EOI + padding
+"""
+
+from __future__ import annotations
+
+from .layout import FieldDefault, FixedLayoutFormat, LiteralBytes
+
+
+class SwfFormat(FixedLayoutFormat):
+    """Simplified SWF container with one embedded JPEG bitmap."""
+
+    name = "swf"
+    description = "SWF movie with embedded JPEG bitmap"
+    total_size = 20
+
+    literals = (
+        LiteralBytes(0, b"FWS", "signature"),
+        LiteralBytes(3, b"\x06", "version"),
+        LiteralBytes(4, (20).to_bytes(4, "little"), "file length"),
+        LiteralBytes(8, b"\xff\xd8", "embedded JPEG SOI"),
+        LiteralBytes(17, b"\xff\xd9\x00", "embedded JPEG EOI"),
+    )
+
+    field_defaults = (
+        FieldDefault("/jpeg/height", 10, 2, 64, "big", "embedded JPEG height"),
+        FieldDefault("/jpeg/width", 12, 2, 64, "big", "embedded JPEG width"),
+        FieldDefault("/jpeg/h_samp", 14, 1, 2, "big", "horizontal sampling factor"),
+        FieldDefault("/jpeg/v_samp", 15, 1, 2, "big", "vertical sampling factor"),
+        FieldDefault("/jpeg/components", 16, 1, 3, "big", "number of components"),
+    )
+
+
+HEIGHT = "/jpeg/height"
+WIDTH = "/jpeg/width"
+H_SAMP = "/jpeg/h_samp"
+V_SAMP = "/jpeg/v_samp"
+COMPONENTS = "/jpeg/components"

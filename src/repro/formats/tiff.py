@@ -1,0 +1,61 @@
+"""Simplified TIFF format.
+
+ImageMagick Display 6.5.2-8's integer overflow (CVE-2009-1882) is driven by
+the ImageWidth / ImageLength / BitsPerSample / SamplesPerPixel IFD entries:
+the pixel-buffer length is computed as their 32-bit product without overflow
+checking.  Donors FEH and Viewnior read the same entries.
+
+Layout (62 bytes, little-endian per the classic ``II*\\0`` header).  A real
+TIFF reader walks the IFD; the simplified layout keeps one IFD with four
+entries at fixed offsets — the value word of each entry carries the field::
+
+    00  49 49 2A 00          "II" little-endian magic
+    04  08 00 00 00          IFD offset
+    08  04 00                entry count
+    0A  00 01 ..             entry: ImageWidth        value at 0x12 -> /ifd/width
+    16  01 01 ..             entry: ImageLength       value at 0x1E -> /ifd/height
+    22  02 01 ..             entry: BitsPerSample     value at 0x2A -> /ifd/bits_per_sample
+    2E  15 01 ..             entry: SamplesPerPixel   value at 0x36 -> /ifd/samples_per_pixel
+    3A  00 00 00 00          next IFD offset (none)
+"""
+
+from __future__ import annotations
+
+from .layout import FieldDefault, FixedLayoutFormat, LiteralBytes
+
+
+def _entry_header(tag: int) -> bytes:
+    """Tag (2 LE) + type LONG (2 LE) + count 1 (4 LE)."""
+    return tag.to_bytes(2, "little") + (4).to_bytes(2, "little") + (1).to_bytes(4, "little")
+
+
+class TiffFormat(FixedLayoutFormat):
+    """Simplified little-endian TIFF with a four-entry IFD."""
+
+    name = "tiff"
+    description = "TIFF image (single IFD)"
+    total_size = 62
+
+    literals = (
+        LiteralBytes(0, b"II\x2a\x00", "little-endian magic"),
+        LiteralBytes(4, (8).to_bytes(4, "little"), "IFD offset"),
+        LiteralBytes(8, (4).to_bytes(2, "little"), "entry count"),
+        LiteralBytes(10, _entry_header(256), "ImageWidth entry header"),
+        LiteralBytes(22, _entry_header(257), "ImageLength entry header"),
+        LiteralBytes(34, _entry_header(258), "BitsPerSample entry header"),
+        LiteralBytes(46, _entry_header(277), "SamplesPerPixel entry header"),
+        LiteralBytes(58, b"\x00\x00\x00\x00", "next IFD offset"),
+    )
+
+    field_defaults = (
+        FieldDefault("/ifd/width", 18, 4, 64, "little", "ImageWidth"),
+        FieldDefault("/ifd/height", 30, 4, 64, "little", "ImageLength"),
+        FieldDefault("/ifd/bits_per_sample", 42, 4, 8, "little", "BitsPerSample"),
+        FieldDefault("/ifd/samples_per_pixel", 54, 4, 3, "little", "SamplesPerPixel"),
+    )
+
+
+WIDTH = "/ifd/width"
+HEIGHT = "/ifd/height"
+BITS_PER_SAMPLE = "/ifd/bits_per_sample"
+SAMPLES_PER_PIXEL = "/ifd/samples_per_pixel"

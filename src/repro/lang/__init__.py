@@ -1,0 +1,149 @@
+"""MicroC: the application substrate of the CP reproduction.
+
+The original Code Phage analyses real C applications compiled to x86 binaries.
+This package provides the equivalent substrate for a pure-Python
+reproduction: a small C-like language (lexer, parser, type checker), a
+taint/symbolic-tracking virtual machine standing in for the Valgrind-based
+instrumentation, per-program-point debug information, and a source-level
+patcher used to insert transferred checks.
+"""
+
+from . import ast
+from .checker import (
+    BUILTIN_SIGNATURES,
+    CheckError,
+    FunctionSignature,
+    Program,
+    check_program,
+    compile_program,
+)
+from .debuginfo import DebugInfo, ScopeVariable
+from .lexer import LexError, Token, TokenKind, tokenize
+from .memory import (
+    Buffer,
+    Cell,
+    MemoryFault,
+    Pointer,
+    StructInstance,
+    TaintedValue,
+    instantiate,
+    make_value,
+    new_cell,
+    null_pointer,
+)
+from .parser import ParseError, parse_expression, parse_program
+from .patcher import (
+    PatchAction,
+    PatchError,
+    PatchedProgram,
+    SourcePatch,
+    apply_patch,
+    render_patch_preview,
+)
+from .printer import render_expression, render_program, render_statement
+from .trace import (
+    AllocationRecord,
+    BranchRecord,
+    DivisionRecord,
+    ErrorKind,
+    ErrorReport,
+    Hooks,
+    NullHooks,
+    RunResult,
+    RunStatus,
+)
+from .types import (
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    StructField,
+    StructTable,
+    StructType,
+    Type,
+    TypeError_,
+    U8,
+    U16,
+    U32,
+    U64,
+    VOID,
+    VoidType,
+    assignable,
+    integer_type,
+    promote,
+)
+from .vm import VM, Frame, VMConfig, VMError, run_program
+
+__all__ = [
+    "AllocationRecord",
+    "BranchRecord",
+    "Buffer",
+    "BUILTIN_SIGNATURES",
+    "Cell",
+    "CheckError",
+    "DebugInfo",
+    "DivisionRecord",
+    "ErrorKind",
+    "ErrorReport",
+    "Frame",
+    "FunctionSignature",
+    "Hooks",
+    "IntType",
+    "LexError",
+    "MemoryFault",
+    "NullHooks",
+    "ParseError",
+    "PatchAction",
+    "PatchError",
+    "PatchedProgram",
+    "Pointer",
+    "PointerType",
+    "Program",
+    "RunResult",
+    "RunStatus",
+    "ScopeVariable",
+    "SourcePatch",
+    "StructField",
+    "StructInstance",
+    "StructTable",
+    "StructType",
+    "TaintedValue",
+    "Token",
+    "TokenKind",
+    "Type",
+    "TypeError_",
+    "VM",
+    "VMConfig",
+    "VMError",
+    "VoidType",
+    "apply_patch",
+    "assignable",
+    "ast",
+    "check_program",
+    "compile_program",
+    "instantiate",
+    "integer_type",
+    "make_value",
+    "new_cell",
+    "null_pointer",
+    "parse_expression",
+    "parse_program",
+    "promote",
+    "render_expression",
+    "render_patch_preview",
+    "render_program",
+    "render_statement",
+    "run_program",
+    "tokenize",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "U8",
+    "U16",
+    "U32",
+    "U64",
+    "VOID",
+]

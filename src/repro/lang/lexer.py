@@ -1,0 +1,154 @@
+"""MicroC lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from .types import INTEGER_TYPE_NAMES
+
+
+class LexError(Exception):
+    """Raised on malformed input source."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    TYPE_NAME = "type-name"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    END = "end"
+
+
+KEYWORDS = frozenset(
+    {"struct", "if", "else", "while", "return", "void", "sizeof"}
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_MULTI_CHAR_OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
+)
+
+_SINGLE_CHAR_OPERATORS = set("+-*/%<>=!&|^~.")
+_PUNCTUATION = set("(){};,")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    value: int = 0
+
+    def is_op(self, text: str) -> bool:
+        return self.kind is TokenKind.OPERATOR and self.text == text
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise MicroC source text."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    position = 0
+    line = 1
+    length = len(source)
+
+    while position < length:
+        char = source[position]
+
+        if char == "\n":
+            line += 1
+            position += 1
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+
+        # Comments.
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            position = length if end == -1 else end
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", position, end)
+            position = end + 2
+            continue
+
+        # Numbers.
+        if char.isdigit():
+            start = position
+            if source.startswith(("0x", "0X"), position):
+                position += 2
+                while position < length and source[position] in "0123456789abcdefABCDEF":
+                    position += 1
+                text = source[start:position]
+                yield Token(TokenKind.NUMBER, text, line, int(text, 16))
+            else:
+                while position < length and source[position].isdigit():
+                    position += 1
+                text = source[start:position]
+                # Allow C-style suffixes (U, L, UL, ULL ...) in transcribed code.
+                while position < length and source[position] in "uUlL":
+                    position += 1
+                yield Token(TokenKind.NUMBER, text, line, int(text, 10))
+            continue
+
+        # Identifiers, keywords, and type names.
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (source[position].isalnum() or source[position] == "_"):
+                position += 1
+            text = source[start:position]
+            if text in KEYWORDS:
+                yield Token(TokenKind.KEYWORD, text, line)
+            elif text in INTEGER_TYPE_NAMES:
+                yield Token(TokenKind.TYPE_NAME, text, line)
+            else:
+                yield Token(TokenKind.IDENT, text, line)
+            continue
+
+        # Operators.
+        matched = False
+        for operator in _MULTI_CHAR_OPERATORS:
+            if source.startswith(operator, position):
+                yield Token(TokenKind.OPERATOR, operator, line)
+                position += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _SINGLE_CHAR_OPERATORS:
+            yield Token(TokenKind.OPERATOR, char, line)
+            position += 1
+            continue
+        if char in _PUNCTUATION:
+            yield Token(TokenKind.PUNCT, char, line)
+            position += 1
+            continue
+        if char == "[" or char == "]":
+            yield Token(TokenKind.PUNCT, char, line)
+            position += 1
+            continue
+
+        raise LexError(f"unexpected character {char!r}", line)
+
+    yield Token(TokenKind.END, "", line)

@@ -1,0 +1,186 @@
+"""MicroC runtime values and memory model.
+
+Every scalar value carried by the VM is a :class:`TaintedValue`: alongside the
+wrapped concrete value it carries the shadow state the paper's Valgrind-based
+instrumentation maintains — the symbolic expression over input fields that
+produced the value — plus an infinite-precision "true" value used to detect
+integer overflow at allocation sites (the DIODE error model).
+
+The heap consists of :class:`Buffer` objects (bounds-checked byte buffers
+returned by ``malloc``) and :class:`StructInstance` objects (struct variables
+and the targets of struct pointers).  Addressable storage locations are
+:class:`Cell` objects; pointers reference cells or buffers.  The CP data
+structure traversal (Figure 6) walks exactly these objects, using cell
+identity for its ``Visited`` set.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..symbolic.expr import Expr
+from .types import IntType, PointerType, StructType, Type
+
+
+class MemoryFault(Exception):
+    """Internal signal for memory errors; converted to ErrorReport by the VM."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.message = message
+
+
+@dataclass(frozen=True)
+class TaintedValue:
+    """A scalar runtime value with taint/symbolic shadow state."""
+
+    value: int
+    width: int
+    signed: bool = False
+    symbolic: Optional[Expr] = None
+    true_value: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        mask = (1 << self.width) - 1
+        object.__setattr__(self, "value", self.value & mask)
+        if self.true_value is None:
+            object.__setattr__(self, "true_value", self.as_int)
+
+    @property
+    def as_int(self) -> int:
+        """The value interpreted according to its signedness."""
+        if self.signed and self.value >= 1 << (self.width - 1):
+            return self.value - (1 << self.width)
+        return self.value
+
+    @property
+    def is_tainted(self) -> bool:
+        return self.symbolic is not None
+
+    @property
+    def truth(self) -> bool:
+        return self.value != 0
+
+    def fields(self) -> frozenset[str]:
+        """Input-field paths this value depends on."""
+        if self.symbolic is None:
+            return frozenset()
+        return self.symbolic.fields()
+
+    @property
+    def overflowed(self) -> bool:
+        """Whether the wrapped value no longer equals the true computation."""
+        return self.true_value != self.as_int
+
+
+def make_value(
+    value: int,
+    ctype: Type,
+    symbolic: Optional[Expr] = None,
+    true_value: Optional[int] = None,
+) -> TaintedValue:
+    """Construct a TaintedValue for an integer type."""
+    if not isinstance(ctype, IntType):
+        raise TypeError(f"make_value requires an integer type, got {ctype}")
+    return TaintedValue(
+        value=value,
+        width=ctype.width,
+        signed=ctype.signed,
+        symbolic=symbolic,
+        true_value=true_value,
+    )
+
+
+_object_counter = itertools.count(1)
+
+
+@dataclass
+class Buffer:
+    """A ``malloc``-allocated, bounds-checked byte buffer."""
+
+    size: int
+    site_id: int
+    function: str
+    object_id: int = field(default_factory=lambda: next(_object_counter))
+    overflowed_size: bool = False
+    contents: dict[int, TaintedValue] = field(default_factory=dict)
+
+    def check_index(self, index: int, access: str) -> None:
+        if index < 0 or index >= self.size:
+            raise MemoryFault(
+                "out-of-bounds-write" if access == "write" else "out-of-bounds-read",
+                f"{access} at index {index} outside buffer of size {self.size} "
+                f"allocated at statement {self.site_id} in {self.function}",
+            )
+
+    def store(self, index: int, value: TaintedValue) -> None:
+        self.check_index(index, "write")
+        self.contents[index] = value
+
+    def load(self, index: int) -> TaintedValue:
+        self.check_index(index, "read")
+        return self.contents.get(index, TaintedValue(0, 8))
+
+
+@dataclass
+class Cell:
+    """A mutable storage location (variable, struct field, or pointee)."""
+
+    declared_type: Type
+    value: Union[TaintedValue, "StructInstance", "Pointer", None] = None
+    object_id: int = field(default_factory=lambda: next(_object_counter))
+
+
+@dataclass
+class StructInstance:
+    """A struct value: one cell per field, instantiated eagerly."""
+
+    struct_type: StructType
+    cells: dict[str, Cell] = field(default_factory=dict)
+    object_id: int = field(default_factory=lambda: next(_object_counter))
+
+    def cell(self, name: str) -> Cell:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise MemoryFault(
+                "bad-field", f"struct {self.struct_type.name} has no field {name!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A pointer to a cell (scalars, structs) or to a heap buffer."""
+
+    target: Union[Cell, Buffer, None]
+    pointee_type: Type
+
+    @property
+    def is_null(self) -> bool:
+        return self.target is None
+
+
+def null_pointer(pointee: Type) -> Pointer:
+    return Pointer(target=None, pointee_type=pointee)
+
+
+def instantiate(ctype: Type) -> Union[TaintedValue, StructInstance, Pointer]:
+    """Default (zero) value for a declared type."""
+    if isinstance(ctype, IntType):
+        return make_value(0, ctype)
+    if isinstance(ctype, PointerType):
+        return null_pointer(ctype.pointee)
+    if isinstance(ctype, StructType):
+        instance = StructInstance(struct_type=ctype)
+        for entry in ctype.fields:
+            instance.cells[entry.name] = Cell(declared_type=entry.type, value=instantiate(entry.type))
+        return instance
+    raise TypeError(f"cannot instantiate type {ctype}")
+
+
+def new_cell(ctype: Type) -> Cell:
+    """A fresh cell holding the default value of ``ctype``."""
+    return Cell(declared_type=ctype, value=instantiate(ctype))

@@ -1,0 +1,192 @@
+"""Source-level patch insertion for MicroC programs.
+
+CP generates a candidate patch as "an if statement inserted at the insertion
+point": the translated check becomes the condition and the body either exits
+the application (``exit(-1)``), or — for the divide-by-zero alternate strategy
+of §4.5 — returns zero from the enclosing function.
+
+The patcher works the way CP does with source-level patches: it re-parses the
+recipient's source (so statement node ids are reproducible), splices the patch
+statement immediately after the insertion-point statement, and renders the
+patched program back to source.  Recompiling the result is then just running
+the MicroC checker again.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from . import ast
+from .checker import Program, compile_program
+from .parser import parse_expression, parse_program
+from .printer import render_statement
+
+
+class PatchError(Exception):
+    """Raised when a patch cannot be constructed or applied."""
+
+
+class PatchAction(enum.Enum):
+    """What the inserted check does when the condition fires."""
+
+    EXIT = "exit"            # exit(-1): reject the input before the error occurs
+    RETURN_ZERO = "return0"  # return 0 from the enclosing function (§4.5 strategy)
+
+
+@dataclass(frozen=True)
+class SourcePatch:
+    """A source patch: where to insert, what to check, what to do."""
+
+    insertion_statement_id: int
+    condition_source: str
+    action: PatchAction = PatchAction.EXIT
+    description: str = ""
+
+    def render(self) -> str:
+        """The patch as it would appear in the recipient source."""
+        if self.action is PatchAction.EXIT:
+            body = "exit(-1);"
+        else:
+            body = "return 0;"
+        return f"if ({self.condition_source}) {{ {body} }}"
+
+
+@dataclass
+class PatchedProgram:
+    """Result of applying a patch: new source, recompiled program, location info."""
+
+    source: str
+    program: Program
+    patch: SourcePatch
+    function: str
+    insertion_line: int
+
+
+def _find_parent_block(unit: ast.TranslationUnit, statement_id: int) -> tuple[ast.Block, int, str]:
+    """Locate the block containing ``statement_id`` and its index within it."""
+    for function in unit.functions:
+        blocks = [function.body]
+        while blocks:
+            block = blocks.pop()
+            for index, statement in enumerate(block.statements):
+                if statement.node_id == statement_id:
+                    return block, index, function.name
+                if isinstance(statement, ast.If):
+                    blocks.append(statement.then_block)
+                    if statement.else_block is not None:
+                        blocks.append(statement.else_block)
+                elif isinstance(statement, ast.While):
+                    blocks.append(statement.body)
+    raise PatchError(f"no statement with node id {statement_id} in program")
+
+
+def _max_node_id(unit: ast.TranslationUnit) -> int:
+    highest = unit.node_id
+    stack: list[ast.Node] = [unit]
+    for function in unit.functions:
+        stack.append(function)
+        stack.append(function.body)
+    for struct in unit.structs:
+        stack.append(struct)
+    for declaration in unit.globals:
+        stack.append(declaration)
+    # Walk statements/expressions for ids.
+    for statement in unit.all_statements():
+        highest = max(highest, statement.node_id)
+        for expression_field in ("condition", "value", "expression", "init", "target"):
+            expression = getattr(statement, expression_field, None)
+            if isinstance(expression, ast.Expression):
+                for node in expression.walk():
+                    highest = max(highest, node.node_id)
+    return highest
+
+
+def _build_patch_statement(
+    patch: SourcePatch, next_id: int, line: int
+) -> tuple[ast.Statement, int]:
+    """Construct the patch's if-statement AST with fresh node ids."""
+    condition = parse_expression(patch.condition_source)
+    # Re-number the freshly parsed expression so ids do not collide.
+    for node in condition.walk():
+        node.node_id = next_id
+        node.line = line
+        next_id += 1
+
+    if patch.action is PatchAction.EXIT:
+        exit_call = ast.Call(callee="exit", args=(ast.IntLiteral(value=-1 & 0xFFFFFFFF),))
+        # Render -1 literally: use a unary minus over 1 for readability.
+        exit_call = ast.Call(
+            callee="exit", args=(ast.Unary(op="-", operand=ast.IntLiteral(value=1)),)
+        )
+        body_statement: ast.Statement = ast.ExprStmt(expression=exit_call)
+    else:
+        body_statement = ast.Return(value=ast.IntLiteral(value=0))
+
+    for node in _all_patch_nodes(body_statement):
+        node.node_id = next_id
+        node.line = line
+        next_id += 1
+
+    then_block = ast.Block(statements=[body_statement])
+    then_block.node_id = next_id
+    then_block.line = line
+    next_id += 1
+
+    if_statement = ast.If(condition=condition, then_block=then_block, else_block=None)
+    if_statement.node_id = next_id
+    if_statement.line = line
+    next_id += 1
+    return if_statement, next_id
+
+
+def _all_patch_nodes(statement: ast.Statement) -> list[ast.Node]:
+    nodes: list[ast.Node] = [statement]
+    if isinstance(statement, ast.ExprStmt):
+        nodes.extend(statement.expression.walk())
+    elif isinstance(statement, ast.Return) and statement.value is not None:
+        nodes.extend(statement.value.walk())
+    return nodes
+
+
+def apply_patch(source: str, patch: SourcePatch, program_name: str = "") -> PatchedProgram:
+    """Apply ``patch`` to MicroC ``source`` and recompile the result.
+
+    Raises :class:`PatchError` if the insertion point does not exist or the
+    patched program fails to recompile (CP's first validation step).
+    """
+    unit = parse_program(source, name=program_name or "<patched>")
+    block, index, function_name = _find_parent_block(unit, patch.insertion_statement_id)
+    insertion_line = block.statements[index].line
+
+    next_id = _max_node_id(unit) + 1000
+    patch_statement, _ = _build_patch_statement(patch, next_id, insertion_line)
+    block.statements.insert(index + 1, patch_statement)
+
+    from .printer import render_program
+
+    new_source = render_program(unit)
+    try:
+        program = compile_program(new_source, name=(program_name or "patched"))
+    except Exception as error:  # compilation failure -> validation failure
+        raise PatchError(f"patched program failed to recompile: {error}") from error
+
+    return PatchedProgram(
+        source=new_source,
+        program=program,
+        patch=patch,
+        function=function_name,
+        insertion_line=insertion_line,
+    )
+
+
+def render_patch_preview(source: str, patch: SourcePatch) -> str:
+    """A short human-readable preview of the patch in context (for reports)."""
+    unit = parse_program(source)
+    block, index, function_name = _find_parent_block(unit, patch.insertion_statement_id)
+    anchor = render_statement(block.statements[index]).strip()
+    return (
+        f"in {function_name}, after `{anchor}`:\n"
+        f"    {patch.render()}"
+    )

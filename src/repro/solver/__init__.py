@@ -1,0 +1,50 @@
+"""SMT-lite decision procedures for Code Phage.
+
+The original system queries Z3; here the same queries are answered by a hybrid
+engine built from a CDCL SAT solver (:mod:`repro.solver.sat`), a bitvector
+bit-blaster (:mod:`repro.solver.bitblast`), exhaustive enumeration for small
+domains, and counterexample sampling, with the paper's two optimisations
+(disjoint-field filtering and query caching) layered on top
+(:mod:`repro.solver.equivalence`).
+"""
+
+from .bitblast import BitBlaster, BlastError, CNF, estimate_blast_cost
+from .equivalence import (
+    EquivalenceChecker,
+    EquivalenceOptions,
+    EquivalenceResult,
+    QueryCache,
+    SolverStatistics,
+    Verdict,
+)
+from .overflow import (
+    OverflowVerdict,
+    check_blocks_overflow,
+    overflow_condition,
+    overflow_witness,
+    widen,
+)
+from .sat import Result, Solver, SolverError, Status, solve_clauses
+
+__all__ = [
+    "BitBlaster",
+    "BlastError",
+    "CNF",
+    "EquivalenceChecker",
+    "EquivalenceOptions",
+    "EquivalenceResult",
+    "OverflowVerdict",
+    "QueryCache",
+    "Result",
+    "Solver",
+    "SolverError",
+    "SolverStatistics",
+    "Status",
+    "Verdict",
+    "check_blocks_overflow",
+    "estimate_blast_cost",
+    "overflow_condition",
+    "overflow_witness",
+    "solve_clauses",
+    "widen",
+]

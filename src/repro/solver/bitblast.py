@@ -1,0 +1,426 @@
+"""Bit-blasting of symbolic bitvector expressions to CNF.
+
+The equivalence checker reduces "are these two expressions always equal?" to
+the unsatisfiability of ``E1 != E2`` and hands the resulting propositional
+formula to the CDCL solver.  This module performs the reduction: every bit of
+every intermediate bitvector becomes a propositional variable (or a constant),
+and each operator is encoded with Tseitin-style gate clauses.
+
+The encoding covers the full operator set of :mod:`repro.symbolic.expr`,
+including multiplication (shift-and-add) and division/remainder (restoring
+division), so the SAT path is complete; the equivalence layer simply bounds
+the size of blasted formulas and falls back to exhaustive/randomised
+evaluation when a query would be too large (wide multiplications are the
+classic SAT-hostile case).
+
+Bit semantics exactly mirror :func:`repro.symbolic.evaluate.evaluate`
+(property-tested in ``tests/solver/test_bitblast_properties.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, Union
+
+from ..symbolic.expr import (
+    Binary,
+    Concat,
+    Constant,
+    Expr,
+    Extend,
+    Extract,
+    InputField,
+    Ite,
+    Kind,
+    Unary,
+)
+
+#: A bit is either a Python bool (known constant) or a CNF literal (int).
+Bit = Union[bool, int]
+
+
+class BlastError(Exception):
+    """Raised when an expression cannot be bit-blasted (e.g. odd shift widths)."""
+
+
+@dataclass
+class CNF:
+    """A CNF formula under construction."""
+
+    num_vars: int = 0
+    clauses: list[list[int]] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, *literals: int) -> None:
+        self.clauses.append(list(literals))
+
+
+class BitBlaster:
+    """Translates expressions into CNF over per-bit variables."""
+
+    def __init__(self) -> None:
+        self.cnf = CNF()
+        self._field_bits: dict[str, list[int]] = {}
+        self._field_widths: dict[str, int] = {}
+        self._cache: dict[Expr, list[Bit]] = {}
+
+    # -- field variables -----------------------------------------------------
+
+    def field_bits(self, path: str, width: int) -> list[int]:
+        """CNF variables for the bits of input field ``path`` (LSB first)."""
+        if path in self._field_bits:
+            if self._field_widths[path] != width:
+                raise BlastError(
+                    f"field {path!r} used at widths {self._field_widths[path]} and {width}"
+                )
+            return self._field_bits[path]
+        bits = [self.cnf.new_var() for _ in range(width)]
+        self._field_bits[path] = bits
+        self._field_widths[path] = width
+        return bits
+
+    def field_assignment(self, model: Mapping[int, bool]) -> dict[str, int]:
+        """Decode a SAT model into concrete input-field values."""
+        assignment = {}
+        for path, bits in self._field_bits.items():
+            value = 0
+            for index, literal in enumerate(bits):
+                if model.get(literal, False):
+                    value |= 1 << index
+            assignment[path] = value
+        return assignment
+
+    # -- gate primitives -------------------------------------------------------
+
+    def _not(self, a: Bit) -> Bit:
+        if isinstance(a, bool):
+            return not a
+        return -a
+
+    def _and(self, a: Bit, b: Bit) -> Bit:
+        if isinstance(a, bool):
+            return b if a else False
+        if isinstance(b, bool):
+            return a if b else False
+        if a == b:
+            return a
+        if a == -b:
+            return False
+        out = self.cnf.new_var()
+        self.cnf.add_clause(-a, -b, out)
+        self.cnf.add_clause(a, -out)
+        self.cnf.add_clause(b, -out)
+        return out
+
+    def _or(self, a: Bit, b: Bit) -> Bit:
+        return self._not(self._and(self._not(a), self._not(b)))
+
+    def _xor(self, a: Bit, b: Bit) -> Bit:
+        if isinstance(a, bool):
+            return self._not(b) if a else b
+        if isinstance(b, bool):
+            return self._not(a) if b else a
+        if a == b:
+            return False
+        if a == -b:
+            return True
+        out = self.cnf.new_var()
+        self.cnf.add_clause(-a, -b, -out)
+        self.cnf.add_clause(a, b, -out)
+        self.cnf.add_clause(a, -b, out)
+        self.cnf.add_clause(-a, b, out)
+        return out
+
+    def _mux(self, select: Bit, when_true: Bit, when_false: Bit) -> Bit:
+        """``select ? when_true : when_false``."""
+        if isinstance(select, bool):
+            return when_true if select else when_false
+        return self._or(self._and(select, when_true), self._and(self._not(select), when_false))
+
+    def assert_bit(self, bit: Bit, value: bool = True) -> None:
+        """Constrain ``bit`` to the given truth value."""
+        if isinstance(bit, bool):
+            if bit != value:
+                # Contradiction: add an empty-clause equivalent.
+                fresh = self.cnf.new_var()
+                self.cnf.add_clause(fresh)
+                self.cnf.add_clause(-fresh)
+            return
+        self.cnf.add_clause(bit if value else -bit)
+
+    # -- word-level primitives --------------------------------------------------
+
+    def _const_bits(self, value: int, width: int) -> list[Bit]:
+        return [bool((value >> index) & 1) for index in range(width)]
+
+    def _adder(self, a: Sequence[Bit], b: Sequence[Bit], carry_in: Bit = False) -> list[Bit]:
+        result = []
+        carry = carry_in
+        for bit_a, bit_b in zip(a, b):
+            partial = self._xor(bit_a, bit_b)
+            result.append(self._xor(partial, carry))
+            carry = self._or(self._and(bit_a, bit_b), self._and(partial, carry))
+        return result
+
+    def _negate(self, a: Sequence[Bit]) -> list[Bit]:
+        inverted = [self._not(bit) for bit in a]
+        return self._adder(inverted, self._const_bits(1, len(a)))
+
+    def _subtract(self, a: Sequence[Bit], b: Sequence[Bit]) -> list[Bit]:
+        inverted = [self._not(bit) for bit in b]
+        return self._adder(a, inverted, carry_in=True)
+
+    def _multiply(self, a: Sequence[Bit], b: Sequence[Bit]) -> list[Bit]:
+        width = len(a)
+        accumulator: list[Bit] = self._const_bits(0, width)
+        for shift, b_bit in enumerate(b):
+            if isinstance(b_bit, bool) and not b_bit:
+                continue
+            partial: list[Bit] = [False] * shift + [
+                self._and(a_bit, b_bit) for a_bit in a[: width - shift]
+            ]
+            accumulator = self._adder(accumulator, partial)
+        return accumulator
+
+    def _unsigned_less(self, a: Sequence[Bit], b: Sequence[Bit]) -> Bit:
+        """a < b (unsigned)."""
+        less: Bit = False
+        for bit_a, bit_b in zip(a, b):  # LSB to MSB
+            equal = self._not(self._xor(bit_a, bit_b))
+            less = self._or(self._and(self._not(bit_a), bit_b), self._and(equal, less))
+        return less
+
+    def _equal(self, a: Sequence[Bit], b: Sequence[Bit]) -> Bit:
+        result: Bit = True
+        for bit_a, bit_b in zip(a, b):
+            result = self._and(result, self._not(self._xor(bit_a, bit_b)))
+        return result
+
+    def _signed_less(self, a: Sequence[Bit], b: Sequence[Bit]) -> Bit:
+        sign_a, sign_b = a[-1], b[-1]
+        unsigned = self._unsigned_less(a, b)
+        differ = self._xor(sign_a, sign_b)
+        # If signs differ, a < b iff a is negative; otherwise unsigned comparison works.
+        return self._mux(differ, sign_a, unsigned)
+
+    def _mux_word(self, select: Bit, when_true: Sequence[Bit], when_false: Sequence[Bit]) -> list[Bit]:
+        return [self._mux(select, t, f) for t, f in zip(when_true, when_false)]
+
+    def _is_zero(self, a: Sequence[Bit]) -> Bit:
+        any_set: Bit = False
+        for bit in a:
+            any_set = self._or(any_set, bit)
+        return self._not(any_set)
+
+    def _udivrem(self, a: Sequence[Bit], b: Sequence[Bit]) -> tuple[list[Bit], list[Bit]]:
+        """Restoring division: returns (quotient, remainder) ignoring b == 0.
+
+        The working remainder uses ``width + 1`` bits because after the shift
+        step it can transiently exceed ``width`` bits.
+        """
+        width = len(a)
+        wide_b: list[Bit] = list(b) + [False]
+        remainder: list[Bit] = self._const_bits(0, width + 1)
+        quotient: list[Bit] = [False] * width
+        for index in range(width - 1, -1, -1):
+            remainder = [a[index]] + remainder[:-1]
+            trial = self._subtract(remainder, wide_b)
+            no_borrow = self._not(self._unsigned_less(remainder, wide_b))
+            remainder = self._mux_word(no_borrow, trial, remainder)
+            quotient[index] = no_borrow
+        return quotient, remainder[:width]
+
+    def _shift(self, a: Sequence[Bit], amount: Sequence[Bit], kind: Kind) -> list[Bit]:
+        width = len(a)
+        if width & (width - 1):
+            raise BlastError(f"non-constant shifts require power-of-two widths, got {width}")
+        log_width = width.bit_length() - 1
+        fill: Bit = a[-1] if kind is Kind.ASHR else False
+        result = list(a)
+        for stage in range(log_width):
+            shift_by = 1 << stage
+            select = amount[stage]
+            if kind is Kind.SHL:
+                shifted = [fill] * 0 + [False] * shift_by + result[: width - shift_by]
+            else:
+                shifted = result[shift_by:] + [fill] * shift_by
+            result = self._mux_word(select, shifted, result)
+        overshift: Bit = False
+        for bit in amount[log_width:]:
+            overshift = self._or(overshift, bit)
+        overshift_result = [fill] * width if kind is Kind.ASHR else self._const_bits(0, width)
+        return self._mux_word(overshift, overshift_result, result)
+
+    # -- expression translation ----------------------------------------------------
+
+    def blast(self, expr: Expr) -> list[Bit]:
+        """Bits (LSB first) representing ``expr``."""
+        cached = self._cache.get(expr)
+        if cached is not None:
+            return cached
+        bits = self._blast(expr)
+        if len(bits) != expr.width:
+            raise BlastError(
+                f"internal error: blasted width {len(bits)} != expression width {expr.width}"
+            )
+        self._cache[expr] = bits
+        return bits
+
+    def _blast(self, expr: Expr) -> list[Bit]:
+        if isinstance(expr, Constant):
+            return self._const_bits(expr.value, expr.width)
+
+        if isinstance(expr, InputField):
+            return list(self.field_bits(expr.path, expr.width))
+
+        if isinstance(expr, Unary):
+            operand = self.blast(expr.operand)
+            if expr.op is Kind.NEG:
+                return self._negate(operand)
+            if expr.op is Kind.NOT:
+                return [self._not(bit) for bit in operand]
+            if expr.op is Kind.LOGICAL_NOT:
+                return [self._not(operand[0])]
+            raise BlastError(f"unsupported unary operator {expr.op}")
+
+        if isinstance(expr, Extract):
+            operand = self.blast(expr.operand)
+            return operand[expr.lo : expr.hi + 1]
+
+        if isinstance(expr, Extend):
+            operand = self.blast(expr.operand)
+            pad = expr.width - expr.operand.width
+            fill: Bit = operand[-1] if expr.signed else False
+            return list(operand) + [fill] * pad
+
+        if isinstance(expr, Concat):
+            bits: list[Bit] = []
+            for part in reversed(expr.parts):
+                bits.extend(self.blast(part))
+            return bits
+
+        if isinstance(expr, Ite):
+            condition = self.blast(expr.cond)[0]
+            then = self.blast(expr.then)
+            otherwise = self.blast(expr.otherwise)
+            return self._mux_word(condition, then, otherwise)
+
+        if isinstance(expr, Binary):
+            return self._blast_binary(expr)
+
+        raise BlastError(f"unsupported expression node {type(expr).__name__}")
+
+    def _blast_binary(self, expr: Binary) -> list[Bit]:
+        op = expr.op
+        left = self.blast(expr.left)
+        right = self.blast(expr.right)
+        width = expr.left.width
+
+        if op is Kind.ADD:
+            return self._adder(left, right)
+        if op is Kind.SUB:
+            return self._subtract(left, right)
+        if op is Kind.MUL:
+            return self._multiply(left, right)
+        if op in (Kind.UDIV, Kind.UREM, Kind.SDIV, Kind.SREM):
+            return self._blast_division(op, left, right, width)
+        if op is Kind.AND:
+            return [self._and(a, b) for a, b in zip(left, right)]
+        if op is Kind.OR:
+            return [self._or(a, b) for a, b in zip(left, right)]
+        if op is Kind.XOR:
+            return [self._xor(a, b) for a, b in zip(left, right)]
+        if op in (Kind.SHL, Kind.LSHR, Kind.ASHR):
+            if isinstance(expr.right, Constant):
+                shift = expr.right.value
+                fill: Bit = left[-1] if op is Kind.ASHR else False
+                if shift >= width:
+                    return [fill] * width if op is Kind.ASHR else self._const_bits(0, width)
+                if op is Kind.SHL:
+                    return [False] * shift + list(left[: width - shift])
+                return list(left[shift:]) + [fill] * shift
+            return self._shift(left, right, op)
+
+        if op is Kind.EQ:
+            return [self._equal(left, right)]
+        if op is Kind.NE:
+            return [self._not(self._equal(left, right))]
+        if op is Kind.ULT:
+            return [self._unsigned_less(left, right)]
+        if op is Kind.ULE:
+            return [self._not(self._unsigned_less(right, left))]
+        if op is Kind.UGT:
+            return [self._unsigned_less(right, left)]
+        if op is Kind.UGE:
+            return [self._not(self._unsigned_less(left, right))]
+        if op is Kind.SLT:
+            return [self._signed_less(left, right)]
+        if op is Kind.SLE:
+            return [self._not(self._signed_less(right, left))]
+        if op is Kind.SGT:
+            return [self._signed_less(right, left)]
+        if op is Kind.SGE:
+            return [self._not(self._signed_less(left, right))]
+        if op is Kind.BOOL_AND:
+            return [self._and(left[0], right[0])]
+        if op is Kind.BOOL_OR:
+            return [self._or(left[0], right[0])]
+
+        raise BlastError(f"unsupported binary operator {op}")
+
+    def _blast_division(
+        self, op: Kind, left: list[Bit], right: list[Bit], width: int
+    ) -> list[Bit]:
+        divisor_zero = self._is_zero(right)
+        if op in (Kind.UDIV, Kind.UREM):
+            quotient, remainder = self._udivrem(left, right)
+            if op is Kind.UDIV:
+                return self._mux_word(divisor_zero, self._const_bits((1 << width) - 1, width), quotient)
+            return self._mux_word(divisor_zero, list(left), remainder)
+
+        # Signed: operate on magnitudes, then fix the signs (C-style truncation).
+        sign_left, sign_right = left[-1], right[-1]
+        abs_left = self._mux_word(sign_left, self._negate(left), list(left))
+        abs_right = self._mux_word(sign_right, self._negate(right), list(right))
+        quotient, remainder = self._udivrem(abs_left, abs_right)
+        if op is Kind.SDIV:
+            negate_quotient = self._xor(sign_left, sign_right)
+            signed_quotient = self._mux_word(negate_quotient, self._negate(quotient), quotient)
+            return self._mux_word(
+                divisor_zero, self._const_bits((1 << width) - 1, width), signed_quotient
+            )
+        signed_remainder = self._mux_word(sign_left, self._negate(remainder), remainder)
+        return self._mux_word(divisor_zero, list(left), signed_remainder)
+
+
+def estimate_blast_cost(expr: Expr) -> int:
+    """A rough gate-count estimate used to decide whether to attempt SAT.
+
+    Multiplication and division cost ``width**2``; everything else costs
+    ``width``.  The equivalence checker compares the sum against a budget.
+    """
+    total = 0
+    for node in expr.walk():
+        if isinstance(node, Binary) and node.op in (
+            Kind.UDIV,
+            Kind.SDIV,
+            Kind.UREM,
+            Kind.SREM,
+        ):
+            # Restoring division builds `width` serial subtract/compare stages,
+            # each of width gates, feeding a SAT-hostile circuit: treat it as
+            # cubic so wide divisions fall back to sampling.
+            total += node.width * node.width * node.width
+        elif isinstance(node, Binary) and node.op is Kind.MUL:
+            total += node.width * node.width
+        elif isinstance(node, Binary) and node.op in (Kind.SHL, Kind.LSHR, Kind.ASHR):
+            if isinstance(node.right, Constant):
+                total += node.width
+            else:
+                total += node.width * max(node.width.bit_length() - 1, 1)
+        else:
+            total += node.width
+    return total

@@ -1,0 +1,362 @@
+"""Equivalence and satisfiability queries over symbolic expressions.
+
+The CP Rewrite algorithm (paper Figure 7) calls ``SolverEquiv(E, E')`` to ask
+whether an excised donor subexpression ``E`` and a recipient expression ``E'``
+always evaluate to the same value.  The original system uses Z3; this
+reproduction layers a hybrid decision procedure over the in-repo SAT solver:
+
+1. **Syntactic check** — simplify both sides and compare structurally.
+2. **Disjoint-fields filter** — the paper's first optimisation: if the two
+   expressions depend on different sets of input fields the solver is not
+   invoked at all (they are reported not equivalent).
+3. **Counterexample sampling** — evaluate both expressions on corner-case and
+   random field assignments; any mismatch is a definitive "not equivalent".
+4. **Exhaustive enumeration** — when the total number of free input bits is
+   small, enumerate every assignment (definitive either way).
+5. **Bit-blasting + SAT** — when the estimated circuit size is within budget,
+   decide ``E != E'`` exactly with the CDCL solver.
+6. **Probabilistic fallback** — otherwise report *probably equivalent* based
+   on the sampling evidence (the verdict records that it is unproven; the CP
+   validation phase re-checks candidate patches dynamically anyway).
+
+The paper's second optimisation — caching all solver queries — is implemented
+by :class:`QueryCache`; together the two optimisations account for the
+"order of magnitude reduction in the translation times" claim reproduced by
+``benchmarks/bench_ablation_solver_cache.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional
+
+from ..symbolic import builder
+from ..symbolic.evaluate import evaluate
+from ..symbolic.expr import Binary, Expr, InputField, Kind, Unary
+from ..symbolic.simplify import SimplifyOptions, simplify
+from .bitblast import BitBlaster, BlastError, estimate_blast_cost
+from .sat import Solver, Status
+
+
+class Verdict(enum.Enum):
+    """Outcome of an equivalence query."""
+
+    EQUIVALENT = "equivalent"                  # proved
+    NOT_EQUIVALENT = "not-equivalent"          # proved (witness available)
+    PROBABLY_EQUIVALENT = "probably-equivalent"  # sampling only, unproven
+
+    @property
+    def accepts(self) -> bool:
+        """Whether the rewrite algorithm may use this verdict as a match."""
+        return self in (Verdict.EQUIVALENT, Verdict.PROBABLY_EQUIVALENT)
+
+    @property
+    def proved(self) -> bool:
+        return self in (Verdict.EQUIVALENT, Verdict.NOT_EQUIVALENT)
+
+
+@dataclass
+class EquivalenceResult:
+    """Verdict plus supporting evidence for one equivalence query."""
+
+    verdict: Verdict
+    method: str
+    witness: Optional[dict[str, int]] = None
+    samples_checked: int = 0
+    sat_conflicts: int = 0
+
+
+@dataclass
+class SolverStatistics:
+    """Counters used by the solver-optimisation ablation benchmark."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    disjoint_field_skips: int = 0
+    syntactic_hits: int = 0
+    exhaustive_queries: int = 0
+    sat_queries: int = 0
+    sampling_fallbacks: int = 0
+    satisfiability_queries: int = 0
+
+    @property
+    def solver_invocations(self) -> int:
+        """Queries that actually reached an expensive decision procedure."""
+        return self.exhaustive_queries + self.sat_queries + self.sampling_fallbacks
+
+    @property
+    def evaluated_queries(self) -> int:
+        """Queries that were not answered by the cache or the field filter.
+
+        This is the quantity the paper's two optimisations reduce "by an order
+        of magnitude": every remaining query requires at least simplification
+        and counterexample sampling, and possibly an exhaustive or SAT call.
+        """
+        return self.queries - self.cache_hits - self.disjoint_field_skips
+
+
+class QueryCache:
+    """Memoises equivalence verdicts keyed by the (simplified) query pair."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[Expr, Expr], EquivalenceResult] = {}
+
+    def get(self, left: Expr, right: Expr) -> Optional[EquivalenceResult]:
+        result = self._entries.get((left, right))
+        if result is None:
+            result = self._entries.get((right, left))
+        return result
+
+    def put(self, left: Expr, right: Expr, result: EquivalenceResult) -> None:
+        self._entries[(left, right)] = result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+@dataclass(frozen=True)
+class EquivalenceOptions:
+    """Tuning knobs; the ablation benchmark flips the two paper optimisations."""
+
+    use_cache: bool = True
+    use_disjoint_field_filter: bool = True
+    sample_count: int = 48
+    exhaustive_bit_limit: int = 16
+    #: Queries whose estimated circuit exceeds this are answered by sampling;
+    #: wide multiplier-equivalence instances are SAT-hostile, so the budget is
+    #: deliberately below the cost of a 32x32 multiplication.
+    sat_cost_budget: int = 2000
+    sat_conflict_limit: int = 5000
+    random_seed: int = 0x0C0DE
+
+
+_CORNER_VALUES = (0, 1, 2, 3, 0x7F, 0x80, 0xFF, 0x100, 0x7FFF, 0x8000, 0xFFFF, 0x10000)
+
+
+class EquivalenceChecker:
+    """Hybrid equivalence/satisfiability engine with query caching."""
+
+    def __init__(
+        self,
+        options: EquivalenceOptions = EquivalenceOptions(),
+        simplify_options: SimplifyOptions = SimplifyOptions(),
+    ) -> None:
+        self.options = options
+        self.simplify_options = simplify_options
+        self.cache = QueryCache()
+        self.statistics = SolverStatistics()
+        self._random = random.Random(options.random_seed)
+
+    # -- public API ------------------------------------------------------------
+
+    def equivalent(self, left: Expr, right: Expr) -> EquivalenceResult:
+        """Decide whether ``left`` and ``right`` always evaluate equally."""
+        self.statistics.queries += 1
+        left_simplified = simplify(left, self.simplify_options)
+        right_simplified = simplify(right, self.simplify_options)
+
+        if self.options.use_cache:
+            cached = self.cache.get(left_simplified, right_simplified)
+            if cached is not None:
+                self.statistics.cache_hits += 1
+                return cached
+
+        result = self._decide(left_simplified, right_simplified)
+
+        if self.options.use_cache:
+            self.cache.put(left_simplified, right_simplified, result)
+        return result
+
+    def satisfiable(self, condition: Expr) -> tuple[bool, Optional[dict[str, int]]]:
+        """Decide whether a width-1 condition has a satisfying field assignment.
+
+        Used by the overflow-specific validation step (:mod:`repro.solver.overflow`).
+        Returns ``(satisfiable, witness_or_None)``; when the formula is too
+        large for SAT the answer is based on sampling (a found witness is
+        always genuine; absence of a witness is then only probabilistic).
+        """
+        self.statistics.satisfiability_queries += 1
+        condition = simplify(condition, self.simplify_options)
+        fields = _field_widths(condition)
+
+        # Sampling first: cheap and yields real witnesses.
+        witness = self._sample_for_truth(condition, fields)
+        if witness is not None:
+            return True, witness
+
+        total_bits = sum(fields.values())
+        if total_bits <= self.options.exhaustive_bit_limit:
+            found = self._exhaustive_for_truth(condition, fields)
+            return (found is not None), found
+
+        if estimate_blast_cost(condition) <= self.options.sat_cost_budget:
+            try:
+                return self._sat_for_truth(condition)
+            except BlastError:
+                pass
+        return False, None
+
+    # -- decision strategies ------------------------------------------------------
+
+    def _decide(self, left: Expr, right: Expr) -> EquivalenceResult:
+        if left == right:
+            self.statistics.syntactic_hits += 1
+            return EquivalenceResult(Verdict.EQUIVALENT, method="syntactic")
+
+        left_fields = _field_widths(left)
+        right_fields = _field_widths(right)
+
+        if self.options.use_disjoint_field_filter:
+            if left_fields and right_fields and not (set(left_fields) & set(right_fields)):
+                self.statistics.disjoint_field_skips += 1
+                return EquivalenceResult(Verdict.NOT_EQUIVALENT, method="disjoint-fields")
+
+        all_fields = dict(left_fields)
+        all_fields.update(right_fields)
+
+        if left.width != right.width:
+            return EquivalenceResult(Verdict.NOT_EQUIVALENT, method="width-mismatch")
+
+        # Counterexample sampling.
+        samples = 0
+        for assignment in self._assignments(all_fields):
+            samples += 1
+            if evaluate(left, assignment) != evaluate(right, assignment):
+                return EquivalenceResult(
+                    Verdict.NOT_EQUIVALENT,
+                    method="sampling",
+                    witness=dict(assignment),
+                    samples_checked=samples,
+                )
+
+        total_bits = sum(all_fields.values())
+        if total_bits <= self.options.exhaustive_bit_limit:
+            self.statistics.exhaustive_queries += 1
+            witness = self._exhaustive_mismatch(left, right, all_fields)
+            if witness is not None:
+                return EquivalenceResult(
+                    Verdict.NOT_EQUIVALENT, method="exhaustive", witness=witness
+                )
+            return EquivalenceResult(Verdict.EQUIVALENT, method="exhaustive")
+
+        cost = estimate_blast_cost(left) + estimate_blast_cost(right)
+        if cost <= self.options.sat_cost_budget:
+            try:
+                return self._sat_equivalence(left, right)
+            except BlastError:
+                pass
+
+        self.statistics.sampling_fallbacks += 1
+        return EquivalenceResult(
+            Verdict.PROBABLY_EQUIVALENT, method="sampling", samples_checked=samples
+        )
+
+    # -- assignment generation ------------------------------------------------------
+
+    def _assignments(self, fields: dict[str, int]):
+        """Corner-case and random assignments for the given fields."""
+        if not fields:
+            yield {}
+            return
+        paths = sorted(fields)
+        for value in _CORNER_VALUES:
+            yield {path: value & ((1 << fields[path]) - 1) for path in paths}
+        # Max values per field.
+        yield {path: (1 << fields[path]) - 1 for path in paths}
+        for _ in range(self.options.sample_count):
+            yield {
+                path: self._random.getrandbits(fields[path]) for path in paths
+            }
+
+    def _exhaustive_mismatch(
+        self, left: Expr, right: Expr, fields: dict[str, int]
+    ) -> Optional[dict[str, int]]:
+        paths = sorted(fields)
+        ranges = [range(1 << fields[path]) for path in paths]
+        for values in itertools.product(*ranges):
+            assignment = dict(zip(paths, values))
+            if evaluate(left, assignment) != evaluate(right, assignment):
+                return assignment
+        return None
+
+    def _sample_for_truth(self, condition: Expr, fields: dict[str, int]) -> Optional[dict[str, int]]:
+        for assignment in self._assignments(fields):
+            if evaluate(condition, assignment):
+                return dict(assignment)
+        return None
+
+    def _exhaustive_for_truth(
+        self, condition: Expr, fields: dict[str, int]
+    ) -> Optional[dict[str, int]]:
+        paths = sorted(fields)
+        ranges = [range(1 << fields[path]) for path in paths]
+        for values in itertools.product(*ranges):
+            assignment = dict(zip(paths, values))
+            if evaluate(condition, assignment):
+                return assignment
+        return None
+
+    # -- SAT-backed decisions -----------------------------------------------------------
+
+    def _sat_equivalence(self, left: Expr, right: Expr) -> EquivalenceResult:
+        self.statistics.sat_queries += 1
+        blaster = BitBlaster()
+        difference = builder.ne(left, right)
+        bit = blaster.blast(difference)[0]
+        blaster.assert_bit(bit, True)
+
+        solver = Solver()
+        solver.ensure_vars(blaster.cnf.num_vars)
+        for clause in blaster.cnf.clauses:
+            solver.add_clause(clause)
+        result = solver.solve(max_conflicts=self.options.sat_conflict_limit)
+        if result.status is Status.UNSAT:
+            return EquivalenceResult(
+                Verdict.EQUIVALENT, method="sat", sat_conflicts=result.conflicts
+            )
+        if result.status is Status.SAT:
+            witness = blaster.field_assignment(result.model)
+            # The SAT model may use bit patterns outside the sampled space;
+            # double-check with the evaluator to produce a trustworthy witness.
+            if evaluate(left, witness) != evaluate(right, witness):
+                return EquivalenceResult(
+                    Verdict.NOT_EQUIVALENT,
+                    method="sat",
+                    witness=witness,
+                    sat_conflicts=result.conflicts,
+                )
+        self.statistics.sampling_fallbacks += 1
+        return EquivalenceResult(Verdict.PROBABLY_EQUIVALENT, method="sat-timeout")
+
+    def _sat_for_truth(self, condition: Expr) -> tuple[bool, Optional[dict[str, int]]]:
+        blaster = BitBlaster()
+        bit = blaster.blast(condition)[0]
+        blaster.assert_bit(bit, True)
+        solver = Solver()
+        solver.ensure_vars(blaster.cnf.num_vars)
+        for clause in blaster.cnf.clauses:
+            solver.add_clause(clause)
+        result = solver.solve(max_conflicts=self.options.sat_conflict_limit)
+        if result.status is Status.SAT:
+            witness = blaster.field_assignment(result.model)
+            if evaluate(condition, witness):
+                return True, witness
+            return True, None
+        if result.status is Status.UNSAT:
+            return False, None
+        return False, None
+
+
+def _field_widths(expr: Expr) -> dict[str, int]:
+    """Map of input-field path -> width for all fields referenced by ``expr``."""
+    widths: dict[str, int] = {}
+    for node in expr.walk():
+        if isinstance(node, InputField):
+            widths[node.path] = max(widths.get(node.path, 0), node.width)
+    return widths

@@ -1,0 +1,81 @@
+"""Application-independent symbolic bitvector expressions.
+
+This package is the representation Code Phage uses to carry a check out of the
+donor ("check excision") and into the recipient ("check translation"):
+expression trees whose leaves are input fields and constants and whose
+interior nodes are fixed-width bitvector operations.
+"""
+
+from . import builder
+from .evaluate import EvaluationError, evaluate, to_signed, to_unsigned
+from .expr import (
+    Binary,
+    Concat,
+    Constant,
+    Expr,
+    ExprError,
+    Extend,
+    Extract,
+    InputField,
+    Ite,
+    Kind,
+    NEGATED_COMPARISON,
+    SWAPPED_COMPARISON,
+    Unary,
+    structurally_equal,
+)
+from .metrics import (
+    CheckSize,
+    arithmetic_count,
+    comparison_count,
+    field_reference_count,
+    leaf_count,
+    operation_count,
+    size_reduction,
+)
+from .printer import c_type_for_width, to_c_string, to_paper_string
+from .simplify import (
+    DEFAULT_OPTIONS,
+    FIGURE5_RULES,
+    SimplifyOptions,
+    apply_figure5_rule,
+    simplify,
+)
+
+__all__ = [
+    "Binary",
+    "Concat",
+    "Constant",
+    "CheckSize",
+    "DEFAULT_OPTIONS",
+    "EvaluationError",
+    "Expr",
+    "ExprError",
+    "Extend",
+    "Extract",
+    "FIGURE5_RULES",
+    "InputField",
+    "Ite",
+    "Kind",
+    "NEGATED_COMPARISON",
+    "SWAPPED_COMPARISON",
+    "SimplifyOptions",
+    "Unary",
+    "apply_figure5_rule",
+    "arithmetic_count",
+    "builder",
+    "c_type_for_width",
+    "comparison_count",
+    "evaluate",
+    "field_reference_count",
+    "leaf_count",
+    "operation_count",
+    "simplify",
+    "size_reduction",
+    "structurally_equal",
+    "to_c_string",
+    "to_paper_string",
+    "to_signed",
+    "to_unsigned",
+    "structurally_equal",
+]

@@ -1,0 +1,281 @@
+"""Convenience constructors for symbolic expressions.
+
+The VM instrumentation, the format layer, and the tests all build expressions
+through these helpers instead of instantiating the dataclasses directly; the
+helpers take care of width coercion (the most common source of bugs when
+mirroring binary-level operations) and perform a little light folding so that
+the shadow expressions produced during execution stay small.
+"""
+
+from __future__ import annotations
+
+from .expr import (
+    Binary,
+    Concat,
+    Constant,
+    Expr,
+    Extend,
+    Extract,
+    InputField,
+    Ite,
+    Kind,
+    Unary,
+)
+
+
+def const(value: int, width: int) -> Constant:
+    """A constant bitvector of the given width."""
+    return Constant(width=width, value=value)
+
+
+def true() -> Constant:
+    return Constant(width=1, value=1)
+
+
+def false() -> Constant:
+    return Constant(width=1, value=0)
+
+
+def input_field(path: str, width: int) -> InputField:
+    """A reference to a named input field."""
+    return InputField(width=width, path=path)
+
+
+def zext(expr: Expr, width: int) -> Expr:
+    """Zero-extend ``expr`` to ``width`` (the paper's ``ToSize``)."""
+    if width == expr.width:
+        return expr
+    if width < expr.width:
+        return shrink(expr, width)
+    if isinstance(expr, Constant):
+        return const(expr.value, width)
+    return Extend(width=width, operand=expr, signed=False)
+
+
+def sext(expr: Expr, width: int) -> Expr:
+    """Sign-extend ``expr`` to ``width``."""
+    if width == expr.width:
+        return expr
+    if width < expr.width:
+        return shrink(expr, width)
+    if isinstance(expr, Constant):
+        return const(expr.signed_value, width)
+    return Extend(width=width, operand=expr, signed=True)
+
+
+def shrink(expr: Expr, width: int) -> Expr:
+    """Truncate ``expr`` to its low ``width`` bits (the paper's ``Shrink``)."""
+    if width == expr.width:
+        return expr
+    if width > expr.width:
+        return zext(expr, width)
+    if isinstance(expr, Constant):
+        return const(expr.value, width)
+    return Extract(width=width, operand=expr, hi=width - 1, lo=0)
+
+
+def extract(expr: Expr, hi: int, lo: int) -> Expr:
+    """Extract bits ``[hi:lo]`` from ``expr``."""
+    if lo == 0 and hi == expr.width - 1:
+        return expr
+    if isinstance(expr, Constant):
+        return const(expr.value >> lo, hi - lo + 1)
+    return Extract(width=hi - lo + 1, operand=expr, hi=hi, lo=lo)
+
+
+def extract_high(expr: Expr, width: int) -> Expr:
+    """Extract the top ``width`` bits of ``expr`` (the paper's ``ShrinkH``)."""
+    return extract(expr, expr.width - 1, expr.width - width)
+
+
+def extract_low(expr: Expr, width: int) -> Expr:
+    """Extract the bottom ``width`` bits of ``expr`` (the paper's ``ShrinkL``)."""
+    return extract(expr, width - 1, 0)
+
+
+def concat(*parts: Expr) -> Expr:
+    """Concatenate parts, most significant first."""
+    flat: list[Expr] = []
+    for part in parts:
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if len(flat) == 1:
+        return flat[0]
+    width = sum(part.width for part in flat)
+    return Concat(width=width, parts=tuple(flat))
+
+
+def _coerce(left: Expr, right: Expr | int, width: int | None = None) -> tuple[Expr, Expr]:
+    """Bring two operands to a common width (zero-extending the narrower)."""
+    if isinstance(right, int):
+        right = const(right, width if width is not None else left.width)
+    target = width if width is not None else max(left.width, right.width)
+    return zext(left, target), zext(right, target)
+
+
+def _binary(op: Kind, left: Expr, right: Expr | int, width: int | None = None) -> Expr:
+    left, right = _coerce(left, right, width)
+    return Binary(width=left.width, op=op, left=left, right=right)
+
+
+def add(left: Expr, right: Expr | int, width: int | None = None) -> Expr:
+    return _binary(Kind.ADD, left, right, width)
+
+
+def sub(left: Expr, right: Expr | int, width: int | None = None) -> Expr:
+    return _binary(Kind.SUB, left, right, width)
+
+
+def mul(left: Expr, right: Expr | int, width: int | None = None) -> Expr:
+    return _binary(Kind.MUL, left, right, width)
+
+
+def udiv(left: Expr, right: Expr | int, width: int | None = None) -> Expr:
+    return _binary(Kind.UDIV, left, right, width)
+
+
+def sdiv(left: Expr, right: Expr | int, width: int | None = None) -> Expr:
+    return _binary(Kind.SDIV, left, right, width)
+
+
+def urem(left: Expr, right: Expr | int, width: int | None = None) -> Expr:
+    return _binary(Kind.UREM, left, right, width)
+
+
+def srem(left: Expr, right: Expr | int, width: int | None = None) -> Expr:
+    return _binary(Kind.SREM, left, right, width)
+
+
+def bvand(left: Expr, right: Expr | int, width: int | None = None) -> Expr:
+    return _binary(Kind.AND, left, right, width)
+
+
+def bvor(left: Expr, right: Expr | int, width: int | None = None) -> Expr:
+    return _binary(Kind.OR, left, right, width)
+
+
+def bvxor(left: Expr, right: Expr | int, width: int | None = None) -> Expr:
+    return _binary(Kind.XOR, left, right, width)
+
+
+def shl(left: Expr, right: Expr | int, width: int | None = None) -> Expr:
+    return _binary(Kind.SHL, left, right, width)
+
+
+def lshr(left: Expr, right: Expr | int, width: int | None = None) -> Expr:
+    return _binary(Kind.LSHR, left, right, width)
+
+
+def ashr(left: Expr, right: Expr | int, width: int | None = None) -> Expr:
+    return _binary(Kind.ASHR, left, right, width)
+
+
+def neg(expr: Expr) -> Expr:
+    return Unary(width=expr.width, op=Kind.NEG, operand=expr)
+
+
+def bvnot(expr: Expr) -> Expr:
+    return Unary(width=expr.width, op=Kind.NOT, operand=expr)
+
+
+def _comparison(op: Kind, left: Expr, right: Expr | int) -> Expr:
+    if isinstance(right, int):
+        right = const(right, left.width)
+    target = max(left.width, right.width)
+    signed = op.is_signed
+    left = sext(left, target) if signed else zext(left, target)
+    right = sext(right, target) if signed else zext(right, target)
+    return Binary(width=1, op=op, left=left, right=right)
+
+
+def eq(left: Expr, right: Expr | int) -> Expr:
+    return _comparison(Kind.EQ, left, right)
+
+
+def ne(left: Expr, right: Expr | int) -> Expr:
+    return _comparison(Kind.NE, left, right)
+
+
+def ult(left: Expr, right: Expr | int) -> Expr:
+    return _comparison(Kind.ULT, left, right)
+
+
+def ule(left: Expr, right: Expr | int) -> Expr:
+    return _comparison(Kind.ULE, left, right)
+
+
+def ugt(left: Expr, right: Expr | int) -> Expr:
+    return _comparison(Kind.UGT, left, right)
+
+
+def uge(left: Expr, right: Expr | int) -> Expr:
+    return _comparison(Kind.UGE, left, right)
+
+
+def slt(left: Expr, right: Expr | int) -> Expr:
+    return _comparison(Kind.SLT, left, right)
+
+
+def sle(left: Expr, right: Expr | int) -> Expr:
+    return _comparison(Kind.SLE, left, right)
+
+
+def sgt(left: Expr, right: Expr | int) -> Expr:
+    return _comparison(Kind.SGT, left, right)
+
+
+def sge(left: Expr, right: Expr | int) -> Expr:
+    return _comparison(Kind.SGE, left, right)
+
+
+def logical_and(*operands: Expr) -> Expr:
+    """Boolean conjunction of width-1 operands."""
+    if not operands:
+        return true()
+    result = operands[0]
+    for operand in operands[1:]:
+        result = Binary(width=1, op=Kind.BOOL_AND, left=result, right=operand)
+    return result
+
+
+def logical_or(*operands: Expr) -> Expr:
+    """Boolean disjunction of width-1 operands."""
+    if not operands:
+        return false()
+    result = operands[0]
+    for operand in operands[1:]:
+        result = Binary(width=1, op=Kind.BOOL_OR, left=result, right=operand)
+    return result
+
+
+def logical_not(operand: Expr) -> Expr:
+    """Boolean negation of a width-1 operand."""
+    if isinstance(operand, Unary) and operand.op is Kind.LOGICAL_NOT:
+        return operand.operand
+    return Unary(width=1, op=Kind.LOGICAL_NOT, operand=operand)
+
+
+def ite(cond: Expr, then: Expr, otherwise: Expr) -> Expr:
+    """If-then-else; branches are coerced to a common width."""
+    width = max(then.width, otherwise.width)
+    return Ite(width=width, cond=cond, then=zext(then, width), otherwise=zext(otherwise, width))
+
+
+def is_nonzero(expr: Expr) -> Expr:
+    """Convert a bitvector to a width-1 truth value (``expr != 0``)."""
+    if expr.width == 1:
+        return expr
+    # A zero-extended boolean is non-zero exactly when the boolean is true.
+    if isinstance(expr, Extend) and not expr.signed and expr.operand.width == 1:
+        return expr.operand
+    if (
+        isinstance(expr, Concat)
+        and expr.parts[-1].width == 1
+        and all(
+            isinstance(part, Constant) and part.value == 0 for part in expr.parts[:-1]
+        )
+    ):
+        return expr.parts[-1]
+    return ne(expr, const(0, expr.width))

@@ -1,0 +1,190 @@
+"""Concrete evaluation of symbolic expressions.
+
+Evaluation is used in three places:
+
+* the equivalence checker's randomised/exhaustive fallback and its witness
+  checking (:mod:`repro.solver.equivalence`),
+* validation of candidate checks against concrete seed / error-triggering
+  inputs during the CP pipeline, and
+* property-based tests that compare the simplifier's output against the
+  original expression.
+
+Semantics: all values are unsigned residues modulo ``2**width``; signed
+operators reinterpret their operands in two's complement.  Division and
+remainder by zero evaluate to all-ones / the dividend respectively, matching
+the conventional SMT-LIB bitvector semantics (the MicroC VM, by contrast,
+*reports* divide-by-zero as a runtime error — see :mod:`repro.lang.vm`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .expr import (
+    Binary,
+    Concat,
+    Constant,
+    Expr,
+    Extend,
+    Extract,
+    InputField,
+    Ite,
+    Kind,
+    Unary,
+)
+
+
+class EvaluationError(Exception):
+    """Raised when an expression references a field missing from the environment."""
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret ``value`` (an unsigned residue) as two's complement."""
+    value &= _mask(width)
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Reduce an integer to its unsigned residue at ``width`` bits."""
+    return value & _mask(width)
+
+
+def evaluate(expr: Expr, env: Mapping[str, int]) -> int:
+    """Evaluate ``expr`` under ``env`` (field path -> unsigned integer value).
+
+    Returns the unsigned residue of the result at ``expr.width`` bits.
+    """
+    if isinstance(expr, Constant):
+        return expr.value
+
+    if isinstance(expr, InputField):
+        if expr.path not in env:
+            raise EvaluationError(f"no value for input field {expr.path!r}")
+        return to_unsigned(env[expr.path], expr.width)
+
+    if isinstance(expr, Unary):
+        value = evaluate(expr.operand, env)
+        if expr.op is Kind.NEG:
+            return to_unsigned(-value, expr.width)
+        if expr.op is Kind.NOT:
+            return to_unsigned(~value, expr.width)
+        if expr.op is Kind.LOGICAL_NOT:
+            return 0 if value else 1
+        raise EvaluationError(f"unknown unary operator {expr.op}")
+
+    if isinstance(expr, Binary):
+        return _evaluate_binary(expr, env)
+
+    if isinstance(expr, Extract):
+        value = evaluate(expr.operand, env)
+        return (value >> expr.lo) & _mask(expr.width)
+
+    if isinstance(expr, Extend):
+        value = evaluate(expr.operand, env)
+        if expr.signed:
+            return to_unsigned(to_signed(value, expr.operand.width), expr.width)
+        return value
+
+    if isinstance(expr, Concat):
+        result = 0
+        for part in expr.parts:
+            result = (result << part.width) | evaluate(part, env)
+        return result
+
+    if isinstance(expr, Ite):
+        if evaluate(expr.cond, env):
+            return evaluate(expr.then, env)
+        return evaluate(expr.otherwise, env)
+
+    raise EvaluationError(f"unknown expression node {type(expr).__name__}")
+
+
+def _evaluate_binary(expr: Binary, env: Mapping[str, int]) -> int:
+    left = evaluate(expr.left, env)
+    right = evaluate(expr.right, env)
+    width = expr.left.width
+    op = expr.op
+
+    if op is Kind.ADD:
+        return to_unsigned(left + right, width)
+    if op is Kind.SUB:
+        return to_unsigned(left - right, width)
+    if op is Kind.MUL:
+        return to_unsigned(left * right, width)
+    if op is Kind.UDIV:
+        if right == 0:
+            return _mask(width)
+        return left // right
+    if op is Kind.SDIV:
+        if right == 0:
+            return _mask(width)
+        sleft, sright = to_signed(left, width), to_signed(right, width)
+        quotient = abs(sleft) // abs(sright)
+        if (sleft < 0) != (sright < 0):
+            quotient = -quotient
+        return to_unsigned(quotient, width)
+    if op is Kind.UREM:
+        if right == 0:
+            return left
+        return left % right
+    if op is Kind.SREM:
+        if right == 0:
+            return left
+        sleft, sright = to_signed(left, width), to_signed(right, width)
+        remainder = abs(sleft) % abs(sright)
+        if sleft < 0:
+            remainder = -remainder
+        return to_unsigned(remainder, width)
+    if op is Kind.AND:
+        return left & right
+    if op is Kind.OR:
+        return left | right
+    if op is Kind.XOR:
+        return left ^ right
+    if op is Kind.SHL:
+        if right >= width:
+            return 0
+        return to_unsigned(left << right, width)
+    if op is Kind.LSHR:
+        if right >= width:
+            return 0
+        return left >> right
+    if op is Kind.ASHR:
+        sleft = to_signed(left, width)
+        shift = min(right, width - 1)
+        return to_unsigned(sleft >> shift, width)
+
+    if op is Kind.EQ:
+        return 1 if left == right else 0
+    if op is Kind.NE:
+        return 1 if left != right else 0
+    if op is Kind.ULT:
+        return 1 if left < right else 0
+    if op is Kind.ULE:
+        return 1 if left <= right else 0
+    if op is Kind.UGT:
+        return 1 if left > right else 0
+    if op is Kind.UGE:
+        return 1 if left >= right else 0
+    if op in (Kind.SLT, Kind.SLE, Kind.SGT, Kind.SGE):
+        sleft, sright = to_signed(left, width), to_signed(right, width)
+        if op is Kind.SLT:
+            return 1 if sleft < sright else 0
+        if op is Kind.SLE:
+            return 1 if sleft <= sright else 0
+        if op is Kind.SGT:
+            return 1 if sleft > sright else 0
+        return 1 if sleft >= sright else 0
+
+    if op is Kind.BOOL_AND:
+        return 1 if left and right else 0
+    if op is Kind.BOOL_OR:
+        return 1 if left or right else 0
+
+    raise EvaluationError(f"unknown binary operator {op}")

@@ -1,0 +1,379 @@
+"""Application-independent symbolic bitvector expressions.
+
+Code Phage excises checks from donor applications as symbolic expressions
+over *input fields*: the free variables are named fields of the input file
+(e.g. ``/start_frame/content/height``) and the operators are fixed-width
+bitvector operations, mirroring the expression trees that the paper's
+Valgrind-based instrumentation reconstructs from binary executions.
+
+The classes in this module form an immutable expression IR.  Every node has a
+bit ``width``; arithmetic is modular at that width, and signed operators
+interpret operands in two's complement.  Comparison and boolean nodes have
+width 1.
+
+The IR deliberately stays close to the paper's vocabulary (Section 2 shows
+excised checks written with ``Constant``, ``HachField``, ``Add``, ``Shl``,
+``BvAnd``, ``ToSize``, ``Shrink``, ``ULessEqual``...).  The textual form used
+by the paper is produced by :mod:`repro.symbolic.printer`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class Kind(enum.Enum):
+    """Operator kinds for unary, binary, and comparison nodes."""
+
+    # Unary operators.
+    NEG = "Neg"
+    NOT = "BvNot"
+    LOGICAL_NOT = "Not"
+
+    # Binary arithmetic operators.
+    ADD = "Add"
+    SUB = "Sub"
+    MUL = "Mul"
+    UDIV = "Div"
+    SDIV = "SDiv"
+    UREM = "Rem"
+    SREM = "SRem"
+
+    # Binary bitwise operators.
+    AND = "BvAnd"
+    OR = "BvOr"
+    XOR = "BvXor"
+    SHL = "Shl"
+    LSHR = "UShr"
+    ASHR = "SShr"
+
+    # Comparison operators (result width 1).
+    EQ = "Equal"
+    NE = "NotEqual"
+    ULT = "ULess"
+    ULE = "ULessEqual"
+    UGT = "UGreater"
+    UGE = "UGreaterEqual"
+    SLT = "SLess"
+    SLE = "SLessEqual"
+    SGT = "SGreater"
+    SGE = "SGreaterEqual"
+
+    # Boolean connectives (operands and result width 1).
+    BOOL_AND = "And"
+    BOOL_OR = "Or"
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in _COMPARISONS
+
+    @property
+    def is_boolean(self) -> bool:
+        return self in (Kind.BOOL_AND, Kind.BOOL_OR, Kind.LOGICAL_NOT)
+
+    @property
+    def is_commutative(self) -> bool:
+        return self in _COMMUTATIVE
+
+    @property
+    def is_signed(self) -> bool:
+        return self in _SIGNED
+
+
+_COMPARISONS = frozenset(
+    {
+        Kind.EQ,
+        Kind.NE,
+        Kind.ULT,
+        Kind.ULE,
+        Kind.UGT,
+        Kind.UGE,
+        Kind.SLT,
+        Kind.SLE,
+        Kind.SGT,
+        Kind.SGE,
+    }
+)
+
+_COMMUTATIVE = frozenset(
+    {Kind.ADD, Kind.MUL, Kind.AND, Kind.OR, Kind.XOR, Kind.EQ, Kind.NE, Kind.BOOL_AND, Kind.BOOL_OR}
+)
+
+_SIGNED = frozenset({Kind.SDIV, Kind.SREM, Kind.ASHR, Kind.SLT, Kind.SLE, Kind.SGT, Kind.SGE})
+
+#: Comparison kind -> its negation, used by the simplifier and patch renderer.
+NEGATED_COMPARISON = {
+    Kind.EQ: Kind.NE,
+    Kind.NE: Kind.EQ,
+    Kind.ULT: Kind.UGE,
+    Kind.ULE: Kind.UGT,
+    Kind.UGT: Kind.ULE,
+    Kind.UGE: Kind.ULT,
+    Kind.SLT: Kind.SGE,
+    Kind.SLE: Kind.SGT,
+    Kind.SGT: Kind.SLE,
+    Kind.SGE: Kind.SLT,
+}
+
+#: Comparison kind -> the kind obtained by swapping the operands.
+SWAPPED_COMPARISON = {
+    Kind.EQ: Kind.EQ,
+    Kind.NE: Kind.NE,
+    Kind.ULT: Kind.UGT,
+    Kind.ULE: Kind.UGE,
+    Kind.UGT: Kind.ULT,
+    Kind.UGE: Kind.ULE,
+    Kind.SLT: Kind.SGT,
+    Kind.SLE: Kind.SGE,
+    Kind.SGT: Kind.SLT,
+    Kind.SGE: Kind.SLE,
+}
+
+
+class ExprError(Exception):
+    """Raised when an expression is constructed with inconsistent widths."""
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for all symbolic expression nodes."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ExprError(f"expression width must be positive, got {self.width}")
+
+    # -- structural helpers -------------------------------------------------
+
+    def children(self) -> tuple["Expr", ...]:
+        """Direct sub-expressions of this node."""
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the expression tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def fields(self) -> frozenset[str]:
+        """Paths of every input field referenced by this expression."""
+        return frozenset(
+            node.path for node in self.walk() if isinstance(node, InputField)
+        )
+
+    def op_count(self) -> int:
+        """Number of operator nodes (the paper's "check size" metric).
+
+        Leaves (constants and input fields) do not count; every operator node
+        (unary, binary, extract, extend, concat, ite) counts as one.
+        """
+        return sum(1 for node in self.walk() if not isinstance(node, (Constant, InputField)))
+
+    def depth(self) -> int:
+        """Height of the expression tree (a leaf has depth 1)."""
+        kids = self.children()
+        if not kids:
+            return 1
+        return 1 + max(child.depth() for child in kids)
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.width == 1
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        from .printer import to_paper_string
+
+        return to_paper_string(self)
+
+
+@dataclass(frozen=True)
+class Constant(Expr):
+    """A literal bitvector constant of the given width."""
+
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "value", self.value & ((1 << self.width) - 1))
+
+    @property
+    def signed_value(self) -> int:
+        """The value interpreted as a two's-complement signed integer."""
+        if self.value >= 1 << (self.width - 1):
+            return self.value - (1 << self.width)
+        return self.value
+
+
+@dataclass(frozen=True)
+class InputField(Expr):
+    """A named input field (the paper's ``HachField``/``Variable`` leaf).
+
+    ``path`` is the Hachoir-style field path, e.g.
+    ``/start_frame/content/height``; in raw mode it is ``/raw/offset_NN``.
+    """
+
+    path: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.path:
+            raise ExprError("input field path must be non-empty")
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """A unary operator application (negation, bitwise not, logical not)."""
+
+    op: Kind = Kind.NEG
+    operand: Expr = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.operand is None:
+            raise ExprError("unary node requires an operand")
+        if self.op is Kind.LOGICAL_NOT:
+            if self.width != 1 or self.operand.width != 1:
+                raise ExprError("logical not operates on width-1 expressions")
+        elif self.operand.width != self.width:
+            raise ExprError(
+                f"unary {self.op.value}: operand width {self.operand.width} != node width {self.width}"
+            )
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """A binary operator application.
+
+    For arithmetic/bitwise kinds both operands and the result share the node
+    width.  For comparisons and boolean connectives the result width is 1; the
+    operand width of a comparison is recorded by the operands themselves.
+    """
+
+    op: Kind = Kind.ADD
+    left: Expr = field(default=None)  # type: ignore[assignment]
+    right: Expr = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.left is None or self.right is None:
+            raise ExprError("binary node requires two operands")
+        if self.left.width != self.right.width:
+            raise ExprError(
+                f"binary {self.op.value}: operand widths differ "
+                f"({self.left.width} vs {self.right.width})"
+            )
+        if self.op.is_comparison or self.op.is_boolean:
+            if self.width != 1:
+                raise ExprError(f"{self.op.value} produces a width-1 result")
+            if self.op.is_boolean and self.left.width != 1:
+                raise ExprError(f"{self.op.value} operates on width-1 operands")
+        elif self.left.width != self.width:
+            raise ExprError(
+                f"binary {self.op.value}: operand width {self.left.width} != node width {self.width}"
+            )
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Extract(Expr):
+    """Bit extraction ``operand[hi:lo]`` (inclusive bounds, lo is bit 0)."""
+
+    operand: Expr = field(default=None)  # type: ignore[assignment]
+    hi: int = 0
+    lo: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.operand is None:
+            raise ExprError("extract requires an operand")
+        if not (0 <= self.lo <= self.hi < self.operand.width):
+            raise ExprError(
+                f"extract bounds [{self.hi}:{self.lo}] out of range for width {self.operand.width}"
+            )
+        if self.width != self.hi - self.lo + 1:
+            raise ExprError("extract width must equal hi - lo + 1")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Extend(Expr):
+    """Zero or sign extension of ``operand`` to a wider width.
+
+    The paper writes zero extension as ``ToSize``/``Width`` and truncation as
+    ``Shrink``; truncation is represented here as :class:`Extract` of the low
+    bits (see :func:`repro.symbolic.builder.shrink`).
+    """
+
+    operand: Expr = field(default=None)  # type: ignore[assignment]
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.operand is None:
+            raise ExprError("extend requires an operand")
+        if self.width < self.operand.width:
+            raise ExprError(
+                f"extend target width {self.width} narrower than operand width {self.operand.width}"
+            )
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """Concatenation of parts, most-significant part first.
+
+    The Figure 5 rewrite rules reason about 16-bit values that are "a
+    concatenation of two 8-bit bytes"; :class:`Concat` is the explicit
+    representation of that shape.
+    """
+
+    parts: tuple[Expr, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.parts) < 2:
+            raise ExprError("concat requires at least two parts")
+        total = sum(part.width for part in self.parts)
+        if total != self.width:
+            raise ExprError(f"concat width {self.width} != sum of part widths {total}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.parts
+
+
+@dataclass(frozen=True)
+class Ite(Expr):
+    """If-then-else over bitvectors (used for conditional donor computations)."""
+
+    cond: Expr = field(default=None)  # type: ignore[assignment]
+    then: Expr = field(default=None)  # type: ignore[assignment]
+    otherwise: Expr = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.cond is None or self.then is None or self.otherwise is None:
+            raise ExprError("ite requires condition, then, and otherwise operands")
+        if self.cond.width != 1:
+            raise ExprError("ite condition must have width 1")
+        if self.then.width != self.width or self.otherwise.width != self.width:
+            raise ExprError("ite branch widths must match node width")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.cond, self.then, self.otherwise)
+
+
+def structurally_equal(a: Expr, b: Expr) -> bool:
+    """Deep structural equality (dataclass equality already provides this)."""
+    return a == b

@@ -1,0 +1,65 @@
+"""Metrics over symbolic expressions.
+
+These back the "Check Size" column of the paper's Figure 8 (written there as
+``X -> Y``: the number of operations in the excised application-independent
+check versus the number of operations in the translated check inserted into
+the recipient) and the rewrite-rule ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .expr import Binary, Constant, Expr, InputField, Kind
+
+
+@dataclass(frozen=True)
+class CheckSize:
+    """Size of a check before and after translation (the Fig. 8 ``X -> Y``)."""
+
+    excised_ops: int
+    translated_ops: int
+
+    @property
+    def reduction_factor(self) -> float:
+        if self.translated_ops == 0:
+            return float(self.excised_ops) if self.excised_ops else 1.0
+        return self.excised_ops / self.translated_ops
+
+    def __str__(self) -> str:
+        return f"{self.excised_ops} -> {self.translated_ops}"
+
+
+def operation_count(expr: Expr) -> int:
+    """Number of operator nodes in ``expr`` (leaves do not count)."""
+    return expr.op_count()
+
+
+def leaf_count(expr: Expr) -> int:
+    """Number of leaf nodes (constants and input fields)."""
+    return sum(1 for node in expr.walk() if isinstance(node, (Constant, InputField)))
+
+
+def field_reference_count(expr: Expr) -> int:
+    """Number of input-field leaf occurrences (with multiplicity)."""
+    return sum(1 for node in expr.walk() if isinstance(node, InputField))
+
+
+def comparison_count(expr: Expr) -> int:
+    """Number of comparison operators in ``expr``."""
+    return sum(
+        1
+        for node in expr.walk()
+        if isinstance(node, Binary) and node.op.is_comparison
+    )
+
+
+def arithmetic_count(expr: Expr) -> int:
+    """Number of arithmetic (non-bitwise, non-comparison) operators."""
+    arithmetic = {Kind.ADD, Kind.SUB, Kind.MUL, Kind.UDIV, Kind.SDIV, Kind.UREM, Kind.SREM}
+    return sum(1 for node in expr.walk() if isinstance(node, Binary) and node.op in arithmetic)
+
+
+def size_reduction(before: Expr, after: Expr) -> CheckSize:
+    """The Fig. 8-style size pair for an excised/translated check pair."""
+    return CheckSize(excised_ops=operation_count(before), translated_ops=operation_count(after))

@@ -1,0 +1,176 @@
+"""Renderers for symbolic expressions.
+
+Two textual forms are produced:
+
+* :func:`to_paper_string` — the prefix form used throughout the paper
+  (``ULessEqual(32, Mul(64, ...), Constant(536870911))``), suitable for
+  logging excised checks and for the EXPERIMENTS.md report.
+* :func:`to_c_string` — a C-like infix form, used when a check expressed over
+  *recipient paths* is rendered into the final source patch
+  (see :mod:`repro.core.patch`).
+"""
+
+from __future__ import annotations
+
+from .expr import (
+    Binary,
+    Concat,
+    Constant,
+    Expr,
+    Extend,
+    Extract,
+    InputField,
+    Ite,
+    Kind,
+    Unary,
+)
+
+_PAPER_UNARY = {
+    Kind.NEG: "Neg",
+    Kind.NOT: "BvNot",
+    Kind.LOGICAL_NOT: "Not",
+}
+
+_C_BINARY = {
+    Kind.ADD: "+",
+    Kind.SUB: "-",
+    Kind.MUL: "*",
+    Kind.UDIV: "/",
+    Kind.SDIV: "/",
+    Kind.UREM: "%",
+    Kind.SREM: "%",
+    Kind.AND: "&",
+    Kind.OR: "|",
+    Kind.XOR: "^",
+    Kind.SHL: "<<",
+    Kind.LSHR: ">>",
+    Kind.ASHR: ">>",
+    Kind.EQ: "==",
+    Kind.NE: "!=",
+    Kind.ULT: "<",
+    Kind.ULE: "<=",
+    Kind.UGT: ">",
+    Kind.UGE: ">=",
+    Kind.SLT: "<",
+    Kind.SLE: "<=",
+    Kind.SGT: ">",
+    Kind.SGE: ">=",
+    Kind.BOOL_AND: "&&",
+    Kind.BOOL_OR: "||",
+}
+
+_C_TYPE_FOR_WIDTH = {
+    1: "int",
+    8: "unsigned char",
+    16: "unsigned short",
+    32: "unsigned int",
+    64: "unsigned long long",
+}
+
+
+def to_paper_string(expr: Expr) -> str:
+    """Render ``expr`` in the paper's prefix notation."""
+    if isinstance(expr, Constant):
+        if expr.value > 255:
+            return f"Constant({hex(expr.value)})"
+        return f"Constant({expr.value})"
+    if isinstance(expr, InputField):
+        return f"HachField({expr.width},'{expr.path}')"
+    if isinstance(expr, Unary):
+        return f"{_PAPER_UNARY[expr.op]}({expr.width},{to_paper_string(expr.operand)})"
+    if isinstance(expr, Binary):
+        width = expr.left.width if (expr.op.is_comparison or expr.op.is_boolean) else expr.width
+        return (
+            f"{expr.op.value}({width},"
+            f"{to_paper_string(expr.left)},{to_paper_string(expr.right)})"
+        )
+    if isinstance(expr, Extract):
+        if expr.lo == 0:
+            return f"Shrink({expr.width},{to_paper_string(expr.operand)})"
+        return f"Extract({expr.hi},{expr.lo},{to_paper_string(expr.operand)})"
+    if isinstance(expr, Extend):
+        name = "SExt" if expr.signed else "ToSize"
+        return f"{name}({expr.width},{to_paper_string(expr.operand)})"
+    if isinstance(expr, Concat):
+        inner = ",".join(to_paper_string(part) for part in expr.parts)
+        return f"Concat({expr.width},{inner})"
+    if isinstance(expr, Ite):
+        return (
+            f"Ite({expr.width},{to_paper_string(expr.cond)},"
+            f"{to_paper_string(expr.then)},{to_paper_string(expr.otherwise)})"
+        )
+    raise TypeError(f"cannot render {type(expr).__name__}")
+
+
+def c_type_for_width(width: int, signed: bool = False) -> str:
+    """The C type CP uses to materialise a value of the given bit width."""
+    base = _C_TYPE_FOR_WIDTH.get(width)
+    if base is None:
+        # Round up to the next supported width.
+        for candidate in (8, 16, 32, 64):
+            if width <= candidate:
+                base = _C_TYPE_FOR_WIDTH[candidate]
+                break
+        else:
+            base = _C_TYPE_FOR_WIDTH[64]
+    if signed and base.startswith("unsigned "):
+        return base[len("unsigned ") :]
+    return base
+
+
+def to_c_string(expr: Expr, name_for_field=None) -> str:
+    """Render ``expr`` as a C expression.
+
+    ``name_for_field`` maps an :class:`InputField` path to the C-level name to
+    emit (a recipient data-structure path such as ``dinfo.output_width``); by
+    default the field path itself is emitted.
+    """
+
+    def render(node: Expr) -> str:
+        if isinstance(node, Constant):
+            suffix = "ULL" if node.width > 32 else ""
+            return f"{node.value}{suffix}"
+        if isinstance(node, InputField):
+            if name_for_field is not None:
+                return str(name_for_field(node.path))
+            return node.path
+        if isinstance(node, Unary):
+            if node.op is Kind.NEG:
+                return f"(-{render(node.operand)})"
+            if node.op is Kind.NOT:
+                return f"(~{render(node.operand)})"
+            return f"(!{render(node.operand)})"
+        if isinstance(node, Binary):
+            op = _C_BINARY[node.op]
+            left, right = render(node.left), render(node.right)
+            if node.op.is_signed and not node.op.is_comparison:
+                cast = c_type_for_width(node.width, signed=True)
+                return f"(({cast}) {left} {op} ({cast}) {right})"
+            return f"({left} {op} {right})"
+        if isinstance(node, Extract):
+            inner = render(node.operand)
+            cast = c_type_for_width(node.width)
+            if node.lo == 0:
+                return f"(({cast}) ({inner}))"
+            mask = (1 << node.width) - 1
+            return f"(({cast}) (({inner} >> {node.lo}) & {mask}))"
+        if isinstance(node, Extend):
+            cast = c_type_for_width(node.width, signed=node.signed)
+            return f"(({cast}) {render(node.operand)})"
+        if isinstance(node, Concat):
+            pieces = []
+            shift = node.width
+            cast = c_type_for_width(node.width)
+            for part in node.parts:
+                shift -= part.width
+                rendered = f"(({cast}) {render(part)})"
+                if shift:
+                    pieces.append(f"({rendered} << {shift})")
+                else:
+                    pieces.append(rendered)
+            return "(" + " | ".join(pieces) + ")"
+        if isinstance(node, Ite):
+            return f"({render(node.cond)} ? {render(node.then)} : {render(node.otherwise)})"
+        raise TypeError(f"cannot render {type(node).__name__}")
+
+    return render(expr)

@@ -1,0 +1,83 @@
+"""Tests for the donor/recipient application corpus."""
+
+import pytest
+
+from repro.apps import (
+    AppError,
+    all_applications,
+    donors,
+    donors_for_format,
+    get_application,
+    recipients,
+)
+from repro.experiments import ERROR_CASES
+from repro.formats import InputGenerator, get_format
+from repro.lang import run_program
+
+
+class TestRegistry:
+    def test_fourteen_applications_registered(self):
+        assert len(all_applications()) == 14
+        assert len(donors()) == 7
+        assert len(recipients()) == 7
+
+    def test_unknown_application_raises(self):
+        with pytest.raises(AppError):
+            get_application("photoshop")
+
+    def test_donors_for_each_format(self):
+        assert {a.name for a in donors_for_format("jpeg")} == {"feh", "mtpaint", "viewnior"}
+        assert {a.name for a in donors_for_format("swf")} == {"gnash"}
+        assert {a.name for a in donors_for_format("dcp")} == {"wireshark-1.8.6"}
+
+    def test_targets_resolve(self):
+        assert get_application("cwebp").target("jpegdec.c:248").site_function == "ReadJPEG"
+        with pytest.raises(AppError):
+            get_application("cwebp").target("nope.c:1")
+
+
+@pytest.mark.parametrize("app", all_applications(), ids=lambda a: a.full_name)
+class TestEveryApplication:
+    def test_compiles(self, app):
+        assert app.program().function("main") is not None
+
+    def test_processes_every_seed_input(self, app):
+        for format_name in app.formats:
+            fmt = get_format(format_name)
+            seed = fmt.build()
+            result = run_program(app.program(), seed, fmt.field_map(seed))
+            assert result.accepted, f"{app.full_name} rejected the {format_name} seed"
+
+    def test_processes_regression_corpus(self, app):
+        for format_name in app.formats:
+            fmt = get_format(format_name)
+            for data in InputGenerator(fmt).regression_corpus(5):
+                result = run_program(app.program(), data, fmt.field_map(data))
+                assert result.ok, f"{app.full_name} crashed on a benign {format_name} input"
+
+
+@pytest.mark.parametrize("case_id", sorted(ERROR_CASES), ids=str)
+class TestErrorCases:
+    def test_recipient_crashes_on_error_input(self, case_id):
+        case = ERROR_CASES[case_id]
+        fmt = get_format(case.format_name)
+        error_input = case.error_input()
+        result = run_program(case.application().program(), error_input, fmt.field_map(error_input))
+        assert result.crashed
+        assert result.error.kind is case.target().error_kind
+        assert result.error.function == case.target().site_function
+
+    def test_recipient_accepts_seed_input(self, case_id):
+        case = ERROR_CASES[case_id]
+        fmt = get_format(case.format_name)
+        seed = case.seed_input()
+        assert run_program(case.application().program(), seed, fmt.field_map(seed)).accepted
+
+    def test_every_listed_donor_survives_both_inputs(self, case_id):
+        case = ERROR_CASES[case_id]
+        fmt = get_format(case.format_name)
+        seed, error_input = case.seed_input(), case.error_input()
+        for donor_name in case.donors:
+            donor = get_application(donor_name)
+            assert run_program(donor.program(), seed, fmt.field_map(seed)).ok
+            assert run_program(donor.program(), error_input, fmt.field_map(error_input)).ok

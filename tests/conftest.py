@@ -1,0 +1,34 @@
+"""Shared fixtures for the CP reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.formats import get_format
+from repro.solver import EquivalenceChecker
+from repro.symbolic import builder
+
+
+@pytest.fixture
+def jpeg_format():
+    return get_format("jpeg")
+
+
+@pytest.fixture
+def png_format():
+    return get_format("png")
+
+
+@pytest.fixture
+def checker():
+    return EquivalenceChecker()
+
+
+@pytest.fixture
+def width_field():
+    return builder.input_field("/start_frame/content/width", 16)
+
+
+@pytest.fixture
+def height_field():
+    return builder.input_field("/start_frame/content/height", 16)

@@ -1,0 +1,84 @@
+"""Tests for DIODE-style overflow discovery and the field fuzzer."""
+
+import pytest
+
+from repro.apps import get_application
+from repro.discovery import Diode, DiodeOptions, FieldFuzzer, FuzzerOptions, fuzz_for_error
+from repro.discovery.errors import same_error
+from repro.formats import get_format
+from repro.lang import ErrorKind, run_program
+
+
+class TestDiode:
+    def test_allocation_sites_reported(self):
+        app = get_application("cwebp")
+        diode = Diode(app.program(), get_format("jpeg"))
+        sites = diode.allocation_sites(get_format("jpeg").build())
+        assert len(sites) == 1
+        assert sites[0].function == "ReadJPEG"
+        assert sites[0].fields() >= {"/start_frame/content/width", "/start_frame/content/height"}
+
+    def test_discovers_cwebp_overflow(self):
+        app = get_application("cwebp")
+        fmt = get_format("jpeg")
+        findings = Diode(app.program(), fmt).discover(fmt.build())
+        assert findings, "DIODE failed to find the CWebP overflow"
+        finding = findings[0]
+        assert finding.site_function == "ReadJPEG"
+        result = run_program(app.program(), finding.error_input, fmt.field_map(finding.error_input))
+        assert result.crashed and result.error.kind in (
+            ErrorKind.INTEGER_OVERFLOW,
+            ErrorKind.OUT_OF_BOUNDS_WRITE,
+        )
+
+    def test_function_scope_restricts_search(self):
+        app = get_application("swfplay")
+        fmt = get_format("swf")
+        diode = Diode(app.program(), fmt)
+        findings = diode.discover(fmt.build(), site_function="jpeg_rgb_decode")
+        assert all(f.site_function == "jpeg_rgb_decode" for f in findings)
+
+    def test_no_findings_for_safe_program(self):
+        app = get_application("feh")  # the donor checks its dimensions
+        fmt = get_format("jpeg")
+        assert Diode(app.program(), fmt, DiodeOptions(max_trials=60)).discover(fmt.build()) == []
+
+
+class TestFuzzer:
+    def test_finds_gif2tiff_out_of_bounds(self):
+        app = get_application("gif2tiff")
+        fmt = get_format("gif")
+        finding = fuzz_for_error(app.program(), fmt, iterations=400, application="gif2tiff")
+        assert finding is not None
+        assert finding.report.kind is ErrorKind.OUT_OF_BOUNDS_WRITE
+        # The error-triggering input mutates the LZW code size field.
+        assert fmt.parse(finding.error_input)["/image/code_size"] > 12
+
+    def test_finds_wireshark_divide_by_zero(self):
+        app = get_application("wireshark-1.4.14")
+        fmt = get_format("dcp")
+        fuzzer = FieldFuzzer(app.program(), fmt, FuzzerOptions(iterations=300, stop_after=1))
+        findings = fuzzer.campaign(application="wireshark")
+        assert findings and findings[0].report.kind is ErrorKind.DIVIDE_BY_ZERO
+
+    def test_crashing_seed_rejected(self):
+        app = get_application("wireshark-1.4.14")
+        fmt = get_format("dcp")
+        bad_seed = fmt.build({"/dcp/plen": 0})
+        with pytest.raises(ValueError):
+            FieldFuzzer(app.program(), fmt).campaign(bad_seed)
+
+    def test_deduplication_by_error_site(self):
+        app = get_application("gif2tiff")
+        fmt = get_format("gif")
+        fuzzer = FieldFuzzer(app.program(), fmt, FuzzerOptions(iterations=400))
+        findings = fuzzer.campaign(application="gif2tiff")
+        sites = [(f.report.function, f.report.line) for f in findings]
+        assert len(sites) == len(set(sites))
+
+    def test_same_error_helper(self):
+        app = get_application("wireshark-1.4.14")
+        fmt = get_format("dcp")
+        finding = fuzz_for_error(app.program(), fmt, iterations=300)
+        assert finding is not None
+        assert same_error(finding.report, finding.report)

@@ -1,0 +1,136 @@
+"""Tests for the field/field-map primitives, raw mode, and the generator."""
+
+import pytest
+
+from repro.formats import Field, FieldMap, FormatError, InputGenerator, RawFormat, get_format, raw_path
+from repro.formats.generator import corpus_for
+from repro.symbolic import evaluate
+
+
+class TestField:
+    def test_big_endian_read_write(self):
+        field = Field(path="/x", offset=2, size=2, endianness="big")
+        data = bytearray(6)
+        field.write(data, 0xABCD)
+        assert bytes(data[2:4]) == b"\xab\xcd"
+        assert field.read(bytes(data)) == 0xABCD
+
+    def test_little_endian_read_write(self):
+        field = Field(path="/x", offset=0, size=4, endianness="little")
+        data = bytearray(4)
+        field.write(data, 0x11223344)
+        assert field.read(bytes(data)) == 0x11223344
+        assert data[0] == 0x44
+
+    def test_symbolic_byte_positions(self):
+        field = Field(path="/x", offset=0, size=2, endianness="big")
+        assert evaluate(field.symbolic_byte(0), {"/x": 0xABCD}) == 0xAB
+        assert evaluate(field.symbolic_byte(1), {"/x": 0xABCD}) == 0xCD
+        little = Field(path="/y", offset=0, size=2, endianness="little")
+        assert evaluate(little.symbolic_byte(0), {"/y": 0xABCD}) == 0xCD
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(FormatError):
+            Field(path="x", offset=0, size=1)
+        with pytest.raises(FormatError):
+            Field(path="/x", offset=0, size=0)
+        with pytest.raises(FormatError):
+            Field(path="/x", offset=0, size=1, endianness="middle")
+
+    def test_read_past_end_rejected(self):
+        field = Field(path="/x", offset=4, size=4)
+        with pytest.raises(FormatError):
+            field.read(b"\x00" * 6)
+
+
+class TestFieldMap:
+    def _map(self):
+        return FieldMap(
+            [
+                Field(path="/a", offset=0, size=2),
+                Field(path="/b", offset=4, size=1),
+            ],
+            total_size=8,
+        )
+
+    def test_lookup_by_path_and_offset(self):
+        layout = self._map()
+        assert layout.field("/a").size == 2
+        assert layout.field_at(1).path == "/a"
+        assert layout.field_at(4).path == "/b"
+        assert layout.field_at(3) is None
+
+    def test_overlapping_fields_rejected(self):
+        with pytest.raises(FormatError):
+            FieldMap(
+                [Field(path="/a", offset=0, size=2), Field(path="/b", offset=1, size=2)],
+                total_size=4,
+            )
+
+    def test_duplicate_paths_rejected(self):
+        with pytest.raises(FormatError):
+            FieldMap(
+                [Field(path="/a", offset=0, size=1), Field(path="/a", offset=2, size=1)],
+                total_size=4,
+            )
+
+    def test_differing_fields(self):
+        layout = self._map()
+        first = bytes([0, 1, 0, 0, 7, 0, 0, 0])
+        second = bytes([0, 2, 0, 0, 7, 0, 0, 0])
+        assert layout.differing_fields(first, second) == ["/a"]
+
+    def test_unknown_path_raises(self):
+        with pytest.raises(FormatError):
+            self._map().field("/zzz")
+
+
+class TestRawMode:
+    def test_every_byte_is_a_field(self):
+        data = b"\x01\x02\x03"
+        layout = RawFormat().field_map(data)
+        assert len(layout) == 3
+        assert layout.field(raw_path(1)).read(data) == 2
+
+    def test_build_from_offsets(self):
+        data = RawFormat().build({raw_path(0): 0xAA, raw_path(3): 0xBB})
+        assert data == b"\xaa\x00\x00\xbb"
+
+
+class TestGenerator:
+    def test_regression_corpus_is_benign(self):
+        spec = get_format("swf")
+        corpus = InputGenerator(spec).regression_corpus(10)
+        assert len(corpus) == 10
+        for data in corpus[1:]:
+            values = spec.parse(data)
+            # Single-byte fields (sampling factors) stay within donor-accepted
+            # ranges so regression suites do not exercise rejected inputs.
+            assert 1 <= values["/jpeg/h_samp"] <= 4
+            assert 1 <= values["/jpeg/width"] <= 64
+
+    def test_regression_corpus_is_deterministic(self):
+        spec = get_format("png")
+        assert InputGenerator(spec, seed=7).regression_corpus() == InputGenerator(
+            spec, seed=7
+        ).regression_corpus()
+
+    def test_mutations_change_named_field(self):
+        spec = get_format("gif")
+        generator = InputGenerator(spec)
+        seed = generator.seed_input()
+        mutated = generator.mutate_field(seed, "/image/code_size", 16)
+        assert spec.parse(mutated)["/image/code_size"] == 16
+
+    def test_random_mutations_touch_requested_fields_only(self):
+        spec = get_format("dcp")
+        generator = InputGenerator(spec)
+        seed = generator.seed_input()
+        layout = spec.field_map(seed)
+        for mutant in generator.random_field_mutations(seed, 20, paths=["/dcp/plen"]):
+            assert set(layout.differing_fields(seed, mutant)) <= {"/dcp/plen"}
+
+    def test_corpus_for_labels_inputs(self):
+        corpus = corpus_for([get_format("jpeg"), get_format("png")], per_format=3)
+        assert len(corpus) == 6
+        assert {entry.format_name for entry in corpus} == {"jpeg", "png"}

@@ -1,0 +1,88 @@
+"""Tests for every registered input format."""
+
+import pytest
+
+from repro.formats import FormatError, all_formats, get_format, identify
+from repro.symbolic import evaluate
+
+FORMAT_NAMES = [spec.name for spec in all_formats()]
+
+
+@pytest.mark.parametrize("name", FORMAT_NAMES)
+class TestEveryFormat:
+    def test_seed_matches_magic(self, name):
+        spec = get_format(name)
+        assert spec.matches(spec.build())
+
+    def test_identify_round_trip(self, name):
+        spec = get_format(name)
+        assert identify(spec.build()).name == name
+
+    def test_parse_build_round_trip(self, name):
+        spec = get_format(name)
+        seed = spec.build()
+        assert spec.build(spec.parse(seed)) == seed
+
+    def test_field_values_match_defaults(self, name):
+        spec = get_format(name)
+        values = spec.parse(spec.build())
+        for default in spec.field_defaults:
+            assert values[default.path] == default.default
+
+    def test_with_values_changes_exactly_one_field(self, name):
+        spec = get_format(name)
+        seed = spec.build()
+        layout = spec.field_map(seed)
+        path = layout.paths()[0]
+        mutated = spec.with_values(seed, **{path: 1})
+        differing = layout.differing_fields(seed, mutated)
+        assert differing in ([path], [])  # [] if the default already equals 1
+
+    def test_symbolic_byte_consistency(self, name):
+        """Concatenating each field's byte expressions reproduces the field value."""
+        spec = get_format(name)
+        seed = spec.build()
+        layout = spec.field_map(seed)
+        values = layout.values(seed)
+        for field in layout:
+            total = 0
+            for offset in range(field.offset, field.end):
+                byte_expr = layout.symbolic_byte(offset)
+                byte_value = evaluate(byte_expr, {field.path: values[field.path]})
+                assert seed[offset] == byte_value
+                total = (total << 8) | byte_value if field.endianness == "big" else total
+            if field.endianness == "big":
+                assert total == values[field.path]
+
+    def test_unstructured_bytes_get_raw_labels(self, name):
+        spec = get_format(name)
+        seed = spec.build()
+        layout = spec.field_map(seed)
+        structured = {offset for field in layout for offset in range(field.offset, field.end)}
+        for offset in range(len(seed)):
+            expr = layout.symbolic_byte(offset)
+            if offset not in structured:
+                assert expr.fields() == frozenset({f"/raw/offset_{offset}"})
+
+    def test_describe_mentions_every_field(self, name):
+        spec = get_format(name)
+        description = spec.describe()
+        for default in spec.field_defaults:
+            assert default.path in description
+
+
+class TestRegistry:
+    def test_unknown_format_raises(self):
+        with pytest.raises(FormatError):
+            get_format("bmp")
+
+    def test_unknown_field_override_rejected(self):
+        with pytest.raises(FormatError):
+            get_format("jpeg").build({"/nope": 1})
+
+    def test_identify_falls_back_to_raw(self):
+        assert identify(b"\x00" * 64).name == "raw"
+
+    def test_all_formats_excludes_raw(self):
+        assert "raw" not in [spec.name for spec in all_formats()]
+        assert len(all_formats()) == 7

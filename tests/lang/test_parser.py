@@ -1,0 +1,161 @@
+"""Tests for the MicroC lexer, parser, printer, and checker."""
+
+import pytest
+
+from repro.lang import (
+    CheckError,
+    LexError,
+    ParseError,
+    compile_program,
+    parse_expression,
+    parse_program,
+    render_program,
+    tokenize,
+)
+from repro.lang import ast
+
+
+VALID = """
+struct point {
+    u32 x;
+    u32 y;
+};
+
+u32 limit = 100;
+
+u32 scale(u32 value, u32 factor) {
+    return value * factor;
+}
+
+int main() {
+    struct point p;
+    p.x = read_u16_be();
+    p.y = (u32) read_byte();
+    u32 area = scale(p.x, p.y);
+    if (area > limit) {
+        exit(-1);
+    }
+    while (area > 0) {
+        area = area - 1;
+    }
+    emit(p.x);
+    return 0;
+}
+"""
+
+
+class TestLexer:
+    def test_tokenises_operators_greedily(self):
+        kinds = [t.text for t in tokenize("a <<= >> -> <= == && ||")[:-1]]
+        assert "<<" in kinds and "->" in kinds and "&&" in kinds
+
+    def test_hex_and_suffixed_literals(self):
+        tokens = tokenize("0xFF 1234ULL")
+        assert tokens[0].value == 255
+        assert tokens[1].value == 1234
+
+    def test_comments_skipped(self):
+        tokens = tokenize("1 // line\n/* block\nblock */ 2")
+        assert [t.value for t in tokens[:-1]] == [1, 2]
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_full_program_parses(self):
+        unit = parse_program(VALID)
+        assert [f.name for f in unit.functions] == ["scale", "main"]
+        assert unit.structs[0].name == "point"
+        assert unit.globals[0].name == "limit"
+
+    def test_node_ids_are_unique_and_stable(self):
+        unit1, unit2 = parse_program(VALID), parse_program(VALID)
+        ids1 = [s.node_id for s in unit1.all_statements()]
+        ids2 = [s.node_id for s in unit2.all_statements()]
+        assert ids1 == ids2
+        assert len(ids1) == len(set(ids1))
+
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3 == 7")
+        assert isinstance(expr, ast.Binary) and expr.op == "=="
+        assert isinstance(expr.left, ast.Binary) and expr.left.op == "+"
+
+    def test_cast_vs_parenthesised_expression(self):
+        cast = parse_expression("(u64) x * 2")
+        assert isinstance(cast, ast.Binary) and isinstance(cast.left, ast.Cast)
+        grouped = parse_expression("(x) * 2")
+        assert isinstance(grouped, ast.Binary) and isinstance(grouped.left, ast.Name)
+
+    def test_arrow_and_dot_access(self):
+        expr = parse_expression("p->info.width")
+        assert isinstance(expr, ast.FieldAccess) and not expr.arrow
+        assert isinstance(expr.base, ast.FieldAccess) and expr.base.arrow
+
+    def test_else_if_chain(self):
+        unit = parse_program("int main() { if (1) { return 1; } else if (2) { return 2; } return 0; }")
+        statement = unit.function("main").body.statements[0]
+        assert isinstance(statement, ast.If)
+        assert isinstance(statement.else_block.statements[0], ast.If)
+
+    def test_syntax_errors_reported_with_line(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("int main() {\n  u32 x = ;\n}")
+        assert info.value.line == 2
+
+    def test_trailing_garbage_in_expression(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b extra")
+
+
+class TestPrinterRoundTrip:
+    def test_render_then_reparse_preserves_structure(self):
+        unit = parse_program(VALID)
+        rendered = render_program(unit)
+        reparsed = parse_program(rendered)
+        assert [f.name for f in reparsed.functions] == [f.name for f in unit.functions]
+        assert len(list(reparsed.all_statements())) == len(list(unit.all_statements()))
+
+    def test_rendered_program_recompiles(self):
+        rendered = render_program(parse_program(VALID))
+        assert compile_program(rendered).function("main") is not None
+
+
+class TestChecker:
+    def test_valid_program_compiles(self):
+        program = compile_program(VALID)
+        assert program.signature("scale").return_type.width == 32
+        assert program.debug_info.has(
+            program.function("main").body.statements[0].node_id
+        )
+
+    def test_debug_info_tracks_scope_growth(self):
+        program = compile_program(VALID)
+        statements = program.function("main").body.statements
+        first_scope = {v.name for v in program.debug_info.scope_at(statements[0].node_id)}
+        last_scope = {v.name for v in program.debug_info.scope_at(statements[-1].node_id)}
+        assert "p" in first_scope
+        assert {"p", "area", "limit"} <= last_scope
+
+    @pytest.mark.parametrize(
+        "source,fragment",
+        [
+            ("int main() { return x; }", "unknown variable"),
+            ("int main() { u32 x = 1; u32 x = 2; return 0; }", "redefined"),
+            ("int main() { foo(); return 0; }", "unknown function"),
+            ("int main() { exit(1, 2); return 0; }", "argument"),
+            ("int main() { struct nope n; return 0; }", "unknown struct"),
+            ("int f() { return 1; } int f() { return 2; } int main() { return 0; }", "redefined"),
+            ("int main() { 5 = 3; return 0; }", "lvalue"),
+            ("int main() { u32 p; p->x = 1; return 0; }", "pointer"),
+        ],
+    )
+    def test_semantic_errors_rejected(self, source, fragment):
+        with pytest.raises(CheckError) as info:
+            compile_program(source)
+        assert fragment.split()[0] in str(info.value)
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(CheckError):
+            compile_program("int helper() { return 0; }")

@@ -1,0 +1,98 @@
+"""Tests for source-level patch insertion and recompilation."""
+
+import pytest
+
+from repro.lang import (
+    PatchAction,
+    PatchError,
+    RunStatus,
+    SourcePatch,
+    apply_patch,
+    compile_program,
+    parse_program,
+    render_patch_preview,
+    run_program,
+)
+
+SOURCE = """
+struct image { u32 width; u32 height; };
+
+int load() {
+    struct image img;
+    img.width = read_u16_be();
+    img.height = read_u16_be();
+    u8* data = malloc(img.width * img.height * 4);
+    if (data == 0) {
+        return 1;
+    }
+    emit(img.width);
+    return 0;
+}
+
+int main() {
+    return load();
+}
+"""
+
+
+def _statement_after_height():
+    unit = parse_program(SOURCE)
+    return unit.function("load").body.statements[2].node_id  # img.height = ...
+
+
+class TestApplyPatch:
+    def test_patch_inserted_after_anchor(self):
+        patch = SourcePatch(_statement_after_height(), "img.width > 1000")
+        patched = apply_patch(SOURCE, patch)
+        assert "if ((img.width > 1000))" in patched.source or "if (img.width > 1000)" in patched.source
+        assert patched.function == "load"
+        anchor_index = patched.source.index("img.height")
+        patch_index = patched.source.index("exit(")
+        assert patch_index > anchor_index
+
+    def test_patched_program_behaviour(self):
+        patch = SourcePatch(_statement_after_height(), "img.width > 1000")
+        patched = apply_patch(SOURCE, patch)
+        big = (2000).to_bytes(2, "big") + (10).to_bytes(2, "big")
+        small = (10).to_bytes(2, "big") + (10).to_bytes(2, "big")
+        assert run_program(patched.program, big).status is RunStatus.EXIT
+        assert run_program(patched.program, small).accepted
+
+    def test_return_zero_action(self):
+        patch = SourcePatch(
+            _statement_after_height(), "img.width > 1000", action=PatchAction.RETURN_ZERO
+        )
+        patched = apply_patch(SOURCE, patch)
+        big = (2000).to_bytes(2, "big") + (10).to_bytes(2, "big")
+        result = run_program(patched.program, big)
+        assert result.status is RunStatus.OK
+
+    def test_original_program_unchanged(self):
+        original = compile_program(SOURCE)
+        before = len(list(original.unit.all_statements()))
+        apply_patch(SOURCE, SourcePatch(_statement_after_height(), "img.width > 1000"))
+        assert len(list(compile_program(SOURCE).unit.all_statements())) == before
+
+    def test_unknown_insertion_point_rejected(self):
+        with pytest.raises(PatchError):
+            apply_patch(SOURCE, SourcePatch(999999, "img.width > 1000"))
+
+    def test_invalid_condition_fails_recompilation(self):
+        with pytest.raises(Exception):
+            apply_patch(SOURCE, SourcePatch(_statement_after_height(), "nonexistent_variable > 3"))
+
+    def test_patch_render_and_preview(self):
+        patch = SourcePatch(_statement_after_height(), "img.width > 1000")
+        assert patch.render() == "if (img.width > 1000) { exit(-1); }"
+        preview = render_patch_preview(SOURCE, patch)
+        assert "in load" in preview and "exit(-1)" in preview
+
+    def test_patches_stack(self):
+        patch1 = SourcePatch(_statement_after_height(), "img.width > 1000")
+        first = apply_patch(SOURCE, patch1)
+        # Insert a second patch into the already-patched source.
+        unit = parse_program(first.source)
+        anchor = unit.function("load").body.statements[2].node_id
+        second = apply_patch(first.source, SourcePatch(anchor, "img.height > 500"))
+        big_height = (10).to_bytes(2, "big") + (600).to_bytes(2, "big")
+        assert run_program(second.program, big_height).status is RunStatus.EXIT

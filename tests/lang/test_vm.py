@@ -1,0 +1,182 @@
+"""Tests for the MicroC VM: semantics, taint/symbolic shadow state, errors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formats import RawFormat, get_format
+from repro.lang import ErrorKind, RunStatus, compile_program, run_program
+from repro.symbolic import evaluate
+
+
+def run_source(source, data=b"", field_map=None):
+    program = compile_program(source)
+    return run_program(program, data, field_map)
+
+
+class TestArithmeticSemantics:
+    def test_unsigned_wraparound(self):
+        result = run_source("int main() { u32 x = 4294967295; x = x + 2; emit(x); return 0; }")
+        assert result.output == [1]
+
+    def test_signed_division_truncates(self):
+        result = run_source("int main() { i32 x = -7; i32 y = 2; emit((u32)(x / y)); return 0; }")
+        assert result.output == [(-3) & 0xFFFFFFFF]
+
+    def test_mixed_width_promotion(self):
+        result = run_source(
+            "int main() { u16 a = 40000; u32 b = 100000; emit(a + b); return 0; }"
+        )
+        assert result.output == [140000]
+
+    def test_shift_and_mask(self):
+        result = run_source("int main() { u32 x = (255 << 8) | 7; emit(x & 0xFF00); return 0; }")
+        assert result.output == [0xFF00]
+
+    def test_logical_short_circuit(self):
+        # The right operand would divide by zero; && must not evaluate it.
+        result = run_source(
+            "int main() { u32 z = 0; if ((z != 0) && ((10 / z) > 0)) { emit(1); } emit(2); return 0; }"
+        )
+        assert result.status is RunStatus.OK
+        assert result.output == [2]
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_addition_matches_reference(self, a, b):
+        result = run_source(f"int main() {{ u32 a = {a}; u32 b = {b}; emit(a + b); return 0; }}")
+        assert result.output == [(a + b) & 0xFFFFFFFF]
+
+
+class TestControlFlowAndCalls:
+    def test_while_loop_and_function_call(self):
+        result = run_source(
+            """
+            u32 sum_to(u32 n) {
+                u32 total = 0;
+                u32 i = 1;
+                while (i <= n) {
+                    total = total + i;
+                    i = i + 1;
+                }
+                return total;
+            }
+            int main() { emit(sum_to(10)); return 0; }
+            """
+        )
+        assert result.output == [55]
+
+    def test_struct_pointer_arguments(self):
+        result = run_source(
+            """
+            struct box { u32 value; };
+            int fill(struct box* b) { b->value = 42; return 0; }
+            int main() { struct box b; fill(&b); emit(b.value); return 0; }
+            """
+        )
+        assert result.output == [42]
+
+    def test_runaway_loop_is_stopped(self):
+        result = run_source("int main() { u32 x = 1; while (x) { x = 1; } return 0; }")
+        assert result.status is RunStatus.ERROR
+        assert result.error.kind is ErrorKind.RESOURCE_EXHAUSTED
+
+
+class TestErrorDetection:
+    def test_divide_by_zero(self):
+        result = run_source("int main() { u32 z = 0; emit(4 / z); return 0; }")
+        assert result.error.kind is ErrorKind.DIVIDE_BY_ZERO
+
+    def test_out_of_bounds_write(self):
+        result = run_source(
+            "int main() { u8* b = malloc(4); store8(b, 4, 1); return 0; }"
+        )
+        assert result.error.kind is ErrorKind.OUT_OF_BOUNDS_WRITE
+
+    def test_in_bounds_write_ok(self):
+        result = run_source(
+            "int main() { u8* b = malloc(4); store8(b, 3, 9); emit(load8(b, 3)); return 0; }"
+        )
+        assert result.ok and result.output == [9]
+
+    def test_null_dereference(self):
+        result = run_source(
+            """
+            struct s { u32 x; };
+            int main() { struct s* p; emit(p->x); return 0; }
+            """
+        )
+        assert result.error.kind is ErrorKind.NULL_DEREFERENCE
+
+    def test_allocation_overflow_detected(self):
+        result = run_source(
+            "int main() { u32 big = 70000; u8* b = malloc(big * big); return 0; }"
+        )
+        assert result.error.kind is ErrorKind.INTEGER_OVERFLOW
+        assert result.allocations[0].overflowed
+
+    def test_exit_is_not_an_error(self):
+        result = run_source("int main() { exit(-1); return 0; }")
+        assert result.status is RunStatus.EXIT
+        assert result.exit_code == -1
+        assert result.ok
+
+
+class TestTaintAndSymbolicTracking:
+    SOURCE = """
+    int main() {
+        u8 hi = read_byte();
+        u8 lo = read_byte();
+        u32 width = ((u32) hi << 8) | (u32) lo;
+        if (width > 100) {
+            emit(1);
+        }
+        u8* buffer = malloc(width * 4);
+        return 0;
+    }
+    """
+
+    def _run(self, value):
+        program = compile_program(self.SOURCE)
+        from repro.formats import Field, FieldMap
+
+        data = value.to_bytes(2, "big")
+        layout = FieldMap([Field(path="/w", offset=0, size=2, endianness="big")], 2)
+        return run_program(program, data, layout)
+
+    def test_branch_condition_symbolic_over_field(self):
+        result = self._run(300)
+        branch = result.branches[0]
+        assert branch.taken is True
+        assert branch.fields() == frozenset({"/w"})
+        assert evaluate(branch.symbolic, {"/w": 300}) == 1
+        assert evaluate(branch.symbolic, {"/w": 50}) == 0
+
+    def test_allocation_symbolic_expression(self):
+        result = self._run(70)
+        allocation = result.allocations[0]
+        assert allocation.size == 280
+        assert evaluate(allocation.symbolic, {"/w": 70}) == 280
+        assert result.fields_read == frozenset({"/w"})
+
+    def test_raw_mode_labels(self):
+        program = compile_program(self.SOURCE)
+        result = run_program(program, b"\x00\x05", RawFormat().field_map(b"\x00\x05"))
+        assert result.allocations[0].fields() == {"/raw/offset_0", "/raw/offset_1"}
+
+
+class TestBehaviourAndRegression:
+    def test_behaviour_tuple_captures_output_and_exit(self):
+        first = run_source("int main() { emit(1); emit(2); return 0; }")
+        second = run_source("int main() { emit(1); emit(2); return 0; }")
+        third = run_source("int main() { emit(1); emit(3); return 0; }")
+        assert first.behaviour() == second.behaviour()
+        assert first.behaviour() != third.behaviour()
+
+    def test_run_on_format_seed(self):
+        jpeg = get_format("jpeg")
+        from repro.apps import get_application
+
+        result = run_program(
+            get_application("cwebp").program(), jpeg.build(), jpeg.field_map(jpeg.build())
+        )
+        assert result.accepted

@@ -1,0 +1,118 @@
+"""Bit-blaster tests: circuits must agree with the expression evaluator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import BitBlaster, Solver, estimate_blast_cost
+from repro.symbolic import Kind, builder, evaluate
+from repro.symbolic.expr import Binary
+
+
+A = builder.input_field("/a", 4)
+B = builder.input_field("/b", 4)
+
+
+def circuit_value(expr, env):
+    """Evaluate ``expr`` through the CNF encoding with inputs pinned to ``env``."""
+    blaster = BitBlaster()
+    bits = blaster.blast(expr)
+    # Pin the input field bits (allocating any field variables the expression
+    # did not reference before sizing the solver).
+    assumptions = []
+    for path, value in env.items():
+        for index, literal in enumerate(blaster.field_bits(path, 4)):
+            assumptions.append(literal if (value >> index) & 1 else -literal)
+    solver = Solver()
+    solver.ensure_vars(blaster.cnf.num_vars)
+    for clause in blaster.cnf.clauses:
+        solver.add_clause(clause)
+    result = solver.solve(assumptions=assumptions)
+    assert result.is_sat
+    value = 0
+    for index, bit in enumerate(bits):
+        if isinstance(bit, bool):
+            bit_value = bit
+        else:
+            bit_value = result.model[abs(bit)] if bit > 0 else not result.model[abs(bit)]
+        if bit_value:
+            value |= 1 << index
+    return value
+
+
+_BINARY_OPS = [
+    builder.add,
+    builder.sub,
+    builder.mul,
+    builder.udiv,
+    builder.urem,
+    builder.sdiv,
+    builder.srem,
+    builder.bvand,
+    builder.bvor,
+    builder.bvxor,
+    builder.shl,
+    builder.lshr,
+    builder.ashr,
+    builder.eq,
+    builder.ne,
+    builder.ult,
+    builder.ule,
+    builder.slt,
+    builder.sle,
+    builder.ugt,
+    builder.sge,
+]
+
+
+@given(
+    st.sampled_from(_BINARY_OPS),
+    st.integers(0, 15),
+    st.integers(0, 15),
+)
+@settings(max_examples=300, deadline=None)
+def test_binary_operators_match_evaluator(operation, a, b):
+    expr = operation(A, B)
+    env = {"/a": a, "/b": b}
+    assert circuit_value(expr, env) == evaluate(expr, env)
+
+
+@given(st.integers(0, 15), st.integers(0, 15))
+@settings(max_examples=60, deadline=None)
+def test_composed_expression_matches_evaluator(a, b):
+    expr = builder.ule(
+        builder.mul(builder.zext(A, 8), builder.zext(B, 8)), builder.const(29, 8)
+    )
+    env = {"/a": a, "/b": b}
+    assert circuit_value(expr, env) == evaluate(expr, env)
+
+
+@given(st.integers(0, 15))
+@settings(max_examples=30, deadline=None)
+def test_unary_and_structural_nodes(a):
+    env = {"/a": a, "/b": 0}
+    for expr in (
+        builder.neg(A),
+        builder.bvnot(A),
+        builder.extract(A, 2, 1),
+        builder.zext(A, 9),
+        builder.sext(A, 9),
+        builder.concat(A, B),
+        builder.ite(builder.ult(A, B), A, B),
+    ):
+        assert circuit_value(expr, env) == evaluate(expr, env)
+
+
+def test_cost_estimate_orders_operations():
+    cheap = builder.add(builder.zext(A, 32), builder.zext(B, 32))
+    multiply = builder.mul(builder.zext(A, 32), builder.zext(B, 32))
+    divide = builder.udiv(builder.zext(A, 32), builder.zext(B, 32))
+    assert estimate_blast_cost(cheap) < estimate_blast_cost(multiply) < estimate_blast_cost(divide)
+
+
+def test_field_width_conflict_rejected():
+    blaster = BitBlaster()
+    blaster.field_bits("/x", 8)
+    try:
+        blaster.field_bits("/x", 16)
+        assert False, "expected BlastError"
+    except Exception:
+        pass

@@ -1,0 +1,103 @@
+"""Tests for the hybrid equivalence checker and its two paper optimisations."""
+
+from repro.solver import EquivalenceChecker, EquivalenceOptions, Verdict
+from repro.symbolic import SimplifyOptions, builder
+
+
+A8 = builder.input_field("/a", 8)
+B8 = builder.input_field("/b", 8)
+W16 = builder.input_field("/w", 16)
+
+
+class TestVerdicts:
+    def test_syntactic_equivalence(self, checker):
+        result = checker.equivalent(builder.add(A8, 1), builder.add(A8, 1))
+        assert result.verdict is Verdict.EQUIVALENT
+        assert result.method == "syntactic"
+
+    def test_simplification_based_equivalence(self, checker):
+        hi = builder.extract(W16, 15, 8)
+        lo = builder.extract(W16, 7, 0)
+        assembled = builder.bvor(builder.shl(builder.zext(hi, 16), 8), builder.zext(lo, 16))
+        assert checker.equivalent(assembled, W16).verdict is Verdict.EQUIVALENT
+
+    def test_commutativity_proved(self, checker):
+        result = checker.equivalent(builder.add(A8, B8), builder.add(B8, A8))
+        assert result.verdict is Verdict.EQUIVALENT
+        assert result.method in ("exhaustive", "sat")
+
+    def test_inequivalence_with_witness(self, checker):
+        result = checker.equivalent(builder.add(A8, 1), builder.add(A8, 2))
+        assert result.verdict is Verdict.NOT_EQUIVALENT
+        assert result.witness is not None
+
+    def test_width_mismatch_not_equivalent(self, checker):
+        result = checker.equivalent(A8, W16)
+        assert result.verdict is Verdict.NOT_EQUIVALENT
+
+    def test_disjoint_fields_skips_solver(self, checker):
+        result = checker.equivalent(A8, B8)
+        assert result.verdict is Verdict.NOT_EQUIVALENT
+        assert result.method == "disjoint-fields"
+        assert checker.statistics.disjoint_field_skips == 1
+
+    def test_wide_multiplication_falls_back_to_sampling(self, checker):
+        w32 = builder.input_field("/w32", 32)
+        h32 = builder.input_field("/h32", 32)
+        left = builder.mul(builder.zext(w32, 64), builder.zext(h32, 64))
+        right = builder.mul(builder.zext(h32, 64), builder.zext(w32, 64))
+        result = checker.equivalent(left, right)
+        assert result.verdict in (Verdict.PROBABLY_EQUIVALENT, Verdict.EQUIVALENT)
+        assert result.verdict.accepts
+
+    def test_verdict_accepts_property(self):
+        assert Verdict.EQUIVALENT.accepts
+        assert Verdict.PROBABLY_EQUIVALENT.accepts
+        assert not Verdict.NOT_EQUIVALENT.accepts
+        assert Verdict.EQUIVALENT.proved and Verdict.NOT_EQUIVALENT.proved
+        assert not Verdict.PROBABLY_EQUIVALENT.proved
+
+
+class TestOptimisations:
+    def test_query_cache_hit(self):
+        checker = EquivalenceChecker()
+        checker.equivalent(builder.add(A8, B8), builder.add(B8, A8))
+        checker.equivalent(builder.add(A8, B8), builder.add(B8, A8))
+        assert checker.statistics.cache_hits == 1
+
+    def test_cache_is_symmetric(self):
+        checker = EquivalenceChecker()
+        checker.equivalent(builder.add(A8, B8), builder.add(B8, A8))
+        checker.equivalent(builder.add(B8, A8), builder.add(A8, B8))
+        assert checker.statistics.cache_hits == 1
+
+    def test_optimisations_can_be_disabled(self):
+        options = EquivalenceOptions(use_cache=False, use_disjoint_field_filter=False)
+        checker = EquivalenceChecker(options=options)
+        checker.equivalent(A8, B8)
+        checker.equivalent(A8, B8)
+        assert checker.statistics.cache_hits == 0
+        assert checker.statistics.disjoint_field_skips == 0
+
+    def test_statistics_track_queries(self):
+        checker = EquivalenceChecker()
+        checker.equivalent(A8, builder.add(A8, 0))
+        assert checker.statistics.queries == 1
+
+
+class TestSatisfiability:
+    def test_satisfiable_condition(self, checker):
+        satisfiable, witness = checker.satisfiable(builder.ugt(A8, 200))
+        assert satisfiable
+        assert witness["/a"] > 200
+
+    def test_unsatisfiable_condition(self, checker):
+        condition = builder.logical_and(builder.ugt(A8, 200), builder.ult(A8, 100))
+        satisfiable, witness = checker.satisfiable(condition)
+        assert not satisfiable
+
+    def test_simplifier_options_respected(self):
+        checker = EquivalenceChecker(simplify_options=SimplifyOptions.none())
+        result = checker.equivalent(builder.add(A8, 0), A8)
+        # Even without simplification the exhaustive/SAT path proves it.
+        assert result.verdict.accepts

@@ -1,0 +1,73 @@
+"""Tests for the integer-overflow-specific validation queries."""
+
+from repro.solver import (
+    EquivalenceChecker,
+    check_blocks_overflow,
+    overflow_condition,
+    overflow_witness,
+    widen,
+)
+from repro.symbolic import builder, evaluate
+
+
+W = builder.input_field("/w", 16)
+H = builder.input_field("/h", 16)
+#: 32-bit allocation size: width * height * 3 (the CWebP/Dillo shape).
+SIZE = builder.mul(builder.mul(builder.zext(W, 32), builder.zext(H, 32)), builder.const(3, 32))
+
+
+class TestWiden:
+    def test_widen_reveals_wraparound(self):
+        env = {"/w": 65535, "/h": 65535}
+        wrapped = evaluate(SIZE, env)
+        widened = evaluate(widen(SIZE, 64), env)
+        assert widened == 65535 * 65535 * 3
+        assert wrapped == (65535 * 65535 * 3) & 0xFFFFFFFF
+        assert widened != wrapped
+
+    def test_widen_is_identity_for_small_values(self):
+        env = {"/w": 10, "/h": 20}
+        assert evaluate(widen(SIZE, 64), env) == evaluate(SIZE, env) == 600
+
+    def test_widen_of_leaf(self):
+        assert widen(W, 32).width == 32
+
+
+class TestOverflowCondition:
+    def test_condition_true_exactly_on_overflow(self):
+        condition = overflow_condition(SIZE)
+        assert evaluate(condition, {"/w": 65535, "/h": 65535}) == 1
+        assert evaluate(condition, {"/w": 100, "/h": 100}) == 0
+
+    def test_witness_found(self):
+        checker = EquivalenceChecker()
+        witness = overflow_witness(checker, SIZE)
+        assert witness is not None
+        assert evaluate(overflow_condition(SIZE), witness) == 1
+
+
+class TestCheckBlocksOverflow:
+    def test_feh_style_check_eliminates_overflow(self):
+        checker = EquivalenceChecker()
+        guard = builder.logical_not(
+            builder.ule(builder.mul(builder.zext(W, 64), builder.zext(H, 64)), (1 << 29) - 1)
+        )
+        verdict = check_blocks_overflow(checker, guard, SIZE)
+        assert verdict.eliminated
+
+    def test_too_weak_check_does_not_eliminate(self):
+        checker = EquivalenceChecker()
+        # Barely constrains the width: large width/height pairs still overflow.
+        guard = builder.ugt(builder.zext(W, 32), builder.const(65000, 32))
+        verdict = check_blocks_overflow(checker, guard, SIZE)
+        assert not verdict.eliminated
+        assert verdict.witness is not None
+
+    def test_path_constraints_can_rule_out_overflow(self):
+        checker = EquivalenceChecker()
+        guard = builder.false()  # a patch that never fires
+        constraint = builder.logical_and(
+            builder.ule(builder.zext(W, 32), 16), builder.ule(builder.zext(H, 32), 16)
+        )
+        verdict = check_blocks_overflow(checker, guard, SIZE, path_constraints=[constraint])
+        assert verdict.eliminated

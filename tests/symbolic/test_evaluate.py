@@ -1,0 +1,117 @@
+"""Unit tests for concrete evaluation of symbolic expressions."""
+
+import pytest
+
+from repro.symbolic import EvaluationError, builder, evaluate
+from repro.symbolic.evaluate import to_signed, to_unsigned
+
+
+X = builder.input_field("/x", 8)
+Y = builder.input_field("/y", 8)
+
+
+def ev(expr, **env):
+    return evaluate(expr, {f"/{k}": v for k, v in env.items()})
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert ev(builder.add(X, Y), x=200, y=100) == (300 & 0xFF)
+
+    def test_sub_wraps(self):
+        assert ev(builder.sub(X, Y), x=1, y=2) == 0xFF
+
+    def test_mul_wraps(self):
+        assert ev(builder.mul(X, Y), x=16, y=16) == 0
+
+    def test_udiv(self):
+        assert ev(builder.udiv(X, Y), x=100, y=7) == 14
+
+    def test_udiv_by_zero_is_all_ones(self):
+        assert ev(builder.udiv(X, Y), x=5, y=0) == 0xFF
+
+    def test_urem(self):
+        assert ev(builder.urem(X, Y), x=100, y=7) == 2
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert to_signed(ev(builder.sdiv(X, Y), x=0xF9, y=2), 8) == -3  # -7 / 2
+
+    def test_srem_sign_follows_dividend(self):
+        assert to_signed(ev(builder.srem(X, Y), x=0xF9, y=2), 8) == -1
+
+
+class TestBitwise:
+    def test_and_or_xor(self):
+        assert ev(builder.bvand(X, Y), x=0b1100, y=0b1010) == 0b1000
+        assert ev(builder.bvor(X, Y), x=0b1100, y=0b1010) == 0b1110
+        assert ev(builder.bvxor(X, Y), x=0b1100, y=0b1010) == 0b0110
+
+    def test_shl_overshift_is_zero(self):
+        assert ev(builder.shl(X, 9), x=0xFF) == 0
+
+    def test_lshr(self):
+        assert ev(builder.lshr(X, 4), x=0xF0) == 0x0F
+
+    def test_ashr_replicates_sign(self):
+        assert ev(builder.ashr(X, 4), x=0x80) == 0xF8
+
+    def test_not_neg(self):
+        assert ev(builder.bvnot(X), x=0x0F) == 0xF0
+        assert ev(builder.neg(X), x=1) == 0xFF
+
+
+class TestComparisons:
+    def test_unsigned_vs_signed_less(self):
+        assert ev(builder.ult(X, Y), x=0x80, y=0x01) == 0
+        assert ev(builder.slt(X, Y), x=0x80, y=0x01) == 1  # -128 < 1
+
+    @pytest.mark.parametrize(
+        "make,expected",
+        [
+            (builder.eq, 0),
+            (builder.ne, 1),
+            (builder.ule, 1),
+            (builder.uge, 0),
+            (builder.ugt, 0),
+            (builder.ult, 1),
+        ],
+    )
+    def test_comparison_table(self, make, expected):
+        assert ev(make(X, Y), x=3, y=5) == expected
+
+
+class TestStructuralNodes:
+    def test_extract(self):
+        field = builder.input_field("/w", 16)
+        assert evaluate(builder.extract(field, 15, 8), {"/w": 0xABCD}) == 0xAB
+        assert evaluate(builder.extract(field, 7, 0), {"/w": 0xABCD}) == 0xCD
+
+    def test_concat(self):
+        hi, lo = builder.const(0xAB, 8), builder.const(0xCD, 8)
+        assert evaluate(builder.concat(hi, lo), {}) == 0xABCD
+
+    def test_zext_sext(self):
+        assert ev(builder.zext(X, 16), x=0xFF) == 0x00FF
+        assert ev(builder.sext(X, 16), x=0xFF) == 0xFFFF
+
+    def test_ite(self):
+        cond = builder.ult(X, Y)
+        expr = builder.ite(cond, builder.const(1, 8), builder.const(2, 8))
+        assert ev(expr, x=1, y=5) == 1
+        assert ev(expr, x=9, y=5) == 2
+
+    def test_boolean_connectives(self):
+        a, b = builder.is_nonzero(X), builder.is_nonzero(Y)
+        assert ev(builder.logical_and(a, b), x=1, y=0) == 0
+        assert ev(builder.logical_or(a, b), x=1, y=0) == 1
+        assert ev(builder.logical_not(a), x=0) == 1
+
+
+class TestErrors:
+    def test_missing_field_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(X, {})
+
+    def test_to_signed_to_unsigned_roundtrip(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_unsigned(-1, 8) == 0xFF

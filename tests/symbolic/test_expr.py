@@ -1,0 +1,111 @@
+"""Unit tests for the symbolic expression IR."""
+
+import pytest
+
+from repro.symbolic import (
+    Binary,
+    Concat,
+    Constant,
+    ExprError,
+    Extend,
+    Extract,
+    InputField,
+    Kind,
+    Unary,
+    builder,
+    operation_count,
+)
+
+
+class TestConstant:
+    def test_value_is_masked_to_width(self):
+        assert Constant(width=8, value=0x1FF).value == 0xFF
+
+    def test_signed_value_interprets_twos_complement(self):
+        assert Constant(width=8, value=0xFF).signed_value == -1
+        assert Constant(width=8, value=0x7F).signed_value == 127
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ExprError):
+            Constant(width=0, value=1)
+
+
+class TestInputField:
+    def test_requires_path(self):
+        with pytest.raises(ExprError):
+            InputField(width=16, path="")
+
+    def test_fields_returns_own_path(self):
+        field = builder.input_field("/a/b", 16)
+        assert field.fields() == frozenset({"/a/b"})
+
+
+class TestWidthChecking:
+    def test_binary_operand_width_mismatch_rejected(self):
+        with pytest.raises(ExprError):
+            Binary(width=8, op=Kind.ADD, left=Constant(8, 1), right=Constant(16, 1))
+
+    def test_comparison_must_have_width_one(self):
+        with pytest.raises(ExprError):
+            Binary(width=8, op=Kind.ULT, left=Constant(8, 1), right=Constant(8, 2))
+
+    def test_extract_bounds_checked(self):
+        with pytest.raises(ExprError):
+            Extract(width=8, operand=Constant(8, 0), hi=9, lo=2)
+
+    def test_extend_cannot_narrow(self):
+        with pytest.raises(ExprError):
+            Extend(width=8, operand=Constant(16, 0), signed=False)
+
+    def test_concat_width_must_be_sum(self):
+        with pytest.raises(ExprError):
+            Concat(width=15, parts=(Constant(8, 0), Constant(8, 0)))
+
+    def test_logical_not_requires_boolean(self):
+        with pytest.raises(ExprError):
+            Unary(width=8, op=Kind.LOGICAL_NOT, operand=Constant(8, 0))
+
+
+class TestStructure:
+    def test_walk_visits_every_node(self):
+        expr = builder.add(builder.input_field("/x", 8), builder.const(1, 8))
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds == ["Binary", "InputField", "Constant"]
+
+    def test_op_count_ignores_leaves(self):
+        expr = builder.mul(builder.input_field("/x", 8), builder.input_field("/y", 8))
+        assert operation_count(expr) == 1
+        assert expr.op_count() == 1
+
+    def test_depth(self):
+        x = builder.input_field("/x", 8)
+        assert x.depth() == 1
+        assert builder.add(x, 1).depth() == 2
+
+    def test_fields_collects_all_paths(self):
+        expr = builder.mul(builder.input_field("/a", 8), builder.input_field("/b", 8))
+        assert expr.fields() == frozenset({"/a", "/b"})
+
+    def test_structural_equality(self):
+        first = builder.add(builder.input_field("/x", 8), 1)
+        second = builder.add(builder.input_field("/x", 8), 1)
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestKindProperties:
+    @pytest.mark.parametrize("kind", [Kind.EQ, Kind.ULT, Kind.SGE, Kind.NE])
+    def test_comparisons_flagged(self, kind):
+        assert kind.is_comparison
+
+    @pytest.mark.parametrize("kind", [Kind.ADD, Kind.MUL, Kind.XOR])
+    def test_commutative(self, kind):
+        assert kind.is_commutative
+
+    @pytest.mark.parametrize("kind", [Kind.SUB, Kind.SHL, Kind.UDIV])
+    def test_not_commutative(self, kind):
+        assert not kind.is_commutative
+
+    @pytest.mark.parametrize("kind", [Kind.SDIV, Kind.ASHR, Kind.SLT])
+    def test_signed(self, kind):
+        assert kind.is_signed

@@ -1,0 +1,73 @@
+"""Tests for the expression renderers and metrics."""
+
+from repro.symbolic import (
+    CheckSize,
+    builder,
+    c_type_for_width,
+    comparison_count,
+    arithmetic_count,
+    field_reference_count,
+    leaf_count,
+    operation_count,
+    size_reduction,
+    to_c_string,
+    to_paper_string,
+)
+
+
+W = builder.input_field("/sof/width", 16)
+H = builder.input_field("/sof/height", 16)
+FEH_CHECK = builder.ule(builder.mul(builder.zext(W, 64), builder.zext(H, 64)), (1 << 29) - 1)
+
+
+class TestPaperPrinter:
+    def test_constant_and_field(self):
+        assert to_paper_string(builder.const(3, 8)) == "Constant(3)"
+        assert to_paper_string(builder.const(0x1FFF, 16)) == "Constant(0x1fff)"
+        assert to_paper_string(W) == "HachField(16,'/sof/width')"
+
+    def test_operator_names_match_paper_vocabulary(self):
+        rendered = to_paper_string(FEH_CHECK)
+        assert rendered.startswith("ULessEqual(64,")
+        assert "Mul(64," in rendered
+        assert "ToSize(64," in rendered
+
+    def test_shrink_rendering(self):
+        assert to_paper_string(builder.shrink(W, 8)) == "Shrink(8,HachField(16,'/sof/width'))"
+
+
+class TestCPrinter:
+    def test_c_rendering_of_the_feh_check(self):
+        rendered = to_c_string(FEH_CHECK)
+        assert "unsigned long long" in rendered
+        assert "536870911" in rendered
+        assert "/sof/width" in rendered
+
+    def test_name_substitution(self):
+        rendered = to_c_string(FEH_CHECK, name_for_field=lambda p: p.split("/")[-1])
+        assert "width" in rendered and "/sof/" not in rendered
+
+    def test_c_type_for_width(self):
+        assert c_type_for_width(8) == "unsigned char"
+        assert c_type_for_width(64) == "unsigned long long"
+        assert c_type_for_width(32, signed=True) == "int"
+        assert c_type_for_width(24) == "unsigned int"
+
+
+class TestMetrics:
+    def test_operation_and_leaf_counts(self):
+        assert operation_count(FEH_CHECK) == 4  # ule, mul, two zext
+        assert leaf_count(FEH_CHECK) == 3       # two fields + constant
+        assert field_reference_count(FEH_CHECK) == 2
+
+    def test_comparison_and_arithmetic_counts(self):
+        assert comparison_count(FEH_CHECK) == 1
+        assert arithmetic_count(FEH_CHECK) == 1
+
+    def test_check_size(self):
+        size = size_reduction(FEH_CHECK, builder.ule(builder.zext(W, 32), 100))
+        assert isinstance(size, CheckSize)
+        assert size.excised_ops == 4
+        assert size.translated_ops == 2
+        assert size.reduction_factor == 2.0
+        assert str(size) == "4 -> 2"

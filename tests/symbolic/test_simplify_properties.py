@@ -1,0 +1,93 @@
+"""Property-based tests: the simplifier preserves semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import SimplifyOptions, builder, evaluate, simplify
+from repro.symbolic.expr import Expr
+
+
+FIELDS = {"/p/a": 8, "/p/b": 16, "/p/c": 32}
+
+
+@st.composite
+def expressions(draw, depth: int = 3) -> Expr:
+    """Random well-formed expressions over three input fields."""
+    if depth == 0 or draw(st.booleans()):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            width = draw(st.sampled_from([8, 16, 32]))
+            return builder.const(draw(st.integers(0, (1 << width) - 1)), width)
+        path = draw(st.sampled_from(sorted(FIELDS)))
+        return builder.input_field(path, FIELDS[path])
+
+    kind = draw(st.integers(0, 8))
+    left = draw(expressions(depth=depth - 1))
+    if kind == 0:
+        return builder.zext(left, min(left.width * 2, 64))
+    if kind == 1:
+        return builder.sext(left, min(left.width * 2, 64))
+    if kind == 2 and left.width > 1:
+        hi = draw(st.integers(0, left.width - 1))
+        lo = draw(st.integers(0, hi))
+        return builder.extract(left, hi, lo)
+    right = draw(expressions(depth=depth - 1))
+    operation = draw(
+        st.sampled_from(
+            [
+                builder.add,
+                builder.sub,
+                builder.mul,
+                builder.bvand,
+                builder.bvor,
+                builder.bvxor,
+                builder.udiv,
+                builder.urem,
+            ]
+        )
+    )
+    return operation(left, right)
+
+
+@st.composite
+def environments(draw) -> dict:
+    return {
+        path: draw(st.integers(0, (1 << width) - 1)) for path, width in FIELDS.items()
+    }
+
+
+@given(expressions(), environments())
+@settings(max_examples=150, deadline=None)
+def test_simplify_preserves_value(expr, env):
+    assert evaluate(simplify(expr), env) == evaluate(expr, env)
+
+
+@given(expressions(), environments())
+@settings(max_examples=75, deadline=None)
+def test_simplify_without_bit_slicing_preserves_value(expr, env):
+    options = SimplifyOptions.without_bit_slicing()
+    assert evaluate(simplify(expr, options), env) == evaluate(expr, env)
+
+
+@given(expressions())
+@settings(max_examples=75, deadline=None)
+def test_simplify_never_grows_expressions(expr):
+    assert simplify(expr).op_count() <= expr.op_count()
+
+
+@given(expressions(), environments())
+@settings(max_examples=75, deadline=None)
+def test_simplify_is_idempotent_in_value(expr, env):
+    once = simplify(expr)
+    twice = simplify(once)
+    assert evaluate(twice, env) == evaluate(once, env)
+
+
+@given(environments())
+@settings(max_examples=50, deadline=None)
+def test_byte_assembly_always_equals_field(env):
+    field = builder.input_field("/p/b", 16)
+    hi = builder.extract(field, 15, 8)
+    lo = builder.extract(field, 7, 0)
+    assembled = builder.bvor(builder.shl(builder.zext(hi, 16), 8), builder.zext(lo, 16))
+    assert evaluate(assembled, env) == evaluate(field, env)
+    assert simplify(assembled) == field
