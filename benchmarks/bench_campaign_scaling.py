@@ -1,0 +1,96 @@
+"""E6 — campaign engine scaling: worker counts and persistent-cache warmth.
+
+Runs the full Figure-8 campaign through the campaign engine and compares:
+
+* 1 worker vs N workers (results must be identical up to wall-clock noise);
+* a cold vs a warm persistent solver cache — the warm run must answer
+  strictly more queries from the cache and strictly fewer with the expensive
+  decision procedures (exhaustive enumeration, SAT, sampling fallback),
+  which is the paper's §3.3 query-caching optimisation at campaign scale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.campaign import CampaignScheduler, RunStore, SchedulerOptions, figure8_plan
+
+PLAN = figure8_plan()
+WORKERS = 4
+
+
+def _run_campaign(store_dir, jobs: int, fresh: bool = False):
+    store = RunStore(store_dir)
+    store.initialise(PLAN, fresh=fresh)
+    report = CampaignScheduler(PLAN, store, SchedulerOptions(jobs=jobs)).run()
+    return store, report
+
+
+def _normalise(record):
+    return dataclasses.replace(
+        record,
+        generation_time_s=0.0,
+        solver_queries=0,
+        solver_cache_hits=0,
+        solver_persistent_hits=0,
+        solver_expensive_queries=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign_runs(tmp_path_factory):
+    base = tmp_path_factory.mktemp("campaign-scaling")
+    serial_store, serial_cold = _run_campaign(base / "serial", jobs=1)
+    _, serial_warm = _run_campaign(base / "serial", jobs=1, fresh=True)
+    parallel_store, parallel_cold = _run_campaign(base / "parallel", jobs=WORKERS)
+    return {
+        "serial_store": serial_store,
+        "serial_cold": serial_cold,
+        "serial_warm": serial_warm,
+        "parallel_store": parallel_store,
+        "parallel_cold": parallel_cold,
+    }
+
+
+def test_parallel_campaign_reproduces_the_serial_table(campaign_runs):
+    serial = campaign_runs["serial_store"].merge_into_database(PLAN)
+    parallel = campaign_runs["parallel_store"].merge_into_database(PLAN)
+    assert len(serial.records) == len(PLAN)
+    assert [_normalise(r) for r in parallel.records] == [
+        _normalise(r) for r in serial.records
+    ]
+    print(
+        f"\n1 worker: {campaign_runs['serial_cold'].elapsed_s:.2f}s, "
+        f"{WORKERS} workers: {campaign_runs['parallel_cold'].elapsed_s:.2f}s"
+    )
+
+
+def test_warm_cache_reduces_expensive_queries(campaign_runs):
+    cold = campaign_runs["serial_cold"]
+    warm = campaign_runs["serial_warm"]
+    print(
+        f"\ncold: {cold.persistent_cache_hits}/{cold.solver_queries} persistent hits, "
+        f"{cold.expensive_queries} expensive queries\n"
+        f"warm: {warm.persistent_cache_hits}/{warm.solver_queries} persistent hits, "
+        f"{warm.expensive_queries} expensive queries"
+    )
+    assert cold.expensive_queries > 0
+    assert warm.expensive_queries < cold.expensive_queries
+    assert warm.persistent_cache_hits > cold.persistent_cache_hits
+    assert warm.persistent_hit_rate > 0.0
+
+
+def test_bench_campaign_one_worker(tmp_path_factory, benchmark):
+    base = tmp_path_factory.mktemp("bench-serial")
+    benchmark.pedantic(
+        _run_campaign, args=(base, 1), rounds=1, iterations=1
+    )
+
+
+def test_bench_campaign_four_workers(tmp_path_factory, benchmark):
+    base = tmp_path_factory.mktemp("bench-parallel")
+    benchmark.pedantic(
+        _run_campaign, args=(base, WORKERS), rounds=1, iterations=1
+    )

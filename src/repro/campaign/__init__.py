@@ -1,0 +1,56 @@
+"""Campaign engine: parallel, resumable multi-transfer orchestration.
+
+The paper's evaluation is a batch workload — 18 recipient/target/donor
+combinations, each an independent transfer.  This package turns that batch
+into a first-class *campaign*:
+
+* :mod:`repro.campaign.plan` — expand any subset/cross-product of
+  ``ERROR_CASES x donors x option variants`` into deterministic, content-
+  addressed jobs;
+* :mod:`repro.campaign.scheduler` — run the jobs over a multiprocess worker
+  pool with per-job timeouts and retry-on-crash;
+* :mod:`repro.campaign.store` — append-only JSONL run store so an
+  interrupted campaign resumes where it left off;
+* :mod:`repro.campaign.cache` — a persistent, cross-process solver query
+  cache that extends the paper's §3.3 query-caching optimisation from one
+  transfer to the whole campaign.
+"""
+
+from .cache import PersistentSolverCache, query_key
+from .plan import CampaignPlan, JobSpec, PlanError, expand_plan, figure8_plan
+from .scheduler import (
+    CampaignReport,
+    CampaignScheduler,
+    SchedulerOptions,
+    default_job_runner,
+)
+from .store import (
+    STATUS_CRASHED,
+    STATUS_DONE,
+    STATUS_ERROR,
+    STATUS_TIMEOUT,
+    JobResult,
+    RunStore,
+    StoreError,
+)
+
+__all__ = [
+    "CampaignPlan",
+    "CampaignReport",
+    "CampaignScheduler",
+    "JobResult",
+    "JobSpec",
+    "PersistentSolverCache",
+    "PlanError",
+    "RunStore",
+    "SchedulerOptions",
+    "StoreError",
+    "STATUS_CRASHED",
+    "STATUS_DONE",
+    "STATUS_ERROR",
+    "STATUS_TIMEOUT",
+    "default_job_runner",
+    "expand_plan",
+    "figure8_plan",
+    "query_key",
+]

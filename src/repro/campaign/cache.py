@@ -1,0 +1,142 @@
+"""Persistent, cross-process solver query cache.
+
+The paper's second solver optimisation (§3.3) caches all equivalence queries;
+:class:`repro.solver.equivalence.QueryCache` implements it in memory, scoped
+to one :class:`EquivalenceChecker` — i.e. one transfer.  A campaign runs many
+transfers, and the same donor checks are rewritten against overlapping
+recipient vocabularies over and over (three PNG recipients share the same
+three donors, for example), so at campaign scale the cache must outlive both
+the checker and the worker process.
+
+:class:`PersistentSolverCache` is that extension: an append-only JSONL file
+mapping a canonical query key to the serialised verdict payload.  Properties:
+
+* **append-only** — entries are one JSON object per line, written under an
+  advisory ``flock`` so concurrent campaign workers never interleave bytes;
+* **incrementally shared** — a reader that misses re-checks the file for
+  lines appended by sibling processes since its last load before declaring
+  the miss, so workers running in parallel benefit from each other;
+* **crash-safe** — a torn trailing line (a writer killed mid-append) is left
+  unread by readers and sealed off with a newline by the next writer, so it
+  can never merge with a later entry; duplicate keys are idempotent (last
+  wins, verdicts are deterministic for a given key).
+
+The cache is deliberately solver-agnostic: it stores opaque JSON payloads
+keyed by strings, and :mod:`repro.solver.equivalence` owns the
+(de)serialisation of :class:`EquivalenceResult`.  Keys are built from the
+structural ``repr`` of the *simplified* query pair: the expression IR is a
+tree of frozen dataclasses, so ``repr`` is deterministic and injective —
+unlike the paper-notation rendering, which omits e.g. ``Constant`` widths
+and would let distinct queries collide on one cached verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+try:  # pragma: no cover - always available on the Linux CI substrate
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+from ..symbolic.expr import Expr
+
+
+def query_key(left: Expr, right: Expr) -> str:
+    """Canonical, order-insensitive key for an equivalence query pair.
+
+    The in-memory cache probes ``(left, right)`` then ``(right, left)``; the
+    persistent key gets the same symmetry by sorting the two renderings.
+    """
+    first, second = sorted((repr(left), repr(right)))
+    return f"{first}||{second}"
+
+
+class PersistentSolverCache:
+    """Append-only JSONL store of solver verdicts shared across processes."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._entries: dict[str, dict] = {}
+        self._offset = 0
+        self.refresh()
+
+    # -- reading ---------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """Look up a verdict payload, picking up sibling writers' appends."""
+        payload = self._entries.get(key)
+        if payload is not None:
+            return payload
+        if self._file_grew():
+            self.refresh()
+            return self._entries.get(key)
+        return None
+
+    def refresh(self) -> None:
+        """Load any complete lines appended since the last load."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                data = handle.read()
+        except FileNotFoundError:
+            return
+        end = data.rfind(b"\n")
+        if end < 0:
+            return  # nothing new, or a torn line still being written
+        for line in data[: end + 1].splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a crashed process; skip the line
+            key = entry.get("k")
+            payload = entry.get("v")
+            if isinstance(key, str) and isinstance(payload, dict):
+                self._entries[key] = payload
+        self._offset += end + 1
+
+    def _file_grew(self) -> bool:
+        try:
+            return self.path.stat().st_size > self._offset
+        except FileNotFoundError:
+            return False
+
+    # -- writing ---------------------------------------------------------------------
+
+    def put(self, key: str, payload: dict) -> None:
+        """Record a verdict; no-op if this process already holds the key."""
+        if key in self._entries:
+            return
+        self._entries[key] = payload
+        line = json.dumps({"k": key, "v": payload}, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a+b") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                # Heal a torn trailing line left by a crashed writer: close it
+                # with a newline so this entry starts a fresh line instead of
+                # merging with (and corrupting) the partial one.
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() > 0:
+                    handle.seek(-1, os.SEEK_END)
+                    if handle.read(1) != b"\n":
+                        handle.write(b"\n")
+                handle.write((line + "\n").encode("utf-8"))
+                handle.flush()
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries

@@ -1,0 +1,408 @@
+"""Multiprocess campaign scheduler with retry, timeout, and resume.
+
+The scheduler owns the control plane of a campaign: it launches each pending
+job in its own worker process (up to ``jobs`` concurrently), collects results,
+and appends every attempt to the :class:`RunStore`.  Workers are isolated
+processes, so a crashing transfer (or one killed by the per-job timeout)
+cannot take the campaign down — the attempt is recorded and the job retried
+up to ``retries`` extra times (crashes, timeouts, and runner exceptions all
+count as failed attempts).
+
+Result transport is split in two to stay robust against ``terminate()``:
+
+* the *payload* (the transfer record, arbitrarily large) is written to a
+  per-attempt file in the store's ``outbox/`` directory via atomic rename;
+* the *doorbell* (job id, attempt, ok/error) goes over a shared queue as a
+  small fixed-size message — well under ``PIPE_BUF``, so a worker killed
+  mid-send cannot leave a torn pickle frame that poisons the queue.
+
+The outbox file, not the queue message, is the ground truth for a worker
+that exited cleanly: if the doorbell is lost or late, the scheduler recovers
+the result from the file instead of misclassifying the job as crashed.
+
+Only the scheduler writes ``records.jsonl``.  The one multi-writer file is
+the persistent solver cache, which is designed for concurrent appends (see
+:mod:`repro.campaign.cache`).
+
+The worker entry point is :func:`repro.experiments.execute_job`; tests inject
+a stub ``runner`` (any module-level callable with the same signature) to
+exercise scheduling policies without running real transfers.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue as queue_module
+import shutil
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from .plan import CampaignPlan, JobSpec
+from .store import (
+    STATUS_CRASHED,
+    STATUS_DONE,
+    STATUS_ERROR,
+    STATUS_TIMEOUT,
+    JobResult,
+    RunStore,
+)
+
+#: A runner maps (job payload, persistent cache path) -> result payload with
+#: a ``record`` dict and an ``elapsed_s`` float.  Must be picklable
+#: (module-level) so it survives non-fork start methods.
+Runner = Callable[[dict, Optional[str]], dict]
+
+
+def default_job_runner(payload: dict, cache_path: Optional[str]) -> dict:
+    """Run one real transfer; executed inside a worker process."""
+    from ..core.reporting import TransferRecord
+    from ..experiments import execute_job
+
+    job = JobSpec.from_dict(payload)
+    start = time.perf_counter()
+    outcome = execute_job(job, persistent_cache_path=cache_path)
+    record = TransferRecord.from_outcome(outcome)
+    return {"record": asdict(record), "elapsed_s": time.perf_counter() - start}
+
+
+def _outbox_file(outbox: Path, job_id: str, attempt: int) -> Path:
+    return outbox / f"{job_id}.{attempt}.json"
+
+
+def _worker_main(
+    runner: Runner,
+    payload: dict,
+    cache_path: Optional[str],
+    results,
+    attempt: int,
+    outbox: str,
+) -> None:
+    job_id = payload.get("job_id", "")
+    try:
+        result = runner(payload, cache_path)
+        target = _outbox_file(Path(outbox), job_id, attempt)
+        scratch = target.with_suffix(".tmp")
+        scratch.write_text(json.dumps(result))
+        os.replace(scratch, target)  # atomic: readers never see a torn payload
+        message = {
+            "job_id": job_id,
+            "attempt": attempt,
+            "ok": True,
+            "elapsed_s": result.get("elapsed_s", 0.0),
+        }
+    except Exception as exc:  # noqa: BLE001 - report, parent decides on retry
+        message = {
+            "job_id": job_id,
+            "attempt": attempt,
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}"[:300],
+        }
+    results.put(message)
+
+
+@dataclass
+class SchedulerOptions:
+    """Control-plane knobs."""
+
+    jobs: int = 1
+    timeout_s: Optional[float] = None   # per-attempt wall-clock limit
+    retries: int = 1                    # extra attempts after crash/timeout/error
+    poll_interval_s: float = 0.02
+    start_method: Optional[str] = None  # default: fork when available
+    use_persistent_cache: bool = True
+
+
+@dataclass
+class CampaignReport:
+    """What one scheduler run did, plus aggregate solver accounting."""
+
+    plan_name: str
+    total_jobs: int
+    completed: int = 0          # jobs newly completed by this run
+    skipped: int = 0            # jobs already completed when the run started
+    failed: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    cache_enabled: bool = True
+    solver_queries: int = 0
+    solver_cache_hits: int = 0
+    persistent_cache_hits: int = 0
+    expensive_queries: int = 0
+
+    @property
+    def persistent_hit_rate(self) -> float:
+        if not self.solver_queries:
+            return 0.0
+        return self.persistent_cache_hits / self.solver_queries
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.completed} completed",
+            f"{self.skipped} skipped (already done)",
+            f"{len(self.failed)} failed",
+            f"{self.elapsed_s:.2f}s",
+        ]
+        if self.cache_enabled:
+            cache = (
+                f"persistent solver cache: {self.persistent_cache_hits}/"
+                f"{self.solver_queries} hits ({self.persistent_hit_rate:.1%}), "
+                f"{self.expensive_queries} expensive queries"
+            )
+        else:
+            cache = (
+                f"persistent solver cache: disabled, "
+                f"{self.expensive_queries} expensive queries"
+            )
+        return f"campaign {self.plan_name}: " + ", ".join(parts) + "\n" + cache
+
+
+@dataclass
+class _Running:
+    process: multiprocessing.Process
+    job: JobSpec
+    attempt: int
+    started_at: float
+
+
+class CampaignScheduler:
+    """Schedules a plan's pending jobs over a pool of worker processes."""
+
+    def __init__(
+        self,
+        plan: CampaignPlan,
+        store: RunStore,
+        options: Optional[SchedulerOptions] = None,
+        runner: Runner = default_job_runner,
+    ) -> None:
+        self.plan = plan
+        self.store = store
+        self.options = options or SchedulerOptions()
+        self.runner = runner
+
+    # -- public API ------------------------------------------------------------------
+
+    def run(self, on_result: Optional[Callable[[JobSpec, JobResult], None]] = None) -> CampaignReport:
+        """Run every pending job; returns the report for *this* invocation."""
+        start = time.perf_counter()
+        completed_before = self.store.completed_ids()
+        pending = deque(
+            job for job in self.plan.jobs if job.job_id not in completed_before
+        )
+        report = CampaignReport(
+            plan_name=self.plan.name,
+            total_jobs=len(self.plan.jobs),
+            skipped=len(self.plan.jobs) - len(pending),
+            cache_enabled=self.options.use_persistent_cache,
+        )
+        cache_path = (
+            str(self.store.cache_path) if self.options.use_persistent_cache else None
+        )
+        outbox = self.store.directory / "outbox"
+        shutil.rmtree(outbox, ignore_errors=True)  # leftovers from a killed run
+        outbox.mkdir(parents=True, exist_ok=True)
+
+        method = self.options.start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        ctx = multiprocessing.get_context(method)
+        results: multiprocessing.Queue = ctx.Queue()
+        running: dict[str, _Running] = {}
+        attempts: dict[str, int] = {}
+        slots = max(1, self.options.jobs)
+
+        def finish(entry: _Running, result: JobResult) -> None:
+            """Record one settled attempt and decide what happens next."""
+            self.store.append(result)
+            if result.completed:
+                self._account(report, result)
+                report.completed += 1
+            else:
+                self._retry_or_fail(entry.job, attempts, pending, report)
+            if on_result is not None:
+                on_result(entry.job, result)
+
+        def settle(entry: _Running, ok: bool, elapsed_s: float, error: str) -> None:
+            running.pop(entry.job.job_id, None)
+            entry.process.join(timeout=5)
+            payload_file = _outbox_file(outbox, entry.job.job_id, entry.attempt)
+            if ok:
+                try:
+                    payload = json.loads(payload_file.read_text())
+                except (OSError, json.JSONDecodeError) as exc:
+                    finish(
+                        entry,
+                        JobResult(
+                            job_id=entry.job.job_id,
+                            status=STATUS_ERROR,
+                            attempt=entry.attempt,
+                            error=f"result payload unreadable: {exc}",
+                        ),
+                    )
+                    return
+                finally:
+                    payload_file.unlink(missing_ok=True)
+                finish(
+                    entry,
+                    JobResult(
+                        job_id=entry.job.job_id,
+                        status=STATUS_DONE,
+                        attempt=entry.attempt,
+                        elapsed_s=elapsed_s or payload.get("elapsed_s", 0.0),
+                        record=payload.get("record"),
+                    ),
+                )
+            else:
+                payload_file.unlink(missing_ok=True)
+                finish(
+                    entry,
+                    JobResult(
+                        job_id=entry.job.job_id,
+                        status=STATUS_ERROR,
+                        attempt=entry.attempt,
+                        error=error,
+                    ),
+                )
+
+        def handle(message: dict) -> None:
+            entry = running.get(message.get("job_id", ""))
+            if entry is None or message.get("attempt") != entry.attempt:
+                # No live attempt, or a doorbell from an attempt already
+                # written off (e.g. terminated for timeout after it rang):
+                # drop it — and its payload — rather than crediting the
+                # currently running attempt with a stale record.
+                job_id = message.get("job_id", "")
+                attempt = message.get("attempt")
+                if job_id and isinstance(attempt, int):
+                    _outbox_file(outbox, job_id, attempt).unlink(missing_ok=True)
+                return
+            settle(
+                entry,
+                ok=bool(message.get("ok")),
+                elapsed_s=message.get("elapsed_s", 0.0),
+                error=message.get("error", ""),
+            )
+
+        def drain(block_s: float = 0.0) -> None:
+            deadline = time.perf_counter() + block_s
+            while True:
+                try:
+                    handle(results.get_nowait())
+                except queue_module.Empty:
+                    if time.perf_counter() >= deadline:
+                        return
+                    time.sleep(0.005)
+
+        while pending or running:
+            while pending and len(running) < slots:
+                job = pending.popleft()
+                attempts[job.job_id] = attempts.get(job.job_id, 0) + 1
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        self.runner,
+                        job.to_dict(),
+                        cache_path,
+                        results,
+                        attempts[job.job_id],
+                        str(outbox),
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                running[job.job_id] = _Running(
+                    process, job, attempts[job.job_id], time.perf_counter()
+                )
+
+            drain()
+            for job_id, entry in list(running.items()):
+                if job_id not in running:
+                    continue  # resolved by a drain() earlier in this scan
+                # Recomputed per entry: an earlier blocking drain in this
+                # scan must not let other workers overrun their deadline.
+                now = time.perf_counter()
+                timed_out = (
+                    self.options.timeout_s is not None
+                    and now - entry.started_at > self.options.timeout_s
+                )
+                if timed_out and entry.process.is_alive():
+                    # A result may have arrived at the deadline; prefer it.
+                    drain()
+                    if job_id not in running:
+                        continue
+                    entry.process.terminate()
+                    entry.process.join(timeout=1)
+                    running.pop(job_id, None)
+                    _outbox_file(outbox, job_id, entry.attempt).unlink(missing_ok=True)
+                    finish(
+                        entry,
+                        JobResult(
+                            job_id=job_id,
+                            status=STATUS_TIMEOUT,
+                            attempt=entry.attempt,
+                            elapsed_s=now - entry.started_at,
+                            error=f"timed out after {self.options.timeout_s}s",
+                        ),
+                    )
+                elif not entry.process.is_alive():
+                    # The worker exited: give its doorbell a moment to arrive.
+                    # Only a clean exit can have rung one, so don't stall the
+                    # control loop waiting on a killed worker's silence.
+                    drain(block_s=0.25 if entry.process.exitcode == 0 else 0.0)
+                    if job_id not in running:
+                        continue
+                    # Doorbell lost or late — the outbox file is the ground
+                    # truth for a worker that exited cleanly.
+                    if (
+                        entry.process.exitcode == 0
+                        and _outbox_file(outbox, job_id, entry.attempt).exists()
+                    ):
+                        settle(entry, ok=True, elapsed_s=0.0, error="")
+                        continue
+                    running.pop(job_id, None)
+                    finish(
+                        entry,
+                        JobResult(
+                            job_id=job_id,
+                            status=STATUS_CRASHED,
+                            attempt=entry.attempt,
+                            error=f"worker exited with code {entry.process.exitcode}",
+                        ),
+                    )
+
+            if running:
+                time.sleep(self.options.poll_interval_s)
+
+        results.close()
+        shutil.rmtree(outbox, ignore_errors=True)
+        report.elapsed_s = time.perf_counter() - start
+        return report
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _retry_or_fail(
+        self,
+        job: JobSpec,
+        attempts: dict[str, int],
+        pending: deque,
+        report: CampaignReport,
+    ) -> None:
+        if attempts.get(job.job_id, 0) < 1 + max(0, self.options.retries):
+            pending.append(job)
+        else:
+            report.failed.append(job.job_id)
+
+    @staticmethod
+    def _account(report: CampaignReport, result: JobResult) -> None:
+        record = result.record or {}
+        report.solver_queries += record.get("solver_queries", 0)
+        report.solver_cache_hits += record.get("solver_cache_hits", 0)
+        report.persistent_cache_hits += record.get("solver_persistent_hits", 0)
+        report.expensive_queries += record.get("solver_expensive_queries", 0)

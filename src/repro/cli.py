@@ -4,20 +4,42 @@ Subcommands::
 
     codephage list                       # applications and formats in the database
     codephage transfer CASE [--donor D]  # run one transfer (e.g. cwebp-jpegdec)
-    codephage figure8 [--out FILE]       # regenerate the Figure 8 table
+    codephage figure8 [--out FILE] [--jobs N] [--resume]
+                                         # regenerate the Figure 8 table
+    codephage campaign [--cases ...] [--donors ...] [--strategies ...] [--jobs N]
+                                         # run an arbitrary transfer campaign
     codephage discover CASE              # re-discover the error input with DIODE/fuzzing
+
+``figure8`` and ``campaign`` both run through the campaign engine
+(:mod:`repro.campaign`): jobs are scheduled over a worker pool, every attempt
+is recorded in a resumable on-disk run store, and solver queries are shared
+through a persistent cross-process cache.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .apps import all_applications, get_application
+from .campaign import (
+    CampaignPlan,
+    CampaignScheduler,
+    PlanError,
+    RunStore,
+    SchedulerOptions,
+    StoreError,
+    expand_plan,
+    figure8_plan,
+)
+from .core.patch import PatchStrategy
 from .core.pipeline import CodePhage
-from .core.reporting import ResultsDatabase
-from .experiments import ERROR_CASES, FIGURE8_ROWS, discover_error_input, run_row
+from .experiments import ERROR_CASES, discover_error_input
 from .formats import all_formats
+
+DEFAULT_FIGURE8_STORE = "results/figure8-campaign"
+DEFAULT_CAMPAIGN_STORE = "results/campaign"
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -55,20 +77,105 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
     return 0 if outcome.success else 1
 
 
+def _run_campaign(
+    plan: CampaignPlan,
+    store_dir: str,
+    *,
+    jobs: int,
+    resume: bool,
+    timeout_s: float | None,
+    retries: int,
+    no_cache: bool,
+    out: str | None,
+    title: str,
+) -> int:
+    """Shared driver for the ``figure8`` and ``campaign`` subcommands."""
+    store = RunStore(store_dir)
+    try:
+        store.initialise(plan, fresh=not resume)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def on_result(job, result) -> None:
+        if result.completed:
+            record = result.record or {}
+            status = "ok" if record.get("success") else "FAIL"
+            print(
+                f"[{status}] {record.get('recipient')} {record.get('target')} "
+                f"<- {record.get('donor')} ({result.elapsed_s:.2f}s)"
+            )
+        else:
+            print(f"[{result.status}] {job.describe()}: {result.error}")
+
+    scheduler = CampaignScheduler(
+        plan,
+        store,
+        SchedulerOptions(
+            jobs=jobs,
+            timeout_s=timeout_s,
+            retries=retries,
+            use_persistent_cache=not no_cache,
+        ),
+    )
+    report = scheduler.run(on_result=on_result)
+
+    database = store.merge_into_database(plan)
+    table = database.to_table(title=title)
+    # The run store keeps the machine-readable results; --out (or the store
+    # itself) receives the rendered table.
+    database.save(store.directory / "results.json")
+    table_path = Path(out) if out else store.directory / "table.md"
+    table_path.parent.mkdir(parents=True, exist_ok=True)
+    table_path.write_text(table + "\n")
+
+    print("\n" + table)
+    print()
+    print(report.summary())
+    if report.completed == 0 and report.skipped == len(plan) and len(plan) > 0:
+        print(
+            "note: every job was already complete in the store — the table "
+            "above is replayed from previous runs; pass --fresh to recompute"
+        )
+    print(f"store: {store.directory} (table: {table_path}, records: results.json)")
+    return 1 if report.failed else 0
+
+
 def _cmd_figure8(args: argparse.Namespace) -> int:
-    database = ResultsDatabase()
-    for row in FIGURE8_ROWS:
-        record = database.add(run_row(row))
-        status = "ok" if record.success else "FAIL"
-        print(f"[{status}] {record.recipient} {record.target} <- {record.donor}")
-    table = database.to_table(title="Figure 8 (reproduction)")
-    if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(table + "\n")
-        print(f"\nwrote {args.out}")
-    else:
-        print("\n" + table)
-    return 0
+    return _run_campaign(
+        figure8_plan(),
+        args.store,
+        jobs=args.jobs,
+        resume=not args.fresh,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        no_cache=args.no_cache,
+        out=args.out,
+        title="Figure 8 (reproduction)",
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    try:
+        plan = expand_plan(
+            cases=args.cases or None,
+            donors=args.donors or None,
+            strategies=args.strategies or None,
+        )
+    except PlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _run_campaign(
+        plan,
+        args.store,
+        jobs=args.jobs,
+        resume=not args.fresh,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        no_cache=args.no_cache,
+        out=args.out,
+        title=f"Campaign ({len(plan)} transfers)",
+    )
 
 
 def _cmd_discover(args: argparse.Namespace) -> int:
@@ -90,8 +197,59 @@ def main(argv: list[str] | None = None) -> int:
     transfer.add_argument("case", choices=sorted(ERROR_CASES))
     transfer.add_argument("--donor", default=None)
 
-    figure8 = sub.add_parser("figure8", help="regenerate the Figure 8 table")
-    figure8.add_argument("--out", default=None)
+    def add_campaign_arguments(command: argparse.ArgumentParser, default_store: str) -> None:
+        command.add_argument("--out", default=None, help="write the rendered table here")
+        command.add_argument("--jobs", type=int, default=1, help="worker processes")
+        command.add_argument("--store", default=default_store, help="run store directory")
+        command.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            help="per-attempt timeout in seconds (a retried job may run longer overall)",
+        )
+        command.add_argument(
+            "--retries",
+            type=int,
+            default=1,
+            help="extra attempts after a crashed, timed-out, or errored attempt",
+        )
+        command.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the persistent cross-process solver cache",
+        )
+        # Campaigns resume by default: completed jobs in the store are
+        # skipped, so re-running an interrupted command picks up where it
+        # left off.  --fresh is the destructive opt-in.
+        mode = command.add_mutually_exclusive_group()
+        mode.add_argument(
+            "--fresh",
+            action="store_true",
+            help="discard previous records instead of resuming (the solver cache is kept)",
+        )
+        mode.add_argument(
+            "--resume",
+            action="store_true",
+            help="resume from the run store (the default; kept for explicitness)",
+        )
+
+    figure8 = sub.add_parser(
+        "figure8", help="regenerate the Figure 8 table via the campaign engine"
+    )
+    add_campaign_arguments(figure8, DEFAULT_FIGURE8_STORE)
+
+    campaign = sub.add_parser("campaign", help="run a transfer campaign")
+    add_campaign_arguments(campaign, DEFAULT_CAMPAIGN_STORE)
+    campaign.add_argument(
+        "--cases", nargs="+", choices=sorted(ERROR_CASES), help="restrict to these cases"
+    )
+    campaign.add_argument("--donors", nargs="+", help="restrict to these donors")
+    campaign.add_argument(
+        "--strategies",
+        nargs="+",
+        choices=[strategy.value for strategy in PatchStrategy],
+        help="patch strategies to cross with the cases",
+    )
 
     discover = sub.add_parser("discover", help="re-discover an error input")
     discover.add_argument("case", choices=sorted(ERROR_CASES))
@@ -101,6 +259,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "transfer": _cmd_transfer,
         "figure8": _cmd_figure8,
+        "campaign": _cmd_campaign,
         "discover": _cmd_discover,
     }
     return handlers[args.command](args)

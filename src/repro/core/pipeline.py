@@ -94,6 +94,12 @@ class TransferMetrics:
     used_checks: int = 0
     insertion_accounting: list[InsertionAccounting] = field(default_factory=list)
     check_sizes: list[tuple[int, int]] = field(default_factory=list)
+    # Solver accounting for this transfer (deltas over the shared checker),
+    # surfaced so campaign runs can report cache effectiveness per job.
+    solver_queries: int = 0
+    solver_cache_hits: int = 0
+    solver_persistent_hits: int = 0
+    solver_expensive_queries: int = 0
 
     def flipped_display(self) -> str:
         if len(self.flipped_branches) == 1:
@@ -168,46 +174,59 @@ class CodePhage:
         current_source = recipient.source
         current_error: Optional[bytes] = error_input
 
-        for round_index in range(self.options.max_recursive_patches):
-            if current_error is None:
-                break
-            transferred = self._transfer_once(
-                current_source,
-                recipient,
-                target,
-                donor,
-                seed,
-                current_error,
-                format_spec,
-                regression,
-                metrics,
-            )
-            if transferred is None:
-                if round_index == 0:
-                    outcome.failure_reason = "no validated patch found"
-                    metrics.generation_time_s = time.perf_counter() - start
-                    return outcome
-                break
-            outcome.checks.append(transferred)
-            metrics.used_checks += 1
-            metrics.insertion_accounting.append(transferred.accounting)
-            metrics.check_sizes.append(
-                (transferred.patch.excised_size, transferred.patch.translated_size)
-            )
-            current_source = transferred.patched_source
+        stats = self.checker.statistics
+        base_queries = stats.queries
+        base_cache_hits = stats.cache_hits
+        base_persistent_hits = stats.persistent_cache_hits
+        base_expensive = stats.solver_invocations
 
-            # Residual errors discovered by the DIODE rescan drive recursion.
-            residual = transferred.validation.residual_findings
-            if residual:
-                current_error = residual[0].error_input
-            else:
-                current_error = None
+        try:
+            for round_index in range(self.options.max_recursive_patches):
+                if current_error is None:
+                    break
+                transferred = self._transfer_once(
+                    current_source,
+                    recipient,
+                    target,
+                    donor,
+                    seed,
+                    current_error,
+                    format_spec,
+                    regression,
+                    metrics,
+                )
+                if transferred is None:
+                    if round_index == 0:
+                        outcome.failure_reason = "no validated patch found"
+                        return outcome
+                    break
+                outcome.checks.append(transferred)
+                metrics.used_checks += 1
+                metrics.insertion_accounting.append(transferred.accounting)
+                metrics.check_sizes.append(
+                    (transferred.patch.excised_size, transferred.patch.translated_size)
+                )
+                current_source = transferred.patched_source
 
-        outcome.success = bool(outcome.checks) and current_error is None
-        if not outcome.success and not outcome.failure_reason:
-            outcome.failure_reason = "residual errors remain after recursive patching"
-        metrics.generation_time_s = time.perf_counter() - start
-        return outcome
+                # Residual errors discovered by the DIODE rescan drive recursion.
+                residual = transferred.validation.residual_findings
+                if residual:
+                    current_error = residual[0].error_input
+                else:
+                    current_error = None
+
+            outcome.success = bool(outcome.checks) and current_error is None
+            if not outcome.success and not outcome.failure_reason:
+                outcome.failure_reason = "residual errors remain after recursive patching"
+            return outcome
+        finally:
+            metrics.generation_time_s = time.perf_counter() - start
+            metrics.solver_queries = stats.queries - base_queries
+            metrics.solver_cache_hits = stats.cache_hits - base_cache_hits
+            metrics.solver_persistent_hits = (
+                stats.persistent_cache_hits - base_persistent_hits
+            )
+            metrics.solver_expensive_queries = stats.solver_invocations - base_expensive
 
     def repair(
         self,

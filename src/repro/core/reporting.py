@@ -32,6 +32,12 @@ class TransferRecord:
     check_size: str
     patch_preview: str = ""
     failure_reason: str = ""
+    # Solver accounting (not part of the rendered Figure 8 table; campaigns
+    # aggregate these to report persistent-cache effectiveness).
+    solver_queries: int = 0
+    solver_cache_hits: int = 0
+    solver_persistent_hits: int = 0
+    solver_expensive_queries: int = 0
 
     @classmethod
     def from_outcome(cls, outcome: TransferOutcome) -> "TransferRecord":
@@ -51,6 +57,10 @@ class TransferRecord:
             check_size=metrics.sizes_display(),
             patch_preview=preview,
             failure_reason=outcome.failure_reason,
+            solver_queries=metrics.solver_queries,
+            solver_cache_hits=metrics.solver_cache_hits,
+            solver_persistent_hits=metrics.solver_persistent_hits,
+            solver_expensive_queries=metrics.solver_expensive_queries,
         )
 
 

@@ -174,7 +174,7 @@ class Figure8Row:
         return ERROR_CASES[self.case_id]
 
 
-#: All 19 rows of Figure 8, in the paper's order.
+#: All 18 rows of Figure 8, in the paper's order.
 FIGURE8_ROWS: tuple[Figure8Row, ...] = tuple(
     Figure8Row(case_id=case_id, donor=donor)
     for case_id in (
@@ -194,13 +194,26 @@ FIGURE8_ROWS: tuple[Figure8Row, ...] = tuple(
 
 
 def run_row(
-    row: Figure8Row, options: Optional[CodePhageOptions] = None
+    row: Figure8Row,
+    options: Optional[CodePhageOptions] = None,
+    phage: Optional[CodePhage] = None,
 ) -> TransferOutcome:
-    """Run the CP pipeline for one Figure 8 row."""
+    """Run the CP pipeline for one Figure 8 row.
+
+    This is the campaign worker entry point: the scheduler's workers call it
+    (via :func:`execute_job`) with a pre-configured pipeline, and standalone
+    callers get a fresh default pipeline per row.
+    """
     case = row.case
     recipient = case.application()
     donor = get_application(row.donor)
-    phage = CodePhage(options=options)
+    if phage is None:
+        phage = CodePhage(options=options)
+    elif options is not None:
+        raise ValueError(
+            "pass either options or a pre-configured phage, not both: "
+            "a given phage runs under its own options"
+        )
     return phage.transfer(
         recipient,
         case.target(),
@@ -209,6 +222,17 @@ def run_row(
         case.error_input(),
         format_name=case.format_name,
     )
+
+
+def execute_job(job, persistent_cache_path: Optional[str] = None) -> TransferOutcome:
+    """Run one campaign job (a :class:`repro.campaign.plan.JobSpec`).
+
+    ``job`` is duck-typed (``case_id``/``donor``/``build_options``) to keep
+    this module free of a circular import on :mod:`repro.campaign`.
+    """
+    row = Figure8Row(case_id=job.case_id, donor=job.donor)
+    phage = CodePhage(options=job.build_options(persistent_cache_path))
+    return run_row(row, phage=phage)
 
 
 def run_case_with_all_donors(

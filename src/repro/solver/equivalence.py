@@ -75,6 +75,7 @@ class SolverStatistics:
 
     queries: int = 0
     cache_hits: int = 0
+    persistent_cache_hits: int = 0
     disjoint_field_skips: int = 0
     syntactic_hits: int = 0
     exhaustive_queries: int = 0
@@ -89,13 +90,18 @@ class SolverStatistics:
 
     @property
     def evaluated_queries(self) -> int:
-        """Queries that were not answered by the cache or the field filter.
+        """Queries that were not answered by a cache or the field filter.
 
         This is the quantity the paper's two optimisations reduce "by an order
         of magnitude": every remaining query requires at least simplification
         and counterexample sampling, and possibly an exhaustive or SAT call.
         """
-        return self.queries - self.cache_hits - self.disjoint_field_skips
+        return (
+            self.queries
+            - self.cache_hits
+            - self.persistent_cache_hits
+            - self.disjoint_field_skips
+        )
 
 
 class QueryCache:
@@ -134,9 +140,24 @@ class EquivalenceOptions:
     sat_cost_budget: int = 2000
     sat_conflict_limit: int = 5000
     random_seed: int = 0x0C0DE
+    #: When set, equivalence verdicts are shared across checkers *and*
+    #: processes through an append-only JSONL cache at this path (the §3.3
+    #: query-cache optimisation at campaign scale; see
+    #: :mod:`repro.campaign.cache`).
+    persistent_cache_path: Optional[str] = None
 
 
 _CORNER_VALUES = (0, 1, 2, 3, 0x7F, 0x80, 0xFF, 0x100, 0x7FFF, 0x8000, 0xFFFF, 0x10000)
+
+#: Verdict methods cheaper to recompute than to round-trip through the
+#: persistent cache.
+_CHEAP_METHODS = frozenset({"syntactic", "disjoint-fields", "width-mismatch"})
+
+#: Folded into every persistent-cache namespace.  Bump this when the decision
+#: procedures change semantically (simplifier, sampling, bit-blasting, SAT):
+#: cached verdicts from older code then stop matching and are recomputed,
+#: instead of being silently replayed against new semantics.
+CACHE_SCHEMA_VERSION = 1
 
 
 class EquivalenceChecker:
@@ -151,7 +172,28 @@ class EquivalenceChecker:
         self.simplify_options = simplify_options
         self.cache = QueryCache()
         self.statistics = SolverStatistics()
-        self._random = random.Random(options.random_seed)
+        self.persistent_cache = None
+        if options.persistent_cache_path:
+            # Imported lazily: the campaign package depends on the solver.
+            from ..campaign.cache import PersistentSolverCache, query_key
+
+            self._query_key = query_key
+            self.persistent_cache = PersistentSolverCache(options.persistent_cache_path)
+            # Verdicts are only valid under the options that produced them
+            # (sampling depth, SAT budgets, ...), so checkers with different
+            # options must not share entries even when they share the file.
+            self._cache_namespace = ":".join(
+                str(value)
+                for value in (
+                    CACHE_SCHEMA_VERSION,
+                    options.use_disjoint_field_filter,
+                    options.sample_count,
+                    options.exhaustive_bit_limit,
+                    options.sat_cost_budget,
+                    options.sat_conflict_limit,
+                    options.random_seed,
+                )
+            )
 
     # -- public API ------------------------------------------------------------
 
@@ -167,8 +209,27 @@ class EquivalenceChecker:
                 self.statistics.cache_hits += 1
                 return cached
 
+        persistent_key = None
+        if self.persistent_cache is not None:
+            persistent_key = (
+                self._cache_namespace
+                + "##"
+                + self._query_key(left_simplified, right_simplified)
+            )
+            payload = self.persistent_cache.get(persistent_key)
+            if payload is not None:
+                self.statistics.persistent_cache_hits += 1
+                result = _result_from_payload(payload)
+                if self.options.use_cache:
+                    self.cache.put(left_simplified, right_simplified, result)
+                return result
+
         result = self._decide(left_simplified, right_simplified)
 
+        if persistent_key is not None and result.method not in _CHEAP_METHODS:
+            # Trivially recomputable verdicts are not worth a locked append
+            # and a cache line carrying both expression reprs.
+            self.persistent_cache.put(persistent_key, _result_to_payload(result))
         if self.options.use_cache:
             self.cache.put(left_simplified, right_simplified, result)
         return result
@@ -186,7 +247,7 @@ class EquivalenceChecker:
         fields = _field_widths(condition)
 
         # Sampling first: cheap and yields real witnesses.
-        witness = self._sample_for_truth(condition, fields)
+        witness = self._sample_for_truth(condition, fields, self._query_random(condition))
         if witness is not None:
             return True, witness
 
@@ -225,7 +286,8 @@ class EquivalenceChecker:
 
         # Counterexample sampling.
         samples = 0
-        for assignment in self._assignments(all_fields):
+        rng = self._query_random(left, right)
+        for assignment in self._assignments(all_fields, rng):
             samples += 1
             if evaluate(left, assignment) != evaluate(right, assignment):
                 return EquivalenceResult(
@@ -259,7 +321,23 @@ class EquivalenceChecker:
 
     # -- assignment generation ------------------------------------------------------
 
-    def _assignments(self, fields: dict[str, int]):
+    def _query_random(self, *parts: Expr) -> random.Random:
+        """A fresh RNG seeded by the query itself (plus the configured seed).
+
+        Sampling must not consume a shared random stream: a query answered by
+        a cache (in-memory or persistent) would then shift every later
+        query's samples, making verdicts depend on cache warmth — and, at
+        campaign scale, on sibling workers' timing.  Seeding from the
+        structural ``repr`` (injective, unlike the paper rendering) keeps
+        every verdict a pure function of (query, options); the reprs are
+        *sorted* so ``(A, B)`` and ``(B, A)`` — one query to both caches —
+        also sample identically.  ``random.seed`` hashes strings with
+        SHA-512, not the salted ``hash``, so this is stable across processes.
+        """
+        key = "|".join([str(self.options.random_seed)] + sorted(repr(p) for p in parts))
+        return random.Random(key)
+
+    def _assignments(self, fields: dict[str, int], rng: random.Random):
         """Corner-case and random assignments for the given fields."""
         if not fields:
             yield {}
@@ -271,7 +349,7 @@ class EquivalenceChecker:
         yield {path: (1 << fields[path]) - 1 for path in paths}
         for _ in range(self.options.sample_count):
             yield {
-                path: self._random.getrandbits(fields[path]) for path in paths
+                path: rng.getrandbits(fields[path]) for path in paths
             }
 
     def _exhaustive_mismatch(
@@ -285,8 +363,10 @@ class EquivalenceChecker:
                 return assignment
         return None
 
-    def _sample_for_truth(self, condition: Expr, fields: dict[str, int]) -> Optional[dict[str, int]]:
-        for assignment in self._assignments(fields):
+    def _sample_for_truth(
+        self, condition: Expr, fields: dict[str, int], rng: random.Random
+    ) -> Optional[dict[str, int]]:
+        for assignment in self._assignments(fields, rng):
             if evaluate(condition, assignment):
                 return dict(assignment)
         return None
@@ -351,6 +431,30 @@ class EquivalenceChecker:
         if result.status is Status.UNSAT:
             return False, None
         return False, None
+
+
+def _result_to_payload(result: EquivalenceResult) -> dict:
+    """JSON-serialisable form of a verdict for the persistent cache."""
+    return {
+        "verdict": result.verdict.value,
+        "method": result.method,
+        "witness": result.witness,
+        "samples_checked": result.samples_checked,
+        "sat_conflicts": result.sat_conflicts,
+    }
+
+
+def _result_from_payload(payload: dict) -> EquivalenceResult:
+    witness = payload.get("witness")
+    return EquivalenceResult(
+        verdict=Verdict(payload["verdict"]),
+        method=payload.get("method", "persistent-cache"),
+        # `witness is not None`, not truthiness: {} is a real witness for a
+        # query over constant expressions (no free fields).
+        witness=dict(witness) if witness is not None else None,
+        samples_checked=payload.get("samples_checked", 0),
+        sat_conflicts=payload.get("sat_conflicts", 0),
+    )
 
 
 def _field_widths(expr: Expr) -> dict[str, int]:

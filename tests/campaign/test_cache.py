@@ -1,0 +1,196 @@
+"""Persistent solver cache: sharing, refresh, and hit accounting."""
+
+from __future__ import annotations
+
+from repro.campaign import PersistentSolverCache, query_key
+from repro.solver.equivalence import EquivalenceChecker, EquivalenceOptions, Verdict
+from repro.symbolic import builder
+
+
+def _field(path: str, width: int = 16):
+    return builder.input_field(path, width)
+
+
+def test_put_get_and_reload_across_instances(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    first = PersistentSolverCache(path)
+    first.put("k1", {"verdict": "equivalent"})
+    first.put("k2", {"verdict": "not-equivalent", "witness": {"/a": 1}})
+    assert len(first) == 2
+    assert first.get("k1") == {"verdict": "equivalent"}
+
+    # A second instance (another process, in campaign terms) sees the entries.
+    second = PersistentSolverCache(path)
+    assert len(second) == 2
+    assert second.get("k2")["witness"] == {"/a": 1}
+
+
+def test_get_picks_up_entries_appended_by_a_sibling(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    reader = PersistentSolverCache(path)
+    writer = PersistentSolverCache(path)
+    assert reader.get("shared") is None
+    writer.put("shared", {"verdict": "equivalent"})
+    # The reader misses in memory, notices the file grew, and refreshes.
+    assert reader.get("shared") == {"verdict": "equivalent"}
+
+
+def test_torn_trailing_line_is_ignored(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    cache = PersistentSolverCache(path)
+    cache.put("good", {"verdict": "equivalent"})
+    with open(path, "a") as handle:
+        handle.write('{"k":"torn","v":{"verd')  # no newline: write in progress
+    fresh = PersistentSolverCache(path)
+    assert fresh.get("good") == {"verdict": "equivalent"}
+    assert "torn" not in fresh
+
+
+def test_put_after_a_torn_line_does_not_lose_the_new_entry(tmp_path):
+    """A crashed writer's partial line must not swallow the next append."""
+    path = tmp_path / "cache.jsonl"
+    first = PersistentSolverCache(path)
+    first.put("before", {"verdict": "equivalent"})
+    with open(path, "a") as handle:
+        handle.write('{"k":"torn","v":{"verd')  # crashed writer, no newline
+    writer = PersistentSolverCache(path)
+    writer.put("after", {"verdict": "not-equivalent"})
+    # A reader starting from scratch sees both healthy entries.
+    reader = PersistentSolverCache(path)
+    assert reader.get("before") == {"verdict": "equivalent"}
+    assert reader.get("after") == {"verdict": "not-equivalent"}
+    assert "torn" not in reader
+
+
+def test_query_key_is_symmetric():
+    a = builder.add(_field("/a"), builder.const(1, 16))
+    b = builder.mul(_field("/b"), builder.const(2, 16))
+    assert query_key(a, b) == query_key(b, a)
+    assert query_key(a, b) != query_key(a, a)
+
+
+def test_query_key_distinguishes_constant_widths():
+    """Regression: the paper rendering omits Constant widths, so these two
+    semantically different concatenations used to collide on one key."""
+    from repro.symbolic.expr import Concat, Constant, InputField
+
+    field = InputField(8, path="/x")
+    first = Concat(32, parts=(Constant(8, 1), field, Constant(16, 2)))
+    second = Concat(32, parts=(Constant(16, 1), field, Constant(8, 2)))
+    reference = builder.const(0, 32)
+    assert query_key(first, reference) != query_key(second, reference)
+
+
+def test_checker_persists_verdicts_across_checker_lifetimes(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    options = EquivalenceOptions(persistent_cache_path=path)
+    # x * 2 == x << 1 needs the exhaustive procedure (16 free bits).
+    left = builder.mul(_field("/x"), builder.const(2, 16))
+    right = builder.shl(_field("/x"), builder.const(1, 16))
+
+    first = EquivalenceChecker(options=options)
+    result = first.equivalent(left, right)
+    assert result.verdict is Verdict.EQUIVALENT
+    assert first.statistics.exhaustive_queries == 1
+    assert first.statistics.persistent_cache_hits == 0
+
+    # A brand-new checker (fresh in-memory cache) answers from disk.
+    second = EquivalenceChecker(options=options)
+    replay = second.equivalent(left, right)
+    assert replay.verdict is Verdict.EQUIVALENT
+    assert second.statistics.persistent_cache_hits == 1
+    assert second.statistics.exhaustive_queries == 0
+    assert second.statistics.solver_invocations == 0
+    # Hit accounting: a persistent hit is not an evaluated query.
+    assert second.statistics.evaluated_queries == 0
+
+
+def test_witness_round_trips_through_the_persistent_cache(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    options = EquivalenceOptions(persistent_cache_path=path)
+    left = builder.add(_field("/y"), builder.const(1, 16))
+    right = builder.add(_field("/y"), builder.const(2, 16))
+
+    first = EquivalenceChecker(options=options).equivalent(left, right)
+    assert first.verdict is Verdict.NOT_EQUIVALENT
+    assert first.witness is not None
+
+    replay = EquivalenceChecker(options=options).equivalent(left, right)
+    assert replay.verdict is Verdict.NOT_EQUIVALENT
+    assert replay.witness == first.witness
+    assert replay.method == first.method
+
+
+def test_empty_witness_survives_the_round_trip(tmp_path):
+    """Two unequal constants disagree on the empty assignment: witness {}."""
+    path = str(tmp_path / "cache.jsonl")
+    options = EquivalenceOptions(persistent_cache_path=path)
+    left = builder.const(1, 8)
+    right = builder.const(2, 8)
+
+    first = EquivalenceChecker(options=options).equivalent(left, right)
+    assert first.verdict is Verdict.NOT_EQUIVALENT
+    assert first.witness == {}
+
+    replay = EquivalenceChecker(options=options).equivalent(left, right)
+    assert replay.verdict is Verdict.NOT_EQUIVALENT
+    assert replay.witness == {}
+
+
+def test_disabled_by_default():
+    checker = EquivalenceChecker()
+    assert checker.persistent_cache is None
+
+
+def test_swapped_operands_sample_identically_and_share_the_cached_verdict(tmp_path):
+    """(A, B) and (B, A) are one query to both caches, so they must also be
+    one query to the sampling RNG — otherwise cache warmth could flip the
+    verdict one orientation computes."""
+    path = str(tmp_path / "cache.jsonl")
+    options = EquivalenceOptions(persistent_cache_path=path)
+    left = builder.mul(_field("/w"), builder.const(2, 16))
+    right = builder.shl(_field("/w"), builder.const(1, 16))
+
+    forward = EquivalenceChecker(options=options).equivalent(left, right)
+    swapped_checker = EquivalenceChecker(options=options)
+    swapped = swapped_checker.equivalent(right, left)
+    assert swapped.verdict is forward.verdict
+    assert swapped_checker.statistics.persistent_cache_hits == 1
+
+
+def test_trivially_recomputable_verdicts_are_not_persisted(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    options = EquivalenceOptions(persistent_cache_path=str(path))
+    checker = EquivalenceChecker(options=options)
+    # Syntactic hit: identical expressions.
+    expr = builder.add(_field("/s"), builder.const(1, 16))
+    assert checker.equivalent(expr, expr).method == "syntactic"
+    # Disjoint fields: filter answers without the solver.
+    assert (
+        checker.equivalent(_field("/left"), _field("/right")).method
+        == "disjoint-fields"
+    )
+    assert not path.exists() or path.read_text() == ""
+
+
+def test_option_variants_do_not_share_persistent_entries(tmp_path):
+    """Verdicts are only valid under the options that produced them."""
+    path = str(tmp_path / "cache.jsonl")
+    left = builder.mul(_field("/z"), builder.const(2, 16))
+    right = builder.shl(_field("/z"), builder.const(1, 16))
+
+    strong = EquivalenceChecker(options=EquivalenceOptions(persistent_cache_path=path))
+    strong.equivalent(left, right)
+
+    weak = EquivalenceChecker(
+        options=EquivalenceOptions(persistent_cache_path=path, sample_count=1)
+    )
+    weak.equivalent(left, right)
+    # Different option fingerprints: the weak checker must not replay the
+    # strong checker's verdict (nor vice versa).
+    assert weak.statistics.persistent_cache_hits == 0
+    assert weak.statistics.exhaustive_queries == 1
+
+    same = EquivalenceChecker(options=EquivalenceOptions(persistent_cache_path=path))
+    same.equivalent(left, right)
+    assert same.statistics.persistent_cache_hits == 1
