@@ -81,3 +81,62 @@ def test_bench_rewrite_without_optimisations(rewrite_inputs, benchmark):
         rounds=1,
         iterations=1,
     )
+
+
+# ---------------------------------------------------------------------------
+# Interned IR: verdict and cache-key stability, cold vs warm memo
+# ---------------------------------------------------------------------------
+
+
+def test_interned_cache_keys_stable_across_checkers(rewrite_inputs, tmp_path):
+    """Digest-derived persistent keys hit across checker/process boundaries.
+
+    A second checker sharing the cache file must answer the same queries
+    from the persistent cache (hit rate not degraded by interning) and reach
+    identical translation results — digests, unlike object ids or interning
+    order, are pure functions of expression structure.
+    """
+    excised, points = rewrite_inputs
+    cache_path = str(tmp_path / "solver_cache.jsonl")
+
+    cold, translated_cold = _rewrite_all(
+        excised, points, EquivalenceOptions(persistent_cache_path=cache_path)
+    )
+    warm, translated_warm = _rewrite_all(
+        excised, points, EquivalenceOptions(persistent_cache_path=cache_path)
+    )
+
+    assert translated_warm == translated_cold  # same verdicts
+    assert warm.persistent_cache_hits > 0
+    # Every expensive verdict the cold run computed is replayed, not redone.
+    assert warm.solver_invocations < cold.solver_invocations or (
+        cold.solver_invocations == 0
+    )
+    print(
+        f"\npersistent cache across checkers: cold {cold.solver_invocations} "
+        f"expensive queries, warm {warm.solver_invocations} "
+        f"({warm.persistent_cache_hits} persistent hits)"
+    )
+
+
+def test_warm_simplify_memo_eliminates_rewrite_simplification(rewrite_inputs):
+    """Re-running the whole rewrite stage re-simplifies (almost) nothing.
+
+    The simplify memo is process-wide and keyed by interned node identity,
+    so the donor check and the recipient-name expressions — already
+    simplified by earlier queries — cost one memo probe each on repeat runs.
+    """
+    from repro.symbolic import reset_simplify_cache_stats, simplify_cache_stats
+
+    excised, points = rewrite_inputs
+    _rewrite_all(excised, points, EquivalenceOptions())  # prime the memo
+
+    reset_simplify_cache_stats()
+    _rewrite_all(excised, points, EquivalenceOptions())
+    stats = simplify_cache_stats()
+    print(
+        f"\nwarm rewrite stage: {stats['visits']} simplify node visits, "
+        f"{stats['hits']} memo hits"
+    )
+    assert stats["visits"] == 0
+    assert stats["hits"] > 0

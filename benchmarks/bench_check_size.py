@@ -5,7 +5,27 @@ algorithm to recognize complex expressions that are semantically equivalent"
 (§4.2).  Using the regenerated Figure 8 results, the bench checks that the
 translated checks are never larger than the excised application-independent
 checks and reports the aggregate reduction.
+
+The second half of the file benchmarks the hash-consed IR itself: on a check
+expression with heavy subtree sharing, the memoised (DAG) simplify, evaluate,
+and bit-blast passes must perform measurably fewer node visits — and less
+wall time — than the un-memoised tree-walking baselines, while producing
+identical results.
 """
+
+import time
+
+from repro.solver.bitblast import BitBlaster
+from repro.symbolic import (
+    builder,
+    clear_simplify_cache,
+    evaluate,
+    evaluate_tree,
+    reset_simplify_cache_stats,
+    simplify,
+    simplify_cache_stats,
+    simplify_reference,
+)
 
 
 def _pairs(figure8_results):
@@ -36,3 +56,103 @@ def test_bench_summary_computation(figure8_results, benchmark):
     summary = benchmark(figure8_results.summary)
     assert summary["successful"] == summary["transfers"]
     assert summary["mean_check_size_reduction"] >= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Interning / memoisation: DAG passes vs tree baselines
+# ---------------------------------------------------------------------------
+
+
+def _shared_subtree_check(doublings: int = 10):
+    """A §2-style size check whose buffer term is reused 2**doublings times.
+
+    ``stride * height`` (the CWebP overflow shape) is summed with itself
+    repeatedly, modelling a check over an accumulated multi-plane buffer
+    size: the tree doubles at every level while the DAG grows by one node.
+    """
+    width = builder.input_field("/bench/sof/width", 16)
+    height = builder.input_field("/bench/sof/height", 16)
+    stride = builder.mul(builder.zext(width, 32), 3)
+    plane = builder.mul(stride, builder.zext(height, 32))
+    total = plane
+    for _ in range(doublings):
+        total = builder.add(total, total)
+    return builder.ule(total, 0x0FFFFFFF)
+
+
+def test_memoized_simplify_visits_fewer_nodes():
+    check = _shared_subtree_check()
+    tree_nodes = check.size
+    dag_nodes = len(list(check.walk_unique()))
+    assert dag_nodes * 50 < tree_nodes  # the input really is share-heavy
+
+    clear_simplify_cache()
+    reset_simplify_cache_stats()
+    reference = simplify_reference(check)
+    reference_visits = simplify_cache_stats()["visits"]
+
+    clear_simplify_cache()
+    reset_simplify_cache_stats()
+    memoized = simplify(check)
+    memoized_visits = simplify_cache_stats()["visits"]
+
+    assert memoized is reference  # interning: same canonical result node
+    print(
+        f"\nsimplify node visits on a {tree_nodes}-node tree "
+        f"({dag_nodes}-node DAG): reference {reference_visits}, "
+        f"memoized {memoized_visits}"
+    )
+    assert memoized_visits * 10 < reference_visits
+
+    # A warm re-simplify of the same node is a single memo probe.
+    reset_simplify_cache_stats()
+    assert simplify(check) is memoized
+    assert simplify_cache_stats()["visits"] == 0
+
+
+def test_memoized_evaluate_matches_and_outpaces_tree_walk():
+    check = _shared_subtree_check(doublings=12)
+    env = {"/bench/sof/width": 640, "/bench/sof/height": 480}
+
+    started = time.perf_counter()
+    memoized_value = evaluate(check, env)
+    memoized_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    tree_value = evaluate_tree(check, env)
+    tree_s = time.perf_counter() - started
+
+    assert memoized_value == tree_value
+    print(
+        f"\nevaluate on a {check.size}-node tree: "
+        f"DAG {memoized_s * 1e3:.2f}ms vs tree {tree_s * 1e3:.2f}ms"
+    )
+    assert memoized_s < tree_s
+
+
+def test_bitblast_translates_shared_subtrees_once():
+    check = _shared_subtree_check()
+    blaster = BitBlaster()
+    blaster.blast(check)
+    dag_nodes = len(list(check.walk_unique()))
+    print(
+        f"\nbitblast visits on a {check.size}-node tree: "
+        f"{blaster.nodes_visited} (DAG size {dag_nodes})"
+    )
+    assert blaster.nodes_visited == dag_nodes
+    assert blaster.nodes_visited * 50 < check.size
+
+
+def test_bench_simplify_interned(benchmark):
+    check = _shared_subtree_check()
+
+    def warm():
+        clear_simplify_cache()
+        return simplify(check)
+
+    benchmark(warm)
+
+
+def test_bench_simplify_reference_baseline(benchmark):
+    check = _shared_subtree_check()
+    benchmark(simplify_reference, check)

@@ -24,10 +24,16 @@ mapping a canonical query key to the serialised verdict payload.  Properties:
 The cache is deliberately solver-agnostic: it stores opaque JSON payloads
 keyed by strings, and :mod:`repro.solver.equivalence` owns the
 (de)serialisation of :class:`EquivalenceResult`.  Keys are built from the
-structural ``repr`` of the *simplified* query pair: the expression IR is a
-tree of frozen dataclasses, so ``repr`` is deterministic and injective —
-unlike the paper-notation rendering, which omits e.g. ``Constant`` widths
-and would let distinct queries collide on one cached verdict.
+structural *digests* of the *simplified* query pair
+(:attr:`repro.symbolic.expr.Expr.digest`): content hashes computed bottom-up
+over the hash-consed expression DAG.  Digests are deterministic across
+processes and runs (interning order and object ids are not), injective
+modulo SHA-1 collisions — unlike the paper-notation rendering, which omits
+e.g. ``Constant`` widths and would let distinct queries collide on one
+cached verdict — and constant-length, so cache lines stay small even for
+checks whose ``repr`` runs to hundreds of kilobytes.  They are also O(1) to
+obtain for any node the process has already digested, where the previous
+``repr``-derived keys re-rendered the whole tree on every query.
 """
 
 from __future__ import annotations
@@ -49,9 +55,9 @@ def query_key(left: Expr, right: Expr) -> str:
     """Canonical, order-insensitive key for an equivalence query pair.
 
     The in-memory cache probes ``(left, right)`` then ``(right, left)``; the
-    persistent key gets the same symmetry by sorting the two renderings.
+    persistent key gets the same symmetry by sorting the two digests.
     """
-    first, second = sorted((repr(left), repr(right)))
+    first, second = sorted((left.digest, right.digest))
     return f"{first}||{second}"
 
 

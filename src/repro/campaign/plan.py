@@ -6,6 +6,35 @@ that request into an ordered tuple of :class:`JobSpec` items, each carrying a
 deterministic content-addressed ``job_id`` so that a re-run (or a resumed run)
 of the same plan recognises its previously completed jobs regardless of the
 order in which workers finished them.
+
+Identity and resume semantics
+-----------------------------
+
+``job_id`` is a SHA-1 over the job's *semantic* fields only — case, donor,
+strategy, variant name, and the sorted option overrides.  Two consequences:
+
+* **Resume is content-addressed, not positional.**  The run store records
+  completions by ``job_id``; reordering a plan, interleaving workers, or
+  resuming after a crash cannot mis-attribute a completed job.  Conversely,
+  editing a variant's overrides changes its jobs' ids, so previously
+  recorded completions (correctly) stop matching and the jobs re-run.
+* **The variant *name* is part of the identity.**  Two variants with equal
+  overrides but different names are distinct jobs — campaigns may
+  deliberately A/B the same configuration.
+
+Option-override namespacing
+---------------------------
+
+Overrides are split by key into :class:`~repro.core.pipeline.CodePhageOptions`
+fields (``_PIPELINE_KEYS``) and nested
+:class:`~repro.solver.equivalence.EquivalenceOptions` fields
+(``_EQUIVALENCE_KEYS``); unknown keys fail plan expansion up front rather
+than on each worker.  Note the interaction with the shared solver cache:
+equivalence options are folded into the persistent cache-key *namespace*
+(see :mod:`repro.solver.equivalence`), so variants with different solver
+settings share the cache file but never each other's verdicts, while
+pipeline-only overrides reuse the same namespace — and each other's
+verdicts — freely.
 """
 
 from __future__ import annotations

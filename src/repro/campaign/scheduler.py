@@ -20,9 +20,36 @@ The outbox file, not the queue message, is the ground truth for a worker
 that exited cleanly: if the doorbell is lost or late, the scheduler recovers
 the result from the file instead of misclassifying the job as crashed.
 
+Retry semantics
+---------------
+
+A job gets ``1 + retries`` attempts.  Crashes (non-zero worker exit),
+per-attempt timeouts, runner exceptions, and unreadable result payloads all
+count as failed attempts; *every* attempt — including the failed ones — is
+appended to the store, so a resumed run sees the full history.  Retried jobs
+go to the back of the pending queue (other jobs are not starved behind a
+flapping one), and ``timeout_s`` bounds each attempt individually, so a job
+with retries may run for ``(1 + retries) * timeout_s`` of wall clock in
+total.  A job is *failed* for this run only when its attempt budget is
+exhausted; a later ``run()`` against the same store starts a fresh budget.
+
+Resume semantics
+----------------
+
+``run()`` asks the store for completed job ids up front and never launches
+those jobs again — resume is skip-by-id, there is no in-flight state to
+reconstruct.  Jobs that were running when a previous campaign died simply
+have no completion record and run again from scratch.  The ``outbox/``
+scratch directory is wiped at startup: payload files from a killed run are
+unreadable-by-design remnants whose doorbell never fired, and their jobs
+will be re-attempted anyway.
+
 Only the scheduler writes ``records.jsonl``.  The one multi-writer file is
 the persistent solver cache, which is designed for concurrent appends (see
-:mod:`repro.campaign.cache`).
+:mod:`repro.campaign.cache`); workers attach to it via the cache path the
+scheduler passes down, and their verdicts are namespaced by solver options
+so different option variants never replay each other's results (see
+:mod:`repro.solver.equivalence`).
 
 The worker entry point is :func:`repro.experiments.execute_job`; tests inject
 a stub ``runner`` (any module-level callable with the same signature) to

@@ -14,6 +14,40 @@ mid-run loses at most the in-flight jobs; re-opening the store recovers the
 set of completed jobs and the scheduler skips them.  ``merge_into_database``
 re-orders the surviving records into *plan* order, so a resumed or parallel
 run renders the same table as a serial one.
+
+Resume and retry, concretely
+----------------------------
+
+* A job counts as *completed* when any recorded attempt has status
+  ``done``; :meth:`RunStore.results` keeps the latest attempt per job but
+  never lets a later failed attempt shadow an earlier completion (a retried
+  timeout racing a late success must not un-complete the job).
+* ``records.jsonl`` may legitimately hold several lines per job — one per
+  attempt, failures included.  Consumers must aggregate via
+  :meth:`RunStore.results`; reading raw lines as "one job each" is wrong.
+* A torn trailing line (scheduler killed mid-append) is skipped on read;
+  at most that one attempt record is lost, and the affected job re-runs.
+* ``initialise(fresh=True)`` deletes the *records*, not the solver cache:
+  verdicts are keyed by expression digests + solver options
+  (:mod:`repro.campaign.cache`), which remain valid across any re-plan of
+  the same code, so a fresh campaign restarts from zero completed jobs but
+  with warm solver state.  Plan identity is compared as the *set* of job
+  ids — resuming with a reordered but equal plan is allowed; any addition
+  or removal requires ``fresh`` or a new directory.
+
+Cache-key namespacing
+---------------------
+
+The store hands workers one shared ``solver_cache.jsonl``; isolation between
+incompatible configurations happens in the *keys*, not in files.  Each entry
+key is ``<namespace>##<digest-pair>`` where the namespace folds in the cache
+schema version and every equivalence option (sampling depth, SAT budgets,
+seed — see ``EquivalenceChecker._cache_namespace``), and the digest pair
+identifies the simplified query (order-insensitive).  Campaign variants with
+different solver options therefore coexist in one file without replaying
+each other's verdicts, and bumping
+:data:`repro.solver.equivalence.CACHE_SCHEMA_VERSION` retires stale entries
+wholesale without touching the file.
 """
 
 from __future__ import annotations

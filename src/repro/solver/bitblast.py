@@ -15,6 +15,14 @@ classic SAT-hostile case).
 
 Bit semantics exactly mirror :func:`repro.symbolic.evaluate.evaluate`
 (property-tested in ``tests/solver/test_bitblast_properties.py``).
+
+Expressions are hash-consed (:mod:`repro.symbolic.expr`), so the blaster's
+per-expression cache is an identity-keyed memo over the DAG: a subtree shared
+by both sides of an equivalence query — or appearing many times inside one
+check — is translated to gates once, and every further occurrence reuses the
+same CNF literals (which also yields a smaller, easier formula than
+re-encoding the subcircuit).  :attr:`BitBlaster.nodes_visited` counts actual
+translations (cache misses) for the interning benchmarks.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from ..symbolic.expr import (
     Ite,
     Kind,
     Unary,
+    register_clear_callback,
 )
 
 #: A bit is either a Python bool (known constant) or a CNF literal (int).
@@ -65,7 +74,11 @@ class BitBlaster:
         self.cnf = CNF()
         self._field_bits: dict[str, list[int]] = {}
         self._field_widths: dict[str, int] = {}
+        #: Identity-keyed (nodes are interned) memo: node -> its bit vector.
         self._cache: dict[Expr, list[Bit]] = {}
+        #: Distinct nodes actually translated (cache misses); benchmarks
+        #: compare this against the tree size to show shared-subtree wins.
+        self.nodes_visited = 0
 
     # -- field variables -----------------------------------------------------
 
@@ -261,6 +274,7 @@ class BitBlaster:
         cached = self._cache.get(expr)
         if cached is not None:
             return cached
+        self.nodes_visited += 1
         bits = self._blast(expr)
         if len(bits) != expr.width:
             raise BlastError(
@@ -396,31 +410,45 @@ class BitBlaster:
         return self._mux_word(divisor_zero, list(left), signed_remainder)
 
 
+#: node -> estimated gate cost of its whole tree; identity-keyed DAG memo.
+_COST_MEMO: dict[Expr, int] = {}
+
+register_clear_callback(_COST_MEMO.clear)
+
+
+def _node_cost(node: Expr) -> int:
+    if isinstance(node, Binary) and node.op in (
+        Kind.UDIV,
+        Kind.SDIV,
+        Kind.UREM,
+        Kind.SREM,
+    ):
+        # Restoring division builds `width` serial subtract/compare stages,
+        # each of width gates, feeding a SAT-hostile circuit: treat it as
+        # cubic so wide divisions fall back to sampling.
+        return node.width * node.width * node.width
+    if isinstance(node, Binary) and node.op is Kind.MUL:
+        return node.width * node.width
+    if isinstance(node, Binary) and node.op in (Kind.SHL, Kind.LSHR, Kind.ASHR):
+        if isinstance(node.right, Constant):
+            return node.width
+        return node.width * max(node.width.bit_length() - 1, 1)
+    return node.width
+
+
 def estimate_blast_cost(expr: Expr) -> int:
     """A rough gate-count estimate used to decide whether to attempt SAT.
 
-    Multiplication and division cost ``width**2``; everything else costs
-    ``width``.  The equivalence checker compares the sum against a budget.
+    Multiplication and division cost ``width**2`` (``width**3`` for
+    division); everything else costs ``width``.  The equivalence checker
+    compares the sum against a budget.  The total is over the expression
+    *tree* (unchanged by interning), but the recursion is memoised per
+    distinct node, so repeated estimates of overlapping queries are O(new
+    nodes) instead of O(tree).
     """
-    total = 0
-    for node in expr.walk():
-        if isinstance(node, Binary) and node.op in (
-            Kind.UDIV,
-            Kind.SDIV,
-            Kind.UREM,
-            Kind.SREM,
-        ):
-            # Restoring division builds `width` serial subtract/compare stages,
-            # each of width gates, feeding a SAT-hostile circuit: treat it as
-            # cubic so wide divisions fall back to sampling.
-            total += node.width * node.width * node.width
-        elif isinstance(node, Binary) and node.op is Kind.MUL:
-            total += node.width * node.width
-        elif isinstance(node, Binary) and node.op in (Kind.SHL, Kind.LSHR, Kind.ASHR):
-            if isinstance(node.right, Constant):
-                total += node.width
-            else:
-                total += node.width * max(node.width.bit_length() - 1, 1)
-        else:
-            total += node.width
+    cached = _COST_MEMO.get(expr)
+    if cached is not None:
+        return cached
+    total = _node_cost(expr) + sum(estimate_blast_cost(child) for child in expr.children())
+    _COST_MEMO[expr] = total
     return total

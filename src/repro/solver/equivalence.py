@@ -105,7 +105,12 @@ class SolverStatistics:
 
 
 class QueryCache:
-    """Memoises equivalence verdicts keyed by the (simplified) query pair."""
+    """Memoises equivalence verdicts keyed by the (simplified) query pair.
+
+    Expressions are hash-consed, so the pair key hashes and compares by
+    object identity — O(1) per probe, where the pre-interning IR paid a full
+    structural hash and deep comparison on every lookup.
+    """
 
     def __init__(self) -> None:
         self._entries: dict[tuple[Expr, Expr], EquivalenceResult] = {}
@@ -154,10 +159,14 @@ _CORNER_VALUES = (0, 1, 2, 3, 0x7F, 0x80, 0xFF, 0x100, 0x7FFF, 0x8000, 0xFFFF, 0
 _CHEAP_METHODS = frozenset({"syntactic", "disjoint-fields", "width-mismatch"})
 
 #: Folded into every persistent-cache namespace.  Bump this when the decision
-#: procedures change semantically (simplifier, sampling, bit-blasting, SAT):
-#: cached verdicts from older code then stop matching and are recomputed,
-#: instead of being silently replayed against new semantics.
-CACHE_SCHEMA_VERSION = 1
+#: procedures change semantically (simplifier, sampling, bit-blasting, SAT)
+#: or when the key derivation changes: cached verdicts from older code then
+#: stop matching and are recomputed, instead of being silently replayed
+#: against new semantics.
+#:
+#: Version history: 1 = repr-derived keys and repr-seeded sampling;
+#: 2 = interned-node digest keys and digest-seeded sampling (PR 2).
+CACHE_SCHEMA_VERSION = 2
 
 
 class EquivalenceChecker:
@@ -328,13 +337,17 @@ class EquivalenceChecker:
         a cache (in-memory or persistent) would then shift every later
         query's samples, making verdicts depend on cache warmth — and, at
         campaign scale, on sibling workers' timing.  Seeding from the
-        structural ``repr`` (injective, unlike the paper rendering) keeps
-        every verdict a pure function of (query, options); the reprs are
-        *sorted* so ``(A, B)`` and ``(B, A)`` — one query to both caches —
-        also sample identically.  ``random.seed`` hashes strings with
-        SHA-512, not the salted ``hash``, so this is stable across processes.
+        interned nodes' structural digests (injective modulo SHA-1, unlike
+        the paper rendering) keeps every verdict a pure function of
+        (query, options); the digests are *sorted* so ``(A, B)`` and
+        ``(B, A)`` — one query to both caches — also sample identically.
+        Digests are content hashes computed bottom-up over the hash-consed
+        DAG (see :attr:`repro.symbolic.expr.Expr.digest`), so they are
+        stable across processes — and O(1) on every node the checker has
+        already touched, where the old ``repr`` rendering re-walked the
+        whole tree on every query.
         """
-        key = "|".join([str(self.options.random_seed)] + sorted(repr(p) for p in parts))
+        key = "|".join([str(self.options.random_seed)] + sorted(p.digest for p in parts))
         return random.Random(key)
 
     def _assignments(self, fields: dict[str, int], rng: random.Random):
@@ -458,9 +471,13 @@ def _result_from_payload(payload: dict) -> EquivalenceResult:
 
 
 def _field_widths(expr: Expr) -> dict[str, int]:
-    """Map of input-field path -> width for all fields referenced by ``expr``."""
+    """Map of input-field path -> width for all fields referenced by ``expr``.
+
+    DAG traversal: each distinct (interned) node is inspected once, however
+    many times it occurs in the tree.
+    """
     widths: dict[str, int] = {}
-    for node in expr.walk():
+    for node in expr.walk_unique():
         if isinstance(node, InputField):
             widths[node.path] = max(widths.get(node.path, 0), node.width)
     return widths

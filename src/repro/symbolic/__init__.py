@@ -7,7 +7,7 @@ interior nodes are fixed-width bitvector operations.
 """
 
 from . import builder
-from .evaluate import EvaluationError, evaluate, to_signed, to_unsigned
+from .evaluate import EvaluationError, evaluate, evaluate_tree, to_signed, to_unsigned
 from .expr import (
     Binary,
     Concat,
@@ -22,6 +22,8 @@ from .expr import (
     NEGATED_COMPARISON,
     SWAPPED_COMPARISON,
     Unary,
+    clear_intern_table,
+    intern_table_size,
     structurally_equal,
 )
 from .metrics import (
@@ -39,7 +41,11 @@ from .simplify import (
     FIGURE5_RULES,
     SimplifyOptions,
     apply_figure5_rule,
+    clear_simplify_cache,
+    reset_simplify_cache_stats,
     simplify,
+    simplify_cache_stats,
+    simplify_reference,
 )
 
 __all__ = [
@@ -65,17 +71,23 @@ __all__ = [
     "arithmetic_count",
     "builder",
     "c_type_for_width",
+    "clear_intern_table",
+    "clear_simplify_cache",
     "comparison_count",
     "evaluate",
+    "evaluate_tree",
     "field_reference_count",
+    "intern_table_size",
     "leaf_count",
     "operation_count",
+    "reset_simplify_cache_stats",
     "simplify",
+    "simplify_cache_stats",
+    "simplify_reference",
     "size_reduction",
     "structurally_equal",
     "to_c_string",
     "to_paper_string",
     "to_signed",
     "to_unsigned",
-    "structurally_equal",
 ]

@@ -5,6 +5,12 @@ through these helpers instead of instantiating the dataclasses directly; the
 helpers take care of width coercion (the most common source of bugs when
 mirroring binary-level operations) and perform a little light folding so that
 the shadow expressions produced during execution stay small.
+
+Every constructor yields *interned* nodes: the node classes are hash-consed
+at construction (see :mod:`repro.symbolic.expr`), so building the same
+subexpression twice — here or via the dataclass constructors — returns the
+same object, and equality/hashing are identity-cheap.  The helpers therefore
+never need to (and must not) mutate nodes after construction.
 """
 
 from __future__ import annotations

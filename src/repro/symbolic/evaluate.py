@@ -14,11 +14,19 @@ operators reinterpret their operands in two's complement.  Division and
 remainder by zero evaluate to all-ones / the dividend respectively, matching
 the conventional SMT-LIB bitvector semantics (the MicroC VM, by contrast,
 *reports* divide-by-zero as a runtime error — see :mod:`repro.lang.vm`).
+
+Because expressions are hash-consed (:mod:`repro.symbolic.expr`),
+:func:`evaluate` memoises per-node results within one call: a subtree shared
+by many parents is evaluated once per ``(call, node)`` rather than once per
+occurrence, so evaluation cost is proportional to the *DAG* size.  The memo
+cannot span calls — it is keyed under one environment.  The un-memoised
+tree-walking semantics are retained as :func:`evaluate_tree`; property tests
+assert the two always agree.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Optional
 
 from .expr import (
     Binary,
@@ -59,7 +67,36 @@ def evaluate(expr: Expr, env: Mapping[str, int]) -> int:
     """Evaluate ``expr`` under ``env`` (field path -> unsigned integer value).
 
     Returns the unsigned residue of the result at ``expr.width`` bits.
+    Shared subtrees are evaluated once (identity-keyed memo over the DAG).
     """
+    return _evaluate(expr, env, {})
+
+
+def evaluate_tree(expr: Expr, env: Mapping[str, int]) -> int:
+    """Reference evaluation without subtree memoisation (tree traversal).
+
+    Semantically identical to :func:`evaluate` — evaluation is pure, so
+    sharing cannot change results — but visits every occurrence of every
+    subtree.  Kept as the oracle for the interning property tests and for
+    node-visit comparisons in the benchmarks.
+    """
+    return _evaluate(expr, env, None)
+
+
+def _evaluate(expr: Expr, env: Mapping[str, int], memo: Optional[dict]) -> int:
+    if memo is not None:
+        cached = memo.get(expr)
+        if cached is not None:
+            return cached
+
+    result = _evaluate_node(expr, env, memo)
+
+    if memo is not None:
+        memo[expr] = result
+    return result
+
+
+def _evaluate_node(expr: Expr, env: Mapping[str, int], memo: Optional[dict]) -> int:
     if isinstance(expr, Constant):
         return expr.value
 
@@ -69,7 +106,7 @@ def evaluate(expr: Expr, env: Mapping[str, int]) -> int:
         return to_unsigned(env[expr.path], expr.width)
 
     if isinstance(expr, Unary):
-        value = evaluate(expr.operand, env)
+        value = _evaluate(expr.operand, env, memo)
         if expr.op is Kind.NEG:
             return to_unsigned(-value, expr.width)
         if expr.op is Kind.NOT:
@@ -79,14 +116,14 @@ def evaluate(expr: Expr, env: Mapping[str, int]) -> int:
         raise EvaluationError(f"unknown unary operator {expr.op}")
 
     if isinstance(expr, Binary):
-        return _evaluate_binary(expr, env)
+        return _evaluate_binary(expr, env, memo)
 
     if isinstance(expr, Extract):
-        value = evaluate(expr.operand, env)
+        value = _evaluate(expr.operand, env, memo)
         return (value >> expr.lo) & _mask(expr.width)
 
     if isinstance(expr, Extend):
-        value = evaluate(expr.operand, env)
+        value = _evaluate(expr.operand, env, memo)
         if expr.signed:
             return to_unsigned(to_signed(value, expr.operand.width), expr.width)
         return value
@@ -94,20 +131,20 @@ def evaluate(expr: Expr, env: Mapping[str, int]) -> int:
     if isinstance(expr, Concat):
         result = 0
         for part in expr.parts:
-            result = (result << part.width) | evaluate(part, env)
+            result = (result << part.width) | _evaluate(part, env, memo)
         return result
 
     if isinstance(expr, Ite):
-        if evaluate(expr.cond, env):
-            return evaluate(expr.then, env)
-        return evaluate(expr.otherwise, env)
+        if _evaluate(expr.cond, env, memo):
+            return _evaluate(expr.then, env, memo)
+        return _evaluate(expr.otherwise, env, memo)
 
     raise EvaluationError(f"unknown expression node {type(expr).__name__}")
 
 
-def _evaluate_binary(expr: Binary, env: Mapping[str, int]) -> int:
-    left = evaluate(expr.left, env)
-    right = evaluate(expr.right, env)
+def _evaluate_binary(expr: Binary, env: Mapping[str, int], memo: Optional[dict]) -> int:
+    left = _evaluate(expr.left, env, memo)
+    right = _evaluate(expr.right, env, memo)
     width = expr.left.width
     op = expr.op
 

@@ -1,4 +1,4 @@
-"""Application-independent symbolic bitvector expressions.
+"""Application-independent symbolic bitvector expressions, hash-consed.
 
 Code Phage excises checks from donor applications as symbolic expressions
 over *input fields*: the free variables are named fields of the input file
@@ -15,13 +15,53 @@ The IR deliberately stays close to the paper's vocabulary (Section 2 shows
 excised checks written with ``Constant``, ``HachField``, ``Add``, ``Shl``,
 ``BvAnd``, ``ToSize``, ``Shrink``, ``ULessEqual``...).  The textual form used
 by the paper is produced by :mod:`repro.symbolic.printer`.
+
+Hash-consing
+------------
+
+Every node is *interned*: constructing a node that is structurally equal to
+one built earlier — through any path, the :mod:`repro.symbolic.builder`
+helpers or the dataclass constructors directly — returns the **same object**.
+The intern table lives in :class:`_InternMeta`, the metaclass of
+:class:`Expr`, so interning is total: there is no way to obtain a
+non-canonical node (unpickling re-interns via :meth:`Expr.__reduce__`).
+
+Consequences the rest of the pipeline relies on:
+
+* **Equality is identity.**  ``a == b`` iff ``a is b``; deep structural
+  comparison is never needed.  ``__hash__`` returns a hash precomputed at
+  interning time, so expressions are O(1) dictionary keys — which turns the
+  memo tables in :mod:`repro.symbolic.simplify`,
+  :mod:`repro.symbolic.evaluate`, :mod:`repro.symbolic.metrics`, and
+  :mod:`repro.solver.bitblast` into true DAG traversals: a subtree shared by
+  many parents is processed once, not once per occurrence.
+* **Tree metrics are O(1).**  ``size``/``op_count``/``leaf_count``/``depth``
+  are computed bottom-up at interning time from the (already interned)
+  children.  They still count occurrences with multiplicity — the paper's
+  "check size" metric is over the expression *tree* — but cost nothing to
+  read.
+* **Digests replace reprs as cache keys.**  :attr:`Expr.digest` is a
+  content hash computed bottom-up from child digests; it is stable across
+  processes and runs (unlike ``id``/interning order) and injective modulo
+  SHA-1 collisions (unlike the paper-notation rendering).  The solver's
+  persistent query cache and the sampling RNG are seeded from it.
+* **Ordering is stable within a process.**  :attr:`Expr.intern_id` is a
+  monotonically increasing creation index, usable as a deterministic sort
+  key for nodes created in a fixed order.
+
+The intern table holds strong references (worker processes are per-job and
+short-lived; see :mod:`repro.campaign.scheduler`).  Long-running hosts can
+call :func:`clear_intern_table`, which also flushes every registered
+dependent memo table.  The table is not thread-safe; the concurrency model
+of this codebase is multiprocessing, where each process owns its table.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterator
+import hashlib
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Callable, Iterator
 
 
 class Kind(enum.Enum):
@@ -136,15 +176,154 @@ class ExprError(Exception):
     """Raised when an expression is constructed with inconsistent widths."""
 
 
-@dataclass(frozen=True)
-class Expr:
-    """Base class for all symbolic expression nodes."""
+# ---------------------------------------------------------------------------
+# Interning machinery
+# ---------------------------------------------------------------------------
+
+#: Structural key -> canonical node.  Strong references; see module docstring.
+_INTERN_TABLE: dict[tuple, "Expr"] = {}
+
+#: Callbacks run by :func:`clear_intern_table` so identity-keyed memo tables
+#: elsewhere (simplify, metrics, blast-cost) release their node references in
+#: lock-step with the intern table.
+_CLEAR_CALLBACKS: list[Callable[[], None]] = []
+
+_intern_counter = 0
+
+
+def register_clear_callback(callback: Callable[[], None]) -> None:
+    """Register a memo-flush hook invoked by :func:`clear_intern_table`."""
+    _CLEAR_CALLBACKS.append(callback)
+
+
+def clear_intern_table() -> None:
+    """Drop all interned nodes and flush registered dependent memo tables.
+
+    Nodes created before the clear remain valid expressions but will no
+    longer be identical to structurally equal nodes created afterwards, so
+    callers should not mix pre- and post-clear nodes.  Intended for tests
+    and benchmarks that measure cold-cache behaviour.
+    """
+    _INTERN_TABLE.clear()
+    for callback in _CLEAR_CALLBACKS:
+        callback()
+
+
+def intern_table_size() -> int:
+    """Number of canonical nodes currently interned (tests/benchmarks)."""
+    return len(_INTERN_TABLE)
+
+
+class _InternMeta(type):
+    """Metaclass routing every construction through the intern table.
+
+    ``Binary(width=8, ...)`` first builds a candidate instance (running the
+    dataclass ``__post_init__`` width validation), then looks up its
+    structural key; on a hit the candidate is discarded and the canonical
+    node returned, so object identity coincides with structural equality.
+    """
+
+    def __call__(cls, *args, **kwargs):
+        instance = super().__call__(*args, **kwargs)
+        key = instance._intern_key()
+        canonical = _INTERN_TABLE.get(key)
+        if canonical is not None:
+            return canonical
+        instance._finalize()
+        _INTERN_TABLE[key] = instance
+        return instance
+
+
+@dataclass(frozen=True, eq=False, repr=True)
+class Expr(metaclass=_InternMeta):
+    """Base class for all symbolic expression nodes (hash-consed)."""
 
     width: int
 
     def __post_init__(self) -> None:
         if self.width <= 0:
             raise ExprError(f"expression width must be positive, got {self.width}")
+
+    # -- interning ----------------------------------------------------------
+
+    def _intern_key(self) -> tuple:
+        """Structural identity key; children contribute by object identity."""
+        return (type(self),) + tuple(
+            getattr(self, f.name) for f in dataclass_fields(type(self))
+        )
+
+    def _finalize(self) -> None:
+        """Precompute hash and tree metrics; runs once, at interning time.
+
+        Children are already canonical (construction is bottom-up), so their
+        precomputed metrics are available and this is O(arity) per node.
+        """
+        global _intern_counter
+        _intern_counter += 1
+        kids = self.children()
+        object.__setattr__(self, "_hash", hash(self._intern_key()))
+        object.__setattr__(self, "intern_id", _intern_counter)
+        object.__setattr__(self, "size", 1 + sum(k.size for k in kids))
+        object.__setattr__(
+            self,
+            "_op_count",
+            (0 if isinstance(self, (Constant, InputField)) else 1)
+            + sum(k._op_count for k in kids),
+        )
+        object.__setattr__(
+            self,
+            "_leaf_count",
+            (1 if isinstance(self, (Constant, InputField)) else 0)
+            + sum(k._leaf_count for k in kids),
+        )
+        object.__setattr__(
+            self, "_depth", 1 + max((k._depth for k in kids), default=0)
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # ``__eq__`` is inherited from object: identity.  Interning guarantees
+    # structurally equal nodes are the same object, so this is structural
+    # equality at pointer-comparison cost.
+
+    def __reduce__(self):
+        """Pickle/deepcopy through the constructor so copies re-intern."""
+        return (
+            type(self),
+            tuple(getattr(self, f.name) for f in dataclass_fields(type(self))),
+        )
+
+    @property
+    def digest(self) -> str:
+        """Process-independent content hash (hex), computed bottom-up.
+
+        Unlike :attr:`intern_id` (creation order) or ``id()`` (address),
+        the digest depends only on structure, so it is the right key for the
+        cross-process persistent solver cache and for seeding sampling RNGs.
+        Computed lazily and cached on the node.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = hashlib.sha1(self._digest_payload().encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    def _digest_payload(self) -> str:
+        parts = [type(self).__name__, str(self.width)]
+        for f in dataclass_fields(type(self)):
+            if f.name == "width":
+                continue
+            value = getattr(self, f.name)
+            if isinstance(value, Expr):
+                parts.append(value.digest)
+            elif isinstance(value, tuple):
+                parts.extend(item.digest for item in value)
+            elif isinstance(value, Kind):
+                parts.append(value.name)
+            else:
+                parts.append(repr(value))
+        return "|".join(parts)
 
     # -- structural helpers -------------------------------------------------
 
@@ -153,31 +332,52 @@ class Expr:
         return ()
 
     def walk(self) -> Iterator["Expr"]:
-        """Pre-order traversal of the expression tree."""
+        """Pre-order traversal of the expression *tree* (with multiplicity).
+
+        A subtree shared by several parents is yielded once per occurrence;
+        use :meth:`walk_unique` for DAG traversal.
+        """
         yield self
         for child in self.children():
             yield from child.walk()
 
+    def walk_unique(self) -> Iterator["Expr"]:
+        """Each distinct node of the expression DAG exactly once (pre-order).
+
+        Because nodes are interned, "distinct" is object identity; on checks
+        with heavy subtree sharing this visits exponentially fewer nodes
+        than :meth:`walk`.
+        """
+        seen: set[int] = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            marker = id(node)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            yield node
+            stack.extend(reversed(node.children()))
+
     def fields(self) -> frozenset[str]:
         """Paths of every input field referenced by this expression."""
         return frozenset(
-            node.path for node in self.walk() if isinstance(node, InputField)
+            node.path for node in self.walk_unique() if isinstance(node, InputField)
         )
 
     def op_count(self) -> int:
         """Number of operator nodes (the paper's "check size" metric).
 
         Leaves (constants and input fields) do not count; every operator node
-        (unary, binary, extract, extend, concat, ite) counts as one.
+        (unary, binary, extract, extend, concat, ite) counts as one, *with
+        multiplicity* — the metric is over the tree, as in Figure 8.
+        Precomputed at interning time; O(1).
         """
-        return sum(1 for node in self.walk() if not isinstance(node, (Constant, InputField)))
+        return self._op_count
 
     def depth(self) -> int:
-        """Height of the expression tree (a leaf has depth 1)."""
-        kids = self.children()
-        if not kids:
-            return 1
-        return 1 + max(child.depth() for child in kids)
+        """Height of the expression tree (a leaf has depth 1).  O(1)."""
+        return self._depth
 
     @property
     def is_boolean(self) -> bool:
@@ -189,7 +389,7 @@ class Expr:
         return to_paper_string(self)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Constant(Expr):
     """A literal bitvector constant of the given width."""
 
@@ -207,7 +407,7 @@ class Constant(Expr):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class InputField(Expr):
     """A named input field (the paper's ``HachField``/``Variable`` leaf).
 
@@ -223,7 +423,7 @@ class InputField(Expr):
             raise ExprError("input field path must be non-empty")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Unary(Expr):
     """A unary operator application (negation, bitwise not, logical not)."""
 
@@ -246,7 +446,7 @@ class Unary(Expr):
         return (self.operand,)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Binary(Expr):
     """A binary operator application.
 
@@ -282,7 +482,7 @@ class Binary(Expr):
         return (self.left, self.right)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Extract(Expr):
     """Bit extraction ``operand[hi:lo]`` (inclusive bounds, lo is bit 0)."""
 
@@ -305,7 +505,7 @@ class Extract(Expr):
         return (self.operand,)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Extend(Expr):
     """Zero or sign extension of ``operand`` to a wider width.
 
@@ -330,7 +530,7 @@ class Extend(Expr):
         return (self.operand,)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Concat(Expr):
     """Concatenation of parts, most-significant part first.
 
@@ -353,7 +553,7 @@ class Concat(Expr):
         return self.parts
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Ite(Expr):
     """If-then-else over bitvectors (used for conditional donor computations)."""
 
@@ -375,5 +575,5 @@ class Ite(Expr):
 
 
 def structurally_equal(a: Expr, b: Expr) -> bool:
-    """Deep structural equality (dataclass equality already provides this)."""
-    return a == b
+    """Deep structural equality (identity, thanks to hash-consing)."""
+    return a is b

@@ -4,13 +4,28 @@ These back the "Check Size" column of the paper's Figure 8 (written there as
 ``X -> Y``: the number of operations in the excised application-independent
 check versus the number of operations in the translated check inserted into
 the recipient) and the rewrite-rule ablation benchmark.
+
+All metrics count tree occurrences *with multiplicity* — Figure 8's check
+size is a property of the expression tree, and interning must not change any
+reported number.  Hash-consing (:mod:`repro.symbolic.expr`) nevertheless
+makes them cheap: ``operation_count``/``leaf_count``/``depth`` are
+precomputed on the node at interning time, and the remaining counters use an
+identity-keyed memo so each distinct node of the DAG is visited once, even
+when the tree it denotes is exponentially larger.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
-from .expr import Binary, Constant, Expr, InputField, Kind
+from .expr import (
+    Binary,
+    Expr,
+    InputField,
+    Kind,
+    register_clear_callback,
+)
 
 
 @dataclass(frozen=True)
@@ -30,34 +45,65 @@ class CheckSize:
         return f"{self.excised_ops} -> {self.translated_ops}"
 
 
+#: (metric tag, node) -> count with multiplicity; identity-keyed DAG memo.
+_COUNT_MEMO: dict[tuple[str, Expr], int] = {}
+
+register_clear_callback(_COUNT_MEMO.clear)
+
+
+def _counted(tag: str, expr: Expr, own: Callable[[Expr], bool]) -> int:
+    """Tree count of nodes satisfying ``own``, memoised per distinct node.
+
+    Counts with multiplicity obey ``count(n) = own(n) + sum(count(child))``,
+    so the memoised recursion returns exactly what a full tree walk would.
+    """
+    key = (tag, expr)
+    cached = _COUNT_MEMO.get(key)
+    if cached is not None:
+        return cached
+    total = (1 if own(expr) else 0) + sum(
+        _counted(tag, child, own) for child in expr.children()
+    )
+    _COUNT_MEMO[key] = total
+    return total
+
+
 def operation_count(expr: Expr) -> int:
-    """Number of operator nodes in ``expr`` (leaves do not count)."""
+    """Number of operator nodes in ``expr`` (leaves do not count).  O(1)."""
     return expr.op_count()
 
 
 def leaf_count(expr: Expr) -> int:
-    """Number of leaf nodes (constants and input fields)."""
-    return sum(1 for node in expr.walk() if isinstance(node, (Constant, InputField)))
+    """Number of leaf nodes (constants and input fields).  O(1)."""
+    return expr._leaf_count
 
 
 def field_reference_count(expr: Expr) -> int:
     """Number of input-field leaf occurrences (with multiplicity)."""
-    return sum(1 for node in expr.walk() if isinstance(node, InputField))
+    return _counted("field-ref", expr, lambda node: isinstance(node, InputField))
 
 
 def comparison_count(expr: Expr) -> int:
     """Number of comparison operators in ``expr``."""
-    return sum(
-        1
-        for node in expr.walk()
-        if isinstance(node, Binary) and node.op.is_comparison
+    return _counted(
+        "comparison",
+        expr,
+        lambda node: isinstance(node, Binary) and node.op.is_comparison,
     )
+
+
+_ARITHMETIC = frozenset(
+    {Kind.ADD, Kind.SUB, Kind.MUL, Kind.UDIV, Kind.SDIV, Kind.UREM, Kind.SREM}
+)
 
 
 def arithmetic_count(expr: Expr) -> int:
     """Number of arithmetic (non-bitwise, non-comparison) operators."""
-    arithmetic = {Kind.ADD, Kind.SUB, Kind.MUL, Kind.UDIV, Kind.SDIV, Kind.UREM, Kind.SREM}
-    return sum(1 for node in expr.walk() if isinstance(node, Binary) and node.op in arithmetic)
+    return _counted(
+        "arithmetic",
+        expr,
+        lambda node: isinstance(node, Binary) and node.op in _ARITHMETIC,
+    )
 
 
 def size_reduction(before: Expr, after: Expr) -> CheckSize:

@@ -20,6 +20,20 @@ This module provides:
 Soundness contract: for every expression ``e`` and environment ``env``,
 ``evaluate(simplify(e), env) == evaluate(e, env)``.  This is enforced by
 property-based tests in ``tests/symbolic/test_simplify_properties.py``.
+
+Memoisation
+-----------
+
+Expressions are hash-consed (:mod:`repro.symbolic.expr`), so a node can be
+used as an O(1) identity dictionary key.  :func:`simplify` exploits that with
+a process-wide memo table keyed by ``(options, node)``: a subtree shared by
+many parents — or appearing in many queries, which is the common case when
+the rewrite stage compares one excised check against dozens of recipient
+names — is simplified exactly once per process.  The memo makes the pass a
+DAG traversal; the un-memoised tree-walking algorithm is preserved as
+:func:`simplify_reference` and property tests assert both always return the
+same canonical node.  :func:`simplify_cache_stats` exposes hit/visit
+counters for the interning benchmarks.
 """
 
 from __future__ import annotations
@@ -41,6 +55,7 @@ from .expr import (
     Kind,
     NEGATED_COMPARISON,
     Unary,
+    register_clear_callback,
 )
 
 
@@ -446,11 +461,67 @@ def _rebuild(expr: Expr, children: Sequence[Expr]) -> Expr:
     return expr
 
 
+#: Process-wide memo: (options, interned node) -> simplified interned node.
+#: Holds strong references; flushed together with the intern table.
+_SIMPLIFY_MEMO: dict[tuple[SimplifyOptions, Expr], Expr] = {}
+
+#: Hit/visit counters for the interning benchmarks.  ``visits`` counts nodes
+#: actually simplified (memo misses); ``hits`` counts memo short-circuits.
+_STATS = {"visits": 0, "hits": 0}
+
+
+def simplify_cache_stats() -> dict[str, int]:
+    """Snapshot of the simplify memo counters (``visits``/``hits``)."""
+    return dict(_STATS)
+
+
+def reset_simplify_cache_stats() -> None:
+    _STATS["visits"] = 0
+    _STATS["hits"] = 0
+
+
+def clear_simplify_cache() -> None:
+    """Flush the memo (also triggered by ``expr.clear_intern_table``)."""
+    _SIMPLIFY_MEMO.clear()
+
+
+register_clear_callback(clear_simplify_cache)
+
+
 def simplify(expr: Expr, options: SimplifyOptions = DEFAULT_OPTIONS) -> Expr:
-    """Simplify ``expr`` while preserving its value under every environment."""
+    """Simplify ``expr`` while preserving its value under every environment.
+
+    Memoised over the expression DAG: shared subtrees (within this call or
+    across any earlier call in the process) are simplified once.
+    """
+    return _simplify(expr, options, _SIMPLIFY_MEMO)
+
+
+def simplify_reference(expr: Expr, options: SimplifyOptions = DEFAULT_OPTIONS) -> Expr:
+    """Un-memoised reference simplification (pure tree traversal).
+
+    Runs the identical rewrite logic without consulting or populating the
+    memo table; the interning property tests assert it always returns the
+    same canonical node as :func:`simplify`.
+    """
+    return _simplify(expr, options, None)
+
+
+def _simplify(
+    expr: Expr, options: SimplifyOptions, memo: Optional[dict[tuple[SimplifyOptions, Expr], Expr]]
+) -> Expr:
+    if memo is not None:
+        key = (options, expr)
+        cached = memo.get(key)
+        if cached is not None:
+            _STATS["hits"] += 1
+            return cached
+    _STATS["visits"] += 1
+    original = expr
+
     children = expr.children()
     if children:
-        new_children = tuple(simplify(child, options) for child in children)
+        new_children = tuple(_simplify(child, options, memo) for child in children)
         if new_children != children:
             expr = _rebuild(expr, new_children)
 
@@ -464,9 +535,11 @@ def simplify(expr: Expr, options: SimplifyOptions = DEFAULT_OPTIONS) -> Expr:
             if options.constant_folding:
                 expr = _fold_constants(expr)
     if options.bit_slicing and not isinstance(expr, (Constant, InputField)):
-        if not expr.op_count() or expr.is_boolean:
-            return expr
-        expr = _slice_normalise(expr, options)
+        if expr.op_count() and not expr.is_boolean:
+            expr = _slice_normalise(expr, options)
+
+    if memo is not None:
+        memo[(options, original)] = expr
     return expr
 
 

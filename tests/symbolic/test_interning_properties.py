@@ -1,0 +1,216 @@
+"""Property-based tests for the hash-consed expression IR.
+
+The interning invariants the rest of the pipeline relies on:
+
+* structurally equal trees — built through any :mod:`repro.symbolic.builder`
+  path or the dataclass constructors directly — are the *same object*;
+* memoised ``simplify``/``evaluate`` agree with their un-memoised reference
+  implementations (``simplify_reference``/``evaluate_tree``);
+* precomputed metrics equal what a full tree walk computes;
+* digests are structural (equal iff the same node) and pickling re-interns.
+"""
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import (
+    Binary,
+    Constant,
+    InputField,
+    Kind,
+    SimplifyOptions,
+    builder,
+    evaluate,
+    evaluate_tree,
+    simplify,
+    simplify_reference,
+)
+from repro.symbolic.expr import Expr
+
+
+FIELDS = {"/p/a": 8, "/p/b": 16, "/p/c": 32}
+
+
+@st.composite
+def expressions(draw, depth: int = 3) -> Expr:
+    """Random well-formed expressions over three input fields."""
+    if depth == 0 or draw(st.booleans()):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            width = draw(st.sampled_from([8, 16, 32]))
+            return builder.const(draw(st.integers(0, (1 << width) - 1)), width)
+        path = draw(st.sampled_from(sorted(FIELDS)))
+        return builder.input_field(path, FIELDS[path])
+
+    kind = draw(st.integers(0, 8))
+    left = draw(expressions(depth=depth - 1))
+    if kind == 0:
+        return builder.zext(left, min(left.width * 2, 64))
+    if kind == 1:
+        return builder.sext(left, min(left.width * 2, 64))
+    if kind == 2 and left.width > 1:
+        hi = draw(st.integers(0, left.width - 1))
+        lo = draw(st.integers(0, hi))
+        return builder.extract(left, hi, lo)
+    right = draw(expressions(depth=depth - 1))
+    operation = draw(
+        st.sampled_from(
+            [
+                builder.add,
+                builder.sub,
+                builder.mul,
+                builder.bvand,
+                builder.bvor,
+                builder.bvxor,
+                builder.udiv,
+                builder.urem,
+            ]
+        )
+    )
+    return operation(left, right)
+
+
+@st.composite
+def environments(draw) -> dict:
+    return {
+        path: draw(st.integers(0, (1 << width) - 1)) for path, width in FIELDS.items()
+    }
+
+
+def _rebuild_via_constructors(expr: Expr) -> Expr:
+    """Recreate ``expr`` bottom-up through the raw dataclass constructors."""
+    children = tuple(_rebuild_via_constructors(child) for child in expr.children())
+    if not children:
+        return type(expr)(
+            **{
+                name: getattr(expr, name)
+                for name in ("width", "value", "path")
+                if hasattr(expr, name)
+            }
+        )
+    import dataclasses
+
+    kwargs = {}
+    child_iter = iter(children)
+    for f in dataclasses.fields(type(expr)):
+        value = getattr(expr, f.name)
+        if isinstance(value, Expr):
+            kwargs[f.name] = next(child_iter)
+        elif isinstance(value, tuple) and value and isinstance(value[0], Expr):
+            kwargs[f.name] = children
+        else:
+            kwargs[f.name] = value
+    return type(expr)(**kwargs)
+
+
+# -- canonicality --------------------------------------------------------------------
+
+
+@given(expressions())
+@settings(max_examples=150, deadline=None)
+def test_equal_trees_are_the_same_object(expr):
+    assert _rebuild_via_constructors(expr) is expr
+
+
+def test_builder_and_constructor_paths_intern_to_one_node():
+    x = builder.input_field("/p/a", 8)
+    via_builder = builder.add(x, 1)
+    via_constructor = Binary(
+        width=8, op=Kind.ADD, left=InputField(width=8, path="/p/a"), right=Constant(width=8, value=1)
+    )
+    assert via_builder is via_constructor
+
+
+def test_equality_and_hash_are_identity_consistent():
+    first = builder.mul(builder.input_field("/p/b", 16), 3)
+    second = builder.mul(builder.input_field("/p/b", 16), 3)
+    assert first is second
+    assert first == second
+    assert hash(first) == hash(second)
+    other = builder.mul(builder.input_field("/p/b", 16), 4)
+    assert first is not other
+    assert first != other
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_pickle_roundtrip_reinterns(expr):
+    assert pickle.loads(pickle.dumps(expr)) is expr
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_digest_is_structural(expr):
+    clone = _rebuild_via_constructors(expr)
+    assert clone.digest == expr.digest
+    # A digest is a hex SHA-1: constant length regardless of tree size.
+    assert len(expr.digest) == 40
+
+
+def test_digests_differ_for_different_nodes():
+    a = builder.add(builder.input_field("/p/a", 8), 1)
+    b = builder.add(builder.input_field("/p/a", 8), 2)
+    c = builder.const(1, 8)
+    d = builder.const(1, 16)  # same value, different width
+    digests = {a.digest, b.digest, c.digest, d.digest}
+    assert len(digests) == 4
+
+
+# -- memoised passes agree with references -------------------------------------------
+
+
+@given(expressions(), environments())
+@settings(max_examples=150, deadline=None)
+def test_memoized_evaluate_agrees_with_tree_reference(expr, env):
+    assert evaluate(expr, env) == evaluate_tree(expr, env)
+
+
+@given(expressions())
+@settings(max_examples=150, deadline=None)
+def test_memoized_simplify_agrees_with_reference(expr):
+    assert simplify(expr) is simplify_reference(expr)
+
+
+@given(expressions())
+@settings(max_examples=75, deadline=None)
+def test_memoized_simplify_agrees_with_reference_without_bit_slicing(expr):
+    options = SimplifyOptions.without_bit_slicing()
+    assert simplify(expr, options) is simplify_reference(expr, options)
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_precomputed_metrics_match_tree_walk(expr):
+    nodes = list(expr.walk())
+    assert expr.size == len(nodes)
+    assert expr.op_count() == sum(
+        1 for node in nodes if not isinstance(node, (Constant, InputField))
+    )
+    assert expr._leaf_count == sum(
+        1 for node in nodes if isinstance(node, (Constant, InputField))
+    )
+
+    def tree_depth(node):
+        kids = node.children()
+        return 1 + (max(tree_depth(k) for k in kids) if kids else 0)
+
+    assert expr.depth() == tree_depth(expr)
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_walk_unique_visits_each_node_once(expr):
+    unique = list(expr.walk_unique())
+    assert len(unique) == len({id(node) for node in unique})
+    assert {id(node) for node in unique} == {id(node) for node in expr.walk()}
+
+
+def test_shared_subtree_walk_unique_is_smaller():
+    shared = builder.mul(builder.input_field("/p/c", 32), builder.input_field("/p/c", 32))
+    expr = shared
+    for _ in range(8):
+        expr = builder.add(expr, expr)
+    # The tree doubles at every level; the DAG grows by one node.
+    assert expr.size == (1 << 8) * shared.size + (1 << 8) - 1
+    assert len(list(expr.walk_unique())) == len(list(shared.walk_unique())) + 8

@@ -1,0 +1,37 @@
+"""Documentation drift checks (tier-1 mirror of the CI docs step).
+
+``tools/check_docs.py`` is what CI runs; these tests exercise the same
+checker so stale module references in ``docs/ARCHITECTURE.md`` or
+``README.md`` fail locally before they fail in CI.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_architecture_doc_references_exist():
+    document = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+    assert document.exists(), "docs/ARCHITECTURE.md is part of the repo contract"
+    assert check_docs.stale_references(document) == []
+
+
+def test_readme_references_exist():
+    assert check_docs.stale_references(REPO_ROOT / "README.md") == []
+
+
+def test_readme_links_architecture_doc():
+    assert "docs/ARCHITECTURE.md" in (REPO_ROOT / "README.md").read_text()
+
+
+def test_checker_flags_missing_paths(tmp_path):
+    stale = tmp_path / "doc.md"
+    stale.write_text("see `src/repro/no_such_module.py` and `repro.not.there`")
+    assert check_docs.stale_references(stale) == [
+        "repro.not.there",
+        "src/repro/no_such_module.py",
+    ]

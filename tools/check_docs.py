@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Fail when architecture docs reference module paths that no longer exist.
+
+``docs/ARCHITECTURE.md`` is a prose map of ``src/repro/``; nothing ties it to
+the code except this check.  It extracts every backtick-quoted reference that
+looks like a repository path (``src/repro/...``, ``benchmarks/...``,
+``examples/...``, ``tools/...``, ``docs/...``) or a dotted module name
+(``repro.solver.equivalence``) and verifies the file or directory exists.
+
+Run from the repository root (CI does)::
+
+    python tools/check_docs.py [files...]
+
+Defaults to checking ``docs/ARCHITECTURE.md`` and ``README.md``.  Exits
+non-zero listing every stale reference.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Backticked repo paths: `src/repro/foo/bar.py`, `benchmarks/`, ...
+_PATH_PATTERN = re.compile(
+    r"`((?:src|benchmarks|examples|tools|docs|tests)/[A-Za-z0-9_./-]+)`"
+)
+
+#: Backticked dotted modules rooted at the package: `repro.solver.sat`.
+_MODULE_PATTERN = re.compile(r"`(repro(?:\.[A-Za-z0-9_]+)+)`")
+
+
+def _path_exists(reference: str) -> bool:
+    candidate = REPO_ROOT / reference
+    return candidate.exists()
+
+
+def _module_exists(dotted: str) -> bool:
+    relative = Path("src", *dotted.split("."))
+    return (REPO_ROOT / relative).is_dir() or (
+        REPO_ROOT / relative.with_suffix(".py")
+    ).is_file()
+
+
+def stale_references(document: Path) -> list[str]:
+    """Every referenced path/module in ``document`` that does not exist."""
+    text = document.read_text(encoding="utf-8")
+    stale = []
+    for match in _PATH_PATTERN.finditer(text):
+        reference = match.group(1).rstrip("/")
+        if not _path_exists(reference):
+            stale.append(reference)
+    for match in _MODULE_PATTERN.finditer(text):
+        reference = match.group(1)
+        if not _module_exists(reference):
+            stale.append(reference)
+    return sorted(set(stale))
+
+
+def main(argv: list[str]) -> int:
+    documents = [Path(arg) for arg in argv] or [
+        REPO_ROOT / "docs" / "ARCHITECTURE.md",
+        REPO_ROOT / "README.md",
+    ]
+    failures = 0
+    for document in documents:
+        if not document.exists():
+            print(f"{document}: missing document", file=sys.stderr)
+            failures += 1
+            continue
+        stale = stale_references(document)
+        for reference in stale:
+            print(f"{document}: stale reference {reference!r}", file=sys.stderr)
+        failures += len(stale)
+    if failures:
+        print(f"{failures} stale documentation reference(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
