@@ -1,0 +1,62 @@
+"""Per-stage wall-time breakdown of the transfer pipeline.
+
+Runs a representative subset of Figure 8 rows (every error class) through
+the ``repro.api`` facade and emits ``results/stage_timing.json``: for each
+row the per-stage wall time from the pipeline event stream, plus aggregate
+totals and the dominant stage.  Run with ``-s`` to see the table::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_stage_timing.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.api import RepairSession
+from repro.experiments import Figure8Row, run_row
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: One row per error class, plus the multiversion scenario.
+ROWS = [
+    ("cwebp-jpegdec", "feh"),
+    ("jasper-tiles", "openjpeg"),
+    ("gif2tiff-lzw", "display-6.5.2-9"),
+    ("wireshark-dcp", "wireshark-1.8.6"),
+]
+
+
+def test_stage_timing_breakdown_json():
+    session = RepairSession()
+    per_row: dict[str, dict[str, float]] = {}
+    totals: dict[str, float] = {}
+
+    for case_id, donor in ROWS:
+        outcome = run_row(Figure8Row(case_id=case_id, donor=donor), session=session)
+        assert outcome.success, outcome.failure_reason
+        timings = outcome.metrics.stage_timings
+        assert timings, "the event stream produced no stage timings"
+        assert sum(timings.values()) <= outcome.metrics.generation_time_s
+        per_row[f"{case_id} <- {donor}"] = {
+            stage: round(elapsed, 4) for stage, elapsed in timings.items()
+        }
+        for stage, elapsed in timings.items():
+            totals[stage] = totals.get(stage, 0.0) + elapsed
+
+    dominant = max(totals, key=totals.get)
+    payload = {
+        "rows": per_row,
+        "totals": {stage: round(elapsed, 4) for stage, elapsed in totals.items()},
+        "dominant_stage": dominant,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "stage_timing.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"\nPer-stage wall time over {len(ROWS)} transfers (written to {out}):")
+    width = max(len(stage) for stage in totals)
+    for stage, elapsed in sorted(totals.items(), key=lambda item: -item[1]):
+        share = elapsed / sum(totals.values())
+        print(f"  {stage:{width}s}  {elapsed * 1000.0:8.1f} ms  {share:6.1%}")
+    print(f"  dominant stage: {dominant}")

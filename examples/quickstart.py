@@ -11,8 +11,8 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro.apps import get_application
-from repro.core import CodePhage, select_donors
+from repro import api
+from repro.core import select_donors
 from repro.experiments import ERROR_CASES
 from repro.formats import get_format
 from repro.lang import compile_program, run_program
@@ -35,10 +35,17 @@ def main() -> None:
     print("viable donors:", [donor.full_name for donor in selection.donors])
 
     print("\n=== Code transfer (FEH -> CWebP) ===")
-    phage = CodePhage()
-    outcome = phage.transfer(
-        recipient, case.target(), get_application("feh"), seed, error_input, "jpeg"
+    report = api.repair(
+        api.RepairRequest(
+            recipient=recipient,
+            target=case.target(),
+            seed=seed,
+            error_input=error_input,
+            format_name="jpeg",
+            donor="feh",
+        )
     )
+    outcome = report.outcome
     check = outcome.checks[-1]
     print("excised check (application-independent form):")
     print(" ", to_paper_string(check.excised.condition)[:200], "...")
@@ -54,6 +61,9 @@ def main() -> None:
           f"(exit code {rejected.exit_code})")
     print(f"patched CWebP on the seed input: {accepted.status.value} "
           f"(output {accepted.output})")
+    slowest = max(outcome.metrics.stage_timings, key=outcome.metrics.stage_timings.get)
+    print(f"slowest pipeline stage: {slowest} "
+          f"({outcome.metrics.stage_timings[slowest] * 1000.0:.1f} ms)")
     print("\nTransfer successful:", outcome.success)
 
 

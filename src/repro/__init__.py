@@ -21,7 +21,12 @@ Subpackages
 ``repro.discovery``
     DIODE-style integer-overflow discovery and a mutational fuzzer.
 ``repro.core``
-    The Code Phage pipeline itself (the paper's contribution).
+    The Code Phage pipeline itself (the paper's contribution): the
+    stage-graph engine, the event stream, and the per-stage algorithms.
+``repro.api``
+    The public repair surface: ``RepairRequest`` -> ``RepairReport``.
+``repro.campaign``
+    Parallel, resumable batch campaigns over the evaluation space.
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,175 @@
+"""The repair facade: ``RepairRequest`` in, ``RepairReport`` out.
+
+This is the single entry point every driver routes through — the CLI
+(``codephage transfer``), the experiment helpers (:mod:`repro.experiments`),
+and the campaign workers (:func:`repro.experiments.execute_job`).  A
+:class:`RepairSession` owns one configured stage-graph engine
+(:class:`~repro.core.stages.TransferEngine`) and one shared
+:class:`~repro.solver.equivalence.EquivalenceChecker`, so every request run
+through the same session shares solver verdicts; batch drivers (all-donors
+sweeps, campaign workers) construct one session and reuse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..apps import get_application
+from ..apps.registry import Application, ErrorTarget
+from ..core.events import EventBus, EventLog, Observer, PipelineEvent
+from ..core.pipeline import CodePhageOptions, TransferMetrics, TransferOutcome
+from ..core.stages import SearchPolicy, TransferEngine
+
+ApplicationRef = Union[Application, str]
+
+
+@dataclass
+class RepairRequest:
+    """One repair problem: a recipient error plus its seed and error inputs.
+
+    ``recipient`` and ``donor``/``donors`` accept either registry names or
+    :class:`Application` objects; ``target`` accepts a target id or an
+    :class:`ErrorTarget`.  Pinning ``donor`` runs a single transfer; leaving
+    it unset runs full donor selection (optionally restricted to
+    ``donors``).  ``policy`` overrides the session's configured search
+    policy for this request only.
+    """
+
+    recipient: ApplicationRef
+    target: Union[ErrorTarget, str]
+    seed: bytes
+    error_input: bytes
+    format_name: Optional[str] = None
+    donor: Optional[ApplicationRef] = None
+    donors: Optional[Sequence[ApplicationRef]] = None
+    policy: Union[str, SearchPolicy, None] = None
+
+
+@dataclass
+class RepairReport:
+    """What one facade call produced: the outcome plus the event record."""
+
+    outcome: TransferOutcome
+    attempts: tuple[TransferOutcome, ...] = ()
+    events: tuple[PipelineEvent, ...] = ()
+
+    @property
+    def success(self) -> bool:
+        return self.outcome.success
+
+    @property
+    def patched_source(self) -> Optional[str]:
+        return self.outcome.patched_source
+
+    @property
+    def metrics(self) -> TransferMetrics:
+        return self.outcome.metrics
+
+
+class RepairSession:
+    """A configured pipeline: one options set, one shared solver checker.
+
+    Observers passed at construction stay subscribed for the session's
+    lifetime and see the events of every request; per-request event capture
+    (for :attr:`RepairReport.events`) is handled internally.
+    """
+
+    def __init__(
+        self,
+        options: Optional[CodePhageOptions] = None,
+        observers: Sequence[Observer] = (),
+    ) -> None:
+        self.options = options or CodePhageOptions()
+        self.events = EventBus()
+        for observer in observers:
+            self.events.subscribe(observer)
+        self.engine = TransferEngine(options=self.options, events=self.events)
+        self.checker = self.engine.checker
+
+    # -- request API -------------------------------------------------------------------
+
+    def run(self, request: RepairRequest) -> RepairReport:
+        """Run one repair request through the stage graph."""
+        if request.donor is not None and request.donors is not None:
+            raise ValueError(
+                "pass either donor (pin one transfer) or donors (restrict the "
+                "repair pool), not both"
+            )
+        recipient = self._application(request.recipient)
+        target = (
+            request.target
+            if isinstance(request.target, ErrorTarget)
+            else recipient.target(request.target)
+        )
+        log = self.events.subscribe(EventLog())
+        try:
+            if request.donor is not None:
+                outcome = self.engine.transfer(
+                    recipient,
+                    target,
+                    self._application(request.donor),
+                    request.seed,
+                    request.error_input,
+                    request.format_name,
+                    policy=request.policy,
+                )
+                attempts: tuple[TransferOutcome, ...] = (outcome,)
+            else:
+                donors = None
+                if request.donors is not None:
+                    donors = [self._application(donor) for donor in request.donors]
+                result = self.engine.repair(
+                    recipient,
+                    target,
+                    request.seed,
+                    request.error_input,
+                    request.format_name,
+                    donors=donors,
+                    policy=request.policy,
+                )
+                outcome, attempts = result.outcome, result.attempts
+        finally:
+            self.events.unsubscribe(log)
+        return RepairReport(outcome=outcome, attempts=attempts, events=tuple(log.events))
+
+    # -- legacy-shaped helpers (the CodePhage shim calls these) ------------------------
+
+    def transfer(
+        self,
+        recipient: Application,
+        target: ErrorTarget,
+        donor: Application,
+        seed: bytes,
+        error_input: bytes,
+        format_name: Optional[str] = None,
+    ) -> TransferOutcome:
+        return self.engine.transfer(recipient, target, donor, seed, error_input, format_name)
+
+    def repair(
+        self,
+        recipient: Application,
+        target: ErrorTarget,
+        seed: bytes,
+        error_input: bytes,
+        format_name: Optional[str] = None,
+        donors: Optional[Sequence[Application]] = None,
+    ) -> TransferOutcome:
+        return self.engine.repair(
+            recipient, target, seed, error_input, format_name, donors=donors
+        ).outcome
+
+    @staticmethod
+    def _application(reference: ApplicationRef) -> Application:
+        if isinstance(reference, Application):
+            return reference
+        return get_application(reference)
+
+
+def repair(
+    request: RepairRequest,
+    options: Optional[CodePhageOptions] = None,
+    observers: Sequence[Observer] = (),
+) -> RepairReport:
+    """One-shot facade: build a session, run one request, return its report."""
+    return RepairSession(options=options, observers=observers).run(request)

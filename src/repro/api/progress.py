@@ -1,0 +1,61 @@
+"""Render the pipeline event stream as live CLI progress lines.
+
+:class:`ProgressPrinter` is an ordinary event observer (subscribe it to a
+:class:`~repro.core.events.EventBus` or pass it to
+:func:`repro.api.repair` via ``observers``); ``codephage transfer
+--progress`` wires one to stderr.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+from ..core.events import (
+    CandidateRejected,
+    DonorAttempted,
+    PatchValidated,
+    PipelineEvent,
+    ResidualErrorFound,
+    StageFinished,
+)
+
+
+class ProgressPrinter:
+    """Prints one line per stage completion / search decision."""
+
+    def __init__(self, stream: Optional[TextIO] = None, verbose: bool = False) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        #: Verbose mode also prints every rejected candidate.
+        self.verbose = verbose
+
+    def __call__(self, event: PipelineEvent) -> None:
+        line = self._format(event)
+        if line is not None:
+            print(line, file=self.stream, flush=True)
+
+    def _format(self, event: PipelineEvent) -> Optional[str]:
+        if isinstance(event, DonorAttempted):
+            return f"donor {event.donor} ({event.index + 1}/{event.total})"
+        if isinstance(event, StageFinished):
+            detail = f"  [{event.detail}]" if event.detail else ""
+            return (
+                f"  round {event.round_index}: {event.stage:16s} "
+                f"{event.elapsed_s * 1000.0:8.1f} ms{detail}"
+            )
+        if isinstance(event, PatchValidated):
+            return (
+                f"  + validated patch at {event.function}:{event.line} "
+                f"(check size {event.excised_size} -> {event.translated_size})"
+            )
+        if isinstance(event, ResidualErrorFound):
+            return (
+                f"  ! {event.count} residual error(s) after round "
+                f"{event.round_index}; transferring another check"
+            )
+        if isinstance(event, CandidateRejected) and self.verbose:
+            return (
+                f"    - rejected {event.kind} at {event.function}:{event.line}: "
+                f"{event.reason}"
+            )
+        return None

@@ -46,6 +46,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 from ..core.patch import PatchStrategy
 from ..core.pipeline import CodePhageOptions
+from ..core.stages import POLICIES
 from ..experiments import ERROR_CASES, FIGURE8_ROWS
 from ..solver.equivalence import EquivalenceOptions
 
@@ -61,6 +62,7 @@ _PIPELINE_KEYS = frozenset(
         "max_candidate_checks",
         "max_recursive_patches",
         "filter_unstable_points",
+        "search_policy",
     }
 )
 
@@ -237,6 +239,12 @@ def expand_plan(
             raise PlanError(
                 f"variant {variant_name!r} has unknown option override(s): "
                 + ", ".join(unknown)
+            )
+        policy = overrides.get("search_policy")
+        if policy is not None and policy not in POLICIES:
+            raise PlanError(
+                f"variant {variant_name!r} has unknown search policy {policy!r}; "
+                "expected one of " + ", ".join(sorted(POLICIES))
             )
 
     jobs: list[JobSpec] = []

@@ -51,9 +51,13 @@ scheduler passes down, and their verdicts are namespaced by solver options
 so different option variants never replay each other's results (see
 :mod:`repro.solver.equivalence`).
 
-The worker entry point is :func:`repro.experiments.execute_job`; tests inject
-a stub ``runner`` (any module-level callable with the same signature) to
-exercise scheduling policies without running real transfers.
+The worker entry point is :func:`repro.experiments.execute_job`, which runs
+each transfer through the :mod:`repro.api` facade — the scheduler knows
+nothing about pipeline stages; the per-stage timing breakdown each worker
+reports (``stage_timings`` on the record) is persisted with every attempt
+and aggregated into the :class:`CampaignReport`.  Tests inject a stub
+``runner`` (any module-level callable with the same signature) to exercise
+scheduling policies without running real transfers.
 """
 
 from __future__ import annotations
@@ -159,6 +163,9 @@ class CampaignReport:
     solver_cache_hits: int = 0
     persistent_cache_hits: int = 0
     expensive_queries: int = 0
+    #: Wall time per pipeline stage, summed over every completed job (the
+    #: per-job deltas are persisted with each attempt record in the store).
+    stage_timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def persistent_hit_rate(self) -> float:
@@ -184,7 +191,16 @@ class CampaignReport:
                 f"persistent solver cache: disabled, "
                 f"{self.expensive_queries} expensive queries"
             )
-        return f"campaign {self.plan_name}: " + ", ".join(parts) + "\n" + cache
+        lines = [f"campaign {self.plan_name}: " + ", ".join(parts), cache]
+        if self.stage_timings:
+            breakdown = ", ".join(
+                f"{stage} {elapsed:.2f}s"
+                for stage, elapsed in sorted(
+                    self.stage_timings.items(), key=lambda item: -item[1]
+                )
+            )
+            lines.append(f"per-stage time (all jobs): {breakdown}")
+        return "\n".join(lines)
 
 
 @dataclass
@@ -433,3 +449,5 @@ class CampaignScheduler:
         report.solver_cache_hits += record.get("solver_cache_hits", 0)
         report.persistent_cache_hits += record.get("solver_persistent_hits", 0)
         report.expensive_queries += record.get("solver_expensive_queries", 0)
+        for stage, elapsed in (record.get("stage_timings") or {}).items():
+            report.stage_timings[stage] = report.stage_timings.get(stage, 0.0) + elapsed

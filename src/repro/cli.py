@@ -3,7 +3,8 @@
 Subcommands::
 
     codephage list                       # applications and formats in the database
-    codephage transfer CASE [--donor D]  # run one transfer (e.g. cwebp-jpegdec)
+    codephage transfer CASE [--donor D] [--progress] [--policy P]
+                                         # run one transfer (e.g. cwebp-jpegdec)
     codephage figure8 [--out FILE] [--jobs N] [--resume]
                                          # regenerate the Figure 8 table
     codephage campaign [--cases ...] [--donors ...] [--strategies ...] [--jobs N]
@@ -14,6 +15,9 @@ Subcommands::
 (:mod:`repro.campaign`): jobs are scheduled over a worker pool, every attempt
 is recorded in a resumable on-disk run store, and solver queries are shared
 through a persistent cross-process cache.
+
+Every subcommand routes repairs through the :mod:`repro.api` facade; this
+module contains no stage-sequencing logic of its own.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from .api import POLICIES, ProgressPrinter, RepairRequest, repair
 from .apps import all_applications, get_application
 from .campaign import (
     CampaignPlan,
@@ -34,7 +39,6 @@ from .campaign import (
     figure8_plan,
 )
 from .core.patch import PatchStrategy
-from .core.pipeline import CodePhage
 from .experiments import ERROR_CASES, discover_error_input
 from .formats import all_formats
 
@@ -59,21 +63,34 @@ def _cmd_list(_: argparse.Namespace) -> int:
 def _cmd_transfer(args: argparse.Namespace) -> int:
     case = ERROR_CASES[args.case]
     donor_name = args.donor or case.donors[0]
-    phage = CodePhage()
-    outcome = phage.transfer(
-        case.application(),
-        case.target(),
-        get_application(donor_name),
-        case.seed_input(),
-        case.error_input(),
-        case.format_name,
+    observers = [ProgressPrinter(verbose=args.verbose)] if args.progress else []
+    report = repair(
+        RepairRequest(
+            recipient=case.application(),
+            target=case.target(),
+            seed=case.seed_input(),
+            error_input=case.error_input(),
+            format_name=case.format_name,
+            donor=get_application(donor_name),
+            policy=args.policy,
+        ),
+        observers=observers,
     )
+    outcome = report.outcome
     print(f"{case.recipient} <- {donor_name}: {'SUCCESS' if outcome.success else 'FAILED'}")
     for check in outcome.checks:
         print("  patch:", check.patch.render())
         print("  check size:", check.check_size, "| insertion points:", check.accounting)
     if not outcome.success:
         print("  reason:", outcome.failure_reason)
+    if args.progress and outcome.metrics.stage_timings:
+        breakdown = ", ".join(
+            f"{stage} {elapsed * 1000.0:.1f}ms"
+            for stage, elapsed in sorted(
+                outcome.metrics.stage_timings.items(), key=lambda item: -item[1]
+            )
+        )
+        print("  stage timings:", breakdown)
     return 0 if outcome.success else 1
 
 
@@ -196,6 +213,22 @@ def main(argv: list[str] | None = None) -> int:
     transfer = sub.add_parser("transfer", help="run one donor/recipient transfer")
     transfer.add_argument("case", choices=sorted(ERROR_CASES))
     transfer.add_argument("--donor", default=None)
+    transfer.add_argument(
+        "--progress",
+        action="store_true",
+        help="render the pipeline event stream (per-stage timings) to stderr",
+    )
+    transfer.add_argument(
+        "--verbose",
+        action="store_true",
+        help="with --progress, also print every rejected candidate and why",
+    )
+    transfer.add_argument(
+        "--policy",
+        choices=sorted(POLICIES),
+        default=None,
+        help="search policy for the candidate/donor retry loops",
+    )
 
     def add_campaign_arguments(command: argparse.ArgumentParser, default_store: str) -> None:
         command.add_argument("--out", default=None, help="write the rendered table here")

@@ -8,6 +8,18 @@ from .check_discovery import (
     run_instrumented,
 )
 from .donor_selection import DonorCandidate, DonorSelection, select_donors
+from .events import (
+    CandidateRejected,
+    DonorAttempted,
+    EventBus,
+    EventLog,
+    PatchValidated,
+    PipelineEvent,
+    ResidualErrorFound,
+    StageFinished,
+    StageStarted,
+    StageTimingObserver,
+)
 from .excision import ExcisedCheck, excise_check
 from .insertion import InsertionPoint, InsertionReport, find_insertion_points
 from .patch import GeneratedPatch, PatchStrategy, build_patch, render_microc
@@ -21,33 +33,61 @@ from .pipeline import (
 )
 from .reporting import ResultsDatabase, TransferRecord
 from .rewrite import RewriteResult, RewriteStatistics, Rewriter
+from .stages import (
+    POLICIES,
+    ContractError,
+    RepairResult,
+    SearchPolicy,
+    Stage,
+    TransferContext,
+    TransferEngine,
+    get_policy,
+)
 from .traversal import RecipientName, collect_names, names_at_statement, traverse_cell
 from .validation import ValidationOptions, ValidationOutcome, validate_patch
 
 __all__ = [
     "CandidateCheck",
+    "CandidateRejected",
     "CodePhage",
     "CodePhageOptions",
+    "ContractError",
     "DiscoveryResult",
+    "DonorAttempted",
     "DonorCandidate",
     "DonorSelection",
+    "EventBus",
+    "EventLog",
     "ExcisedCheck",
     "GeneratedPatch",
     "InsertionAccounting",
     "InsertionPoint",
     "InsertionReport",
+    "POLICIES",
     "PatchStrategy",
+    "PatchValidated",
+    "PipelineEvent",
     "RecipientName",
+    "RepairResult",
+    "ResidualErrorFound",
     "ResultsDatabase",
     "RewriteResult",
     "RewriteStatistics",
     "Rewriter",
+    "SearchPolicy",
+    "Stage",
+    "StageFinished",
+    "StageStarted",
+    "StageTimingObserver",
+    "TransferContext",
+    "TransferEngine",
     "TransferMetrics",
     "TransferOutcome",
     "TransferRecord",
     "TransferredCheck",
     "ValidationOptions",
     "ValidationOutcome",
+    "get_policy",
     "build_patch",
     "collect_names",
     "discover_candidate_checks",

@@ -1,0 +1,146 @@
+"""The typed pipeline event stream (stage-graph observability).
+
+Every stage execution and every notable pipeline decision is reported as a
+:class:`PipelineEvent` on an :class:`EventBus`.  Stages never know who is
+listening: the CLI renders live progress from the same stream the campaign
+store persists per-stage timings from, and :class:`StageTimingObserver`
+folds ``StageFinished`` events into the per-transfer
+:attr:`~repro.core.pipeline.TransferMetrics.stage_timings` breakdown.
+
+Observers are plain callables invoked synchronously, in subscription order,
+on the engine's thread.  An observer that raises aborts the transfer — the
+stream is part of the pipeline, not a best-effort side channel — so
+observers should be cheap and total.
+
+Event taxonomy
+--------------
+
+=======================  ========================================================
+Event                    Emitted when
+=======================  ========================================================
+``StageStarted``         a stage begins (name, round, free-form detail)
+``StageFinished``        a stage completes, with its wall-clock ``elapsed_s``
+``DonorAttempted``       ``repair`` starts the stage graph against one donor
+``CandidateRejected``    a check / insertion point / patch is dropped, with why
+``PatchValidated``       validation accepts a patch (sizes and location)
+``ResidualErrorFound``   the validation rescan found errors; another round runs
+=======================  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+Observer = Callable[["PipelineEvent"], None]
+
+
+@dataclass(frozen=True)
+class PipelineEvent:
+    """Base class of everything the transfer engine emits."""
+
+
+@dataclass(frozen=True)
+class StageStarted(PipelineEvent):
+    stage: str
+    round_index: int = 0
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class StageFinished(PipelineEvent):
+    stage: str
+    elapsed_s: float
+    round_index: int = 0
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class DonorAttempted(PipelineEvent):
+    """``repair`` is about to run the full stage graph against one donor."""
+
+    donor: str
+    index: int
+    total: int
+
+
+@dataclass(frozen=True)
+class CandidateRejected(PipelineEvent):
+    """A candidate was dropped; ``kind`` says at which level of the search.
+
+    ``kind`` is ``"check"`` (a candidate check yielded no validated patch),
+    ``"insertion-point"`` (the check could not be translated into the names
+    reachable at the point), or ``"patch"`` (the generated patch failed to
+    apply or to validate).
+    """
+
+    kind: str
+    function: str
+    line: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class PatchValidated(PipelineEvent):
+    donor: str
+    function: str
+    line: int
+    excised_size: int
+    translated_size: int
+    round_index: int = 0
+
+
+@dataclass(frozen=True)
+class ResidualErrorFound(PipelineEvent):
+    """The DIODE rescan found residual errors; a recursive round follows."""
+
+    count: int
+    round_index: int
+
+
+class EventBus:
+    """Synchronous fan-out of pipeline events to registered observers."""
+
+    def __init__(self) -> None:
+        self._observers: list[Observer] = []
+
+    def subscribe(self, observer: Observer) -> Observer:
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: Observer) -> None:
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def emit(self, event: PipelineEvent) -> None:
+        for observer in list(self._observers):
+            observer(event)
+
+
+class EventLog:
+    """An observer that records every event (reports and tests)."""
+
+    def __init__(self) -> None:
+        self.events: list[PipelineEvent] = []
+
+    def __call__(self, event: PipelineEvent) -> None:
+        self.events.append(event)
+
+
+class StageTimingObserver:
+    """Accumulates ``StageFinished`` durations into per-stage totals.
+
+    This is the *only* source of the ``TransferMetrics.stage_timings``
+    breakdown: the engine subscribes one per transfer and copies its totals
+    into the metrics when the transfer ends, so no stage ever reports its
+    own timing.
+    """
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+
+    def __call__(self, event: PipelineEvent) -> None:
+        if isinstance(event, StageFinished):
+            self.totals[event.stage] = self.totals.get(event.stage, 0.0) + event.elapsed_s

@@ -1,38 +1,27 @@
-"""The Code Phage pipeline (paper Figure 4).
+"""The Code Phage transfer data model, plus the legacy ``CodePhage`` facade.
 
-:class:`CodePhage` wires the stages together: donor selection, candidate check
-discovery, check excision, insertion-point identification, data-structure
-traversal and rewrite, patch generation, and patch validation with retry over
-candidate checks, insertion points, and donors.  When validation's DIODE
-rescan discovers residual errors, the pipeline recursively transfers further
-checks until no error remains (the multi-patch rows of Figure 8).
-
-The per-transfer :class:`TransferMetrics` capture exactly the columns of the
-paper's Figure 8 so the benchmark harness can regenerate the table.
+The stage sequencing that used to live here (paper Figure 4: donor selection,
+candidate check discovery, check excision, insertion-point identification,
+rewrite, patch generation, validation with retry over checks, points, and
+donors) now lives in the stage-graph engine (:mod:`repro.core.stages`) behind
+the public :mod:`repro.api` facade.  This module keeps the result types —
+:class:`TransferMetrics` captures exactly the columns of the paper's Figure 8
+plus the solver and per-stage timing accounting — and :class:`CodePhage`, a
+thin compatibility shim whose ``transfer``/``repair`` delegate to the facade
+(a parity test pins the shim and the facade to identical outcomes).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..apps.registry import Application, ErrorTarget
-from ..formats.fields import FormatSpec
-from ..formats.generator import InputGenerator
-from ..formats.registry import get_format
-from ..lang.checker import Program, compile_program
-from ..lang.patcher import PatchError, PatchedProgram, apply_patch
-from ..lang.trace import ErrorKind
-from ..solver.equivalence import EquivalenceChecker, EquivalenceOptions
+from ..solver.equivalence import EquivalenceOptions
 from ..symbolic.simplify import SimplifyOptions
-from .check_discovery import DiscoveryResult, discover_candidate_checks, relevant_fields
-from .donor_selection import select_donors
-from .excision import ExcisedCheck, excise_check
-from .insertion import InsertionReport, find_insertion_points
-from .patch import GeneratedPatch, PatchStrategy, build_patch
-from .rewrite import Rewriter
-from .validation import ValidationOptions, ValidationOutcome, validate_patch
+from .excision import ExcisedCheck
+from .patch import GeneratedPatch, PatchStrategy
+from .validation import ValidationOptions, ValidationOutcome
 
 
 @dataclass
@@ -47,6 +36,10 @@ class CodePhageOptions:
     max_candidate_checks: int = 8
     max_recursive_patches: int = 4
     filter_unstable_points: bool = True
+    #: Which search policy drives the candidate/donor retry loops; one of
+    #: :data:`repro.core.stages.POLICIES` ("first-validated", "smallest-patch",
+    #: "all-donors").
+    search_policy: str = "first-validated"
 
 
 @dataclass
@@ -100,6 +93,9 @@ class TransferMetrics:
     solver_cache_hits: int = 0
     solver_persistent_hits: int = 0
     solver_expensive_queries: int = 0
+    #: Cumulative wall time per pipeline stage, populated solely from the
+    #: ``StageFinished`` event stream (see :mod:`repro.core.events`).
+    stage_timings: dict[str, float] = field(default_factory=dict)
 
     def flipped_display(self) -> str:
         if len(self.flipped_branches) == 1:
@@ -133,16 +129,20 @@ class TransferOutcome:
 
 
 class CodePhage:
-    """The horizontal code transfer system."""
+    """The horizontal code transfer system (legacy compatibility facade).
+
+    New code should use :mod:`repro.api` (``RepairRequest`` ->
+    ``RepairReport``); this class remains for existing callers and delegates
+    to a :class:`repro.api.RepairSession` that owns the stage-graph engine
+    and the shared :class:`~repro.solver.equivalence.EquivalenceChecker`.
+    """
 
     def __init__(self, options: Optional[CodePhageOptions] = None) -> None:
-        self.options = options or CodePhageOptions()
-        self.checker = EquivalenceChecker(
-            options=self.options.equivalence_options,
-            simplify_options=self.options.simplify_options,
-        )
+        from ..api.facade import RepairSession  # deferred: api wraps core
 
-    # -- public API ------------------------------------------------------------------
+        self.session = RepairSession(options=options)
+        self.options = self.session.options
+        self.checker = self.session.checker
 
     def transfer(
         self,
@@ -154,79 +154,7 @@ class CodePhage:
         format_name: Optional[str] = None,
     ) -> TransferOutcome:
         """Transfer a check from ``donor`` to eliminate ``target`` in ``recipient``."""
-        start = time.perf_counter()
-        format_name = format_name or recipient.formats[0]
-        format_spec = get_format(format_name)
-        metrics = TransferMetrics(
-            recipient=recipient.full_name, target=target.target_id, donor=donor.full_name
-        )
-        outcome = TransferOutcome(
-            success=False,
-            recipient=recipient.full_name,
-            target=target.target_id,
-            donor=donor.full_name,
-            metrics=metrics,
-        )
-
-        regression = InputGenerator(format_spec).regression_corpus(
-            self.options.regression_inputs
-        )
-        current_source = recipient.source
-        current_error: Optional[bytes] = error_input
-
-        stats = self.checker.statistics
-        base_queries = stats.queries
-        base_cache_hits = stats.cache_hits
-        base_persistent_hits = stats.persistent_cache_hits
-        base_expensive = stats.solver_invocations
-
-        try:
-            for round_index in range(self.options.max_recursive_patches):
-                if current_error is None:
-                    break
-                transferred = self._transfer_once(
-                    current_source,
-                    recipient,
-                    target,
-                    donor,
-                    seed,
-                    current_error,
-                    format_spec,
-                    regression,
-                    metrics,
-                )
-                if transferred is None:
-                    if round_index == 0:
-                        outcome.failure_reason = "no validated patch found"
-                        return outcome
-                    break
-                outcome.checks.append(transferred)
-                metrics.used_checks += 1
-                metrics.insertion_accounting.append(transferred.accounting)
-                metrics.check_sizes.append(
-                    (transferred.patch.excised_size, transferred.patch.translated_size)
-                )
-                current_source = transferred.patched_source
-
-                # Residual errors discovered by the DIODE rescan drive recursion.
-                residual = transferred.validation.residual_findings
-                if residual:
-                    current_error = residual[0].error_input
-                else:
-                    current_error = None
-
-            outcome.success = bool(outcome.checks) and current_error is None
-            if not outcome.success and not outcome.failure_reason:
-                outcome.failure_reason = "residual errors remain after recursive patching"
-            return outcome
-        finally:
-            metrics.generation_time_s = time.perf_counter() - start
-            metrics.solver_queries = stats.queries - base_queries
-            metrics.solver_cache_hits = stats.cache_hits - base_cache_hits
-            metrics.solver_persistent_hits = (
-                stats.persistent_cache_hits - base_persistent_hits
-            )
-            metrics.solver_expensive_queries = stats.solver_invocations - base_expensive
+        return self.session.transfer(recipient, target, donor, seed, error_input, format_name)
 
     def repair(
         self,
@@ -238,174 +166,4 @@ class CodePhage:
         donors: Optional[Sequence[Application]] = None,
     ) -> TransferOutcome:
         """Full pipeline including donor selection: try donors until one validates."""
-        format_name = format_name or recipient.formats[0]
-        if donors is None:
-            selection = select_donors(format_name, seed, error_input, recipient=recipient)
-            donors = selection.donors
-        last: Optional[TransferOutcome] = None
-        for donor in donors:
-            outcome = self.transfer(recipient, target, donor, seed, error_input, format_name)
-            if outcome.success:
-                return outcome
-            last = outcome
-        if last is not None:
-            return last
-        return TransferOutcome(
-            success=False,
-            recipient=recipient.full_name,
-            target=target.target_id,
-            donor="<none>",
-            failure_reason="no viable donor found",
-        )
-
-    # -- single-check transfer -----------------------------------------------------------
-
-    def _transfer_once(
-        self,
-        recipient_source: str,
-        recipient: Application,
-        target: ErrorTarget,
-        donor: Application,
-        seed: bytes,
-        error_input: bytes,
-        format_spec: FormatSpec,
-        regression: Sequence[bytes],
-        metrics: TransferMetrics,
-    ) -> Optional[TransferredCheck]:
-        recipient_program = compile_program(recipient_source, name=recipient.full_name)
-
-        relevant = relevant_fields(format_spec, seed, error_input)
-        discovery = discover_candidate_checks(
-            donor.program(),
-            format_spec,
-            seed,
-            error_input,
-            relevant=relevant,
-            simplify_options=self.options.simplify_options,
-        )
-        metrics.relevant_branches = max(metrics.relevant_branches, discovery.relevant_branches)
-        metrics.flipped_branches.append(discovery.flipped_branches)
-
-        for candidate in discovery.candidates[: self.options.max_candidate_checks]:
-            excised = excise_check(
-                donor.program(),
-                format_spec,
-                error_input,
-                candidate,
-                simplify_options=self.options.simplify_options,
-                donor_name=donor.full_name,
-            )
-            transferred = self._try_candidate(
-                recipient_source,
-                recipient_program,
-                excised,
-                format_spec,
-                seed,
-                error_input,
-                regression,
-                target,
-            )
-            if transferred is not None:
-                return transferred
-        return None
-
-    def _try_candidate(
-        self,
-        recipient_source: str,
-        recipient_program: Program,
-        excised: ExcisedCheck,
-        format_spec: FormatSpec,
-        seed: bytes,
-        error_input: bytes,
-        regression: Sequence[bytes],
-        target: ErrorTarget,
-    ) -> Optional[TransferredCheck]:
-        required = excised.fields
-        report = find_insertion_points(
-            recipient_program, seed, format_spec.field_map(seed), required
-        )
-        if self.options.filter_unstable_points:
-            points = report.stable_points
-        else:
-            # Without the filter every candidate point is considered (used by
-            # the unstable-point ablation benchmark).
-            points = report.stable_points + report.unstable_points
-
-        untranslatable = 0
-        patches: list[GeneratedPatch] = []
-        for point in points:
-            rewriter = Rewriter(point.names, checker=self.checker)
-            result = rewriter.rewrite(excised.guard)
-            if result is None:
-                untranslatable += 1
-                continue
-            patches.append(
-                build_patch(
-                    guard=result.expression,
-                    excised_condition=excised.condition,
-                    insertion_point=point,
-                    strategy=self.options.patch_strategy,
-                )
-            )
-
-        accounting = InsertionAccounting(
-            candidate_points=report.candidate_count,
-            unstable_points=report.unstable_count,
-            untranslatable_points=untranslatable,
-            usable_points=len(patches),
-        )
-
-        # "CP then sorts the remaining generated patches by size and attempts
-        # to validate the patches in that order."
-        patches.sort(key=lambda patch: patch.translated_size)
-
-        overflow_expr = None
-        if target.error_kind is ErrorKind.INTEGER_OVERFLOW:
-            overflow_expr = self._allocation_expression(recipient_program, format_spec, seed, target)
-
-        for patch in patches:
-            try:
-                patched = apply_patch(recipient_source, patch.source_patch(), recipient_program.name)
-            except PatchError:
-                continue
-            validation = validate_patch(
-                recipient_program,
-                patched,
-                format_spec,
-                seed,
-                error_input,
-                regression_corpus=regression,
-                target_function=target.site_function,
-                options=self.options.validation,
-                donor_guard=excised.guard,
-                overflow_size_expr=overflow_expr,
-                checker=self.checker,
-            )
-            if validation.ok:
-                return TransferredCheck(
-                    donor=excised.donor,
-                    patch=patch,
-                    excised=excised,
-                    accounting=accounting,
-                    validation=validation,
-                    patched_source=patched.source,
-                )
-        return None
-
-    def _allocation_expression(
-        self,
-        recipient_program: Program,
-        format_spec: FormatSpec,
-        seed: bytes,
-        target: ErrorTarget,
-    ):
-        """The symbolic allocation-size expression at the target site (seed run)."""
-        from .check_discovery import run_instrumented
-
-        result = run_instrumented(
-            recipient_program, format_spec, seed, self.options.simplify_options
-        )
-        for record in result.allocations:
-            if record.function == target.site_function and record.symbolic is not None:
-                return record.symbolic
-        return None
+        return self.session.repair(recipient, target, seed, error_input, format_name, donors)

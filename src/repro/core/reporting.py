@@ -38,6 +38,9 @@ class TransferRecord:
     solver_cache_hits: int = 0
     solver_persistent_hits: int = 0
     solver_expensive_queries: int = 0
+    # Per-stage wall-time breakdown, from the pipeline event stream; the
+    # campaign store persists it with every attempt record.
+    stage_timings: dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_outcome(cls, outcome: TransferOutcome) -> "TransferRecord":
@@ -61,6 +64,10 @@ class TransferRecord:
             solver_cache_hits=metrics.solver_cache_hits,
             solver_persistent_hits=metrics.solver_persistent_hits,
             solver_expensive_queries=metrics.solver_expensive_queries,
+            stage_timings={
+                stage: round(elapsed, 4)
+                for stage, elapsed in metrics.stage_timings.items()
+            },
         )
 
 

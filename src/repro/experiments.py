@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .api import RepairRequest, RepairSession
 from .apps import get_application
 from .apps.registry import Application, ErrorTarget
 from .core.pipeline import CodePhage, CodePhageOptions, TransferOutcome
@@ -197,31 +198,42 @@ def run_row(
     row: Figure8Row,
     options: Optional[CodePhageOptions] = None,
     phage: Optional[CodePhage] = None,
+    session: Optional[RepairSession] = None,
 ) -> TransferOutcome:
-    """Run the CP pipeline for one Figure 8 row.
+    """Run one Figure 8 row through the :mod:`repro.api` facade.
 
     This is the campaign worker entry point: the scheduler's workers call it
-    (via :func:`execute_job`) with a pre-configured pipeline, and standalone
-    callers get a fresh default pipeline per row.
+    (via :func:`execute_job`) with a pre-configured session, and standalone
+    callers get a fresh default session per row.  ``phage`` is accepted for
+    backward compatibility and contributes its session.
     """
     case = row.case
-    recipient = case.application()
-    donor = get_application(row.donor)
-    if phage is None:
-        phage = CodePhage(options=options)
-    elif options is not None:
+    if session is None:
+        if phage is not None:
+            if options is not None:
+                raise ValueError(
+                    "pass either options or a pre-configured phage, not both: "
+                    "a given phage runs under its own options"
+                )
+            session = phage.session
+        else:
+            session = RepairSession(options=options)
+    elif phage is not None or options is not None:
         raise ValueError(
-            "pass either options or a pre-configured phage, not both: "
-            "a given phage runs under its own options"
+            "pass exactly one of options, phage, or session: a given session "
+            "runs under its own options"
         )
-    return phage.transfer(
-        recipient,
-        case.target(),
-        donor,
-        case.seed_input(),
-        case.error_input(),
-        format_name=case.format_name,
+    report = session.run(
+        RepairRequest(
+            recipient=case.application(),
+            target=case.target(),
+            seed=case.seed_input(),
+            error_input=case.error_input(),
+            format_name=case.format_name,
+            donor=get_application(row.donor),
+        )
     )
+    return report.outcome
 
 
 def execute_job(job, persistent_cache_path: Optional[str] = None) -> TransferOutcome:
@@ -231,17 +243,25 @@ def execute_job(job, persistent_cache_path: Optional[str] = None) -> TransferOut
     this module free of a circular import on :mod:`repro.campaign`.
     """
     row = Figure8Row(case_id=job.case_id, donor=job.donor)
-    phage = CodePhage(options=job.build_options(persistent_cache_path))
-    return run_row(row, phage=phage)
+    session = RepairSession(options=job.build_options(persistent_cache_path))
+    return run_row(row, session=session)
 
 
 def run_case_with_all_donors(
-    case_id: str, options: Optional[CodePhageOptions] = None
+    case_id: str,
+    options: Optional[CodePhageOptions] = None,
+    session: Optional[RepairSession] = None,
 ) -> list[TransferOutcome]:
-    """Run one error case against every donor listed for it."""
+    """Run one error case against every donor listed for it.
+
+    All donors run through one shared session — one solver checker, one
+    cache — exactly like :meth:`CodePhage.repair`'s donor loop, so the
+    per-donor solver/cache statistics are comparable across the two paths.
+    """
     case = ERROR_CASES[case_id]
+    session = session or RepairSession(options=options)
     return [
-        run_row(Figure8Row(case_id=case_id, donor=donor), options=options)
+        run_row(Figure8Row(case_id=case_id, donor=donor), session=session)
         for donor in case.donors
     ]
 

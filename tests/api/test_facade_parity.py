@@ -1,0 +1,180 @@
+"""Parity suite: the legacy ``CodePhage`` shims and the ``repro.api`` facade.
+
+The acceptance bar for the stage-graph refactor is that the compatibility
+shims (``CodePhage.transfer``/``repair``) and the facade produce *identical*
+outcomes — success, transferred checks, insertion accounting, and metrics —
+modulo wall-clock timing, across representative Figure 8 rows covering every
+error class (integer overflow, out-of-bounds write, divide-by-zero).
+"""
+
+import pytest
+
+from repro import api
+from repro.apps import get_application
+from repro.core import CodePhage
+from repro.experiments import ERROR_CASES
+
+#: One row per error class, plus the multiversion scenario.
+PARITY_ROWS = [
+    ("cwebp-jpegdec", "feh"),
+    ("jasper-tiles", "openjpeg"),
+    ("gif2tiff-lzw", "display-6.5.2-9"),
+    ("wireshark-dcp", "wireshark-1.8.6"),
+]
+
+
+def _fingerprint(outcome):
+    """Everything that must match, with wall-clock timing stripped."""
+    metrics = outcome.metrics
+    return {
+        "success": outcome.success,
+        "recipient": outcome.recipient,
+        "target": outcome.target,
+        "donor": outcome.donor,
+        "failure_reason": outcome.failure_reason,
+        "patched_source": outcome.patched_source,
+        "checks": [
+            (
+                check.donor,
+                check.patch.render(),
+                check.check_size,
+                str(check.accounting),
+                check.validation.ok,
+                len(check.validation.residual_findings),
+            )
+            for check in outcome.checks
+        ],
+        "metrics": {
+            "recipient": metrics.recipient,
+            "target": metrics.target,
+            "donor": metrics.donor,
+            "relevant_branches": metrics.relevant_branches,
+            "flipped_branches": metrics.flipped_branches,
+            "used_checks": metrics.used_checks,
+            "insertion_accounting": [str(entry) for entry in metrics.insertion_accounting],
+            "check_sizes": metrics.check_sizes,
+            "solver_queries": metrics.solver_queries,
+            "solver_cache_hits": metrics.solver_cache_hits,
+            "solver_persistent_hits": metrics.solver_persistent_hits,
+            "solver_expensive_queries": metrics.solver_expensive_queries,
+        },
+    }
+
+
+@pytest.mark.parametrize("case_id,donor", PARITY_ROWS, ids=lambda value: str(value))
+def test_legacy_transfer_shim_matches_facade(case_id, donor):
+    case = ERROR_CASES[case_id]
+    legacy = CodePhage().transfer(
+        case.application(),
+        case.target(),
+        get_application(donor),
+        case.seed_input(),
+        case.error_input(),
+        case.format_name,
+    )
+    report = api.repair(
+        api.RepairRequest(
+            recipient=case.application(),
+            target=case.target(),
+            seed=case.seed_input(),
+            error_input=case.error_input(),
+            format_name=case.format_name,
+            donor=donor,
+        )
+    )
+    assert _fingerprint(legacy) == _fingerprint(report.outcome)
+    assert legacy.success, legacy.failure_reason
+
+
+def test_legacy_repair_shim_matches_facade():
+    case = ERROR_CASES["cwebp-jpegdec"]
+    legacy = CodePhage().repair(
+        case.application(), case.target(), case.seed_input(), case.error_input(), "jpeg"
+    )
+    report = api.repair(
+        api.RepairRequest(
+            recipient=case.application(),
+            target=case.target(),
+            seed=case.seed_input(),
+            error_input=case.error_input(),
+            format_name="jpeg",
+        )
+    )
+    assert _fingerprint(legacy) == _fingerprint(report.outcome)
+    assert legacy.success
+
+
+def test_both_paths_report_stage_timings():
+    case = ERROR_CASES["wireshark-dcp"]
+    legacy = CodePhage().transfer(
+        case.application(),
+        case.target(),
+        get_application("wireshark-1.8.6"),
+        case.seed_input(),
+        case.error_input(),
+        "dcp",
+    )
+    assert legacy.metrics.stage_timings
+    assert all(elapsed >= 0.0 for elapsed in legacy.metrics.stage_timings.values())
+    assert {"check-discovery", "validation"} <= set(legacy.metrics.stage_timings)
+
+
+def test_no_viable_donor_outcome_has_populated_metrics():
+    """An empty donor pool must still yield a fully attributed outcome row."""
+    case = ERROR_CASES["cwebp-jpegdec"]
+    outcome = CodePhage().repair(
+        case.application(),
+        case.target(),
+        case.seed_input(),
+        case.error_input(),
+        "jpeg",
+        donors=[],
+    )
+    assert not outcome.success
+    assert outcome.failure_reason == "no viable donor found"
+    assert outcome.metrics.recipient == case.application().full_name
+    assert outcome.metrics.target == case.target().target_id
+    assert outcome.metrics.donor == "<none>"
+
+    from repro.core.reporting import TransferRecord
+
+    record = TransferRecord.from_outcome(outcome)
+    assert record.recipient and record.target and record.donor
+
+
+def test_pinning_a_donor_and_restricting_the_pool_is_an_error():
+    case = ERROR_CASES["cwebp-jpegdec"]
+    request = api.RepairRequest(
+        recipient=case.application(),
+        target=case.target(),
+        seed=case.seed_input(),
+        error_input=case.error_input(),
+        format_name="jpeg",
+        donor="feh",
+        donors=["mtpaint", "viewnior"],
+    )
+    with pytest.raises(ValueError, match="not both"):
+        api.repair(request)
+
+
+def test_all_donors_helper_shares_one_checker():
+    """The all-donors sweep reuses a single session (comparable cache stats)."""
+    from repro.api import RepairSession
+    from repro.experiments import run_case_with_all_donors
+
+    session = RepairSession()
+    outcomes = run_case_with_all_donors("cwebp-jpegdec", session=session)
+    assert [outcome.donor for outcome in outcomes] == [
+        "feh-2.9.3",
+        "mtpaint-3.40",
+        "viewnior-1.4",
+    ]
+    assert all(outcome.success for outcome in outcomes)
+    # All three transfers drained through the shared checker: its lifetime
+    # query count is the sum of the per-transfer deltas.
+    assert session.checker.statistics.queries == sum(
+        outcome.metrics.solver_queries for outcome in outcomes
+    )
+    # Later donors replay earlier donors' verdicts from the shared in-memory
+    # cache, which a per-donor fresh checker could never show.
+    assert session.checker.statistics.cache_hits >= outcomes[0].metrics.solver_cache_hits

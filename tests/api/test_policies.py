@@ -1,0 +1,114 @@
+"""Search-policy selection and behaviour, plus campaign plan integration."""
+
+import pytest
+
+from repro import api
+from repro.campaign.plan import PlanError, expand_plan
+from repro.core import CodePhageOptions
+from repro.core.events import DonorAttempted
+from repro.core.stages import (
+    POLICIES,
+    AllDonorsPolicy,
+    FirstValidatedPolicy,
+    SmallestPatchPolicy,
+    get_policy,
+)
+from repro.experiments import ERROR_CASES
+
+
+def _request(case_id, donor=None, policy=None):
+    case = ERROR_CASES[case_id]
+    return api.RepairRequest(
+        recipient=case.application(),
+        target=case.target(),
+        seed=case.seed_input(),
+        error_input=case.error_input(),
+        format_name=case.format_name,
+        donor=donor,
+        policy=policy,
+    )
+
+
+class TestPolicyRegistry:
+    def test_builtin_policies_are_registered(self):
+        assert set(POLICIES) == {"first-validated", "smallest-patch", "all-donors"}
+
+    def test_get_policy_by_name(self):
+        assert isinstance(get_policy("first-validated"), FirstValidatedPolicy)
+        assert isinstance(get_policy("smallest-patch"), SmallestPatchPolicy)
+        assert isinstance(get_policy("all-donors"), AllDonorsPolicy)
+
+    def test_none_resolves_to_the_default(self):
+        assert isinstance(get_policy(None), FirstValidatedPolicy)
+
+    def test_instances_pass_through(self):
+        policy = SmallestPatchPolicy()
+        assert get_policy(policy) is policy
+
+    def test_unknown_name_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown search policy"):
+            get_policy("bogus")
+
+
+class TestSmallestPatch:
+    def test_never_larger_than_first_validated(self):
+        first = api.repair(_request("cwebp-jpegdec", donor="feh"))
+        smallest = api.repair(
+            _request("cwebp-jpegdec", donor="feh", policy="smallest-patch")
+        )
+        assert first.success and smallest.success
+        assert (
+            smallest.outcome.checks[-1].patch.translated_size
+            <= first.outcome.checks[-1].patch.translated_size
+        )
+
+    def test_options_select_the_session_policy(self):
+        options = CodePhageOptions(search_policy="smallest-patch")
+        report = api.repair(_request("wireshark-dcp", donor="wireshark-1.8.6"), options=options)
+        assert report.success
+
+
+class TestAllDonors:
+    def test_every_donor_is_attempted(self):
+        report = api.repair(_request("cwebp-jpegdec", policy="all-donors"))
+        attempted = [e for e in report.events if isinstance(e, DonorAttempted)]
+        assert len(report.attempts) == len(attempted) == 3
+        assert {outcome.donor for outcome in report.attempts} == {
+            "feh-2.9.3",
+            "mtpaint-3.40",
+            "viewnior-1.4",
+        }
+
+    def test_chooses_the_smallest_total_patch_among_successes(self):
+        report = api.repair(_request("cwebp-jpegdec", policy="all-donors"))
+        assert report.success
+        totals = {
+            outcome.donor: sum(check.patch.translated_size for check in outcome.checks)
+            for outcome in report.attempts
+            if outcome.success
+        }
+        assert totals[report.outcome.donor] == min(totals.values())
+
+    def test_first_validated_repair_stops_at_the_first_success(self):
+        report = api.repair(_request("cwebp-jpegdec"))
+        assert report.success
+        assert len(report.attempts) < 3  # stopped short of the full pool
+        assert report.attempts[-1].success
+
+
+class TestCampaignPlanIntegration:
+    def test_search_policy_is_a_valid_variant_override(self):
+        plan = expand_plan(
+            cases=["cwebp-jpegdec"],
+            variants={"default": {}, "smallest": {"search_policy": "smallest-patch"}},
+        )
+        smallest_jobs = [job for job in plan.jobs if job.variant == "smallest"]
+        assert smallest_jobs
+        options = smallest_jobs[0].build_options()
+        assert options.search_policy == "smallest-patch"
+
+    def test_unknown_search_policy_fails_plan_expansion(self):
+        with pytest.raises(PlanError, match="unknown search policy"):
+            expand_plan(
+                cases=["cwebp-jpegdec"], variants={"bad": {"search_policy": "bogus"}}
+            )

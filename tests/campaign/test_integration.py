@@ -22,6 +22,7 @@ def _normalise(record):
         solver_cache_hits=0,
         solver_persistent_hits=0,
         solver_expensive_queries=0,
+        stage_timings={},
     )
 
 
