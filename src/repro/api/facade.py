@@ -87,6 +87,27 @@ class RepairSession:
         self.engine = TransferEngine(options=self.options, events=self.events)
         self.checker = self.engine.checker
 
+    def solver_statistics(self) -> dict:
+        """The session's cumulative solver accounting.
+
+        One dict with the query-level counters (queries, cache hits, batch
+        dedupe) plus a ``backends`` sub-dict of per-backend counters — the
+        same shape campaign reports aggregate.  Requests run through this
+        session share one checker, so these numbers span every request.
+        """
+        stats = self.checker.statistics
+        batch = self.checker.query_batch
+        return {
+            "queries": stats.queries,
+            "satisfiability_queries": stats.satisfiability_queries,
+            "cache_hits": stats.cache_hits,
+            "persistent_cache_hits": stats.persistent_cache_hits,
+            "batch_hits": batch.hits,
+            "batch_dedupe_rate": round(batch.dedupe_rate, 4),
+            "expensive_queries": stats.solver_invocations,
+            "backends": self.checker.backend_statistics(),
+        }
+
     # -- request API -------------------------------------------------------------------
 
     def run(self, request: RepairRequest) -> RepairReport:

@@ -23,7 +23,14 @@ mapping a canonical query key to the serialised verdict payload.  Properties:
 
 The cache is deliberately solver-agnostic: it stores opaque JSON payloads
 keyed by strings, and :mod:`repro.solver.equivalence` owns the
-(de)serialisation of :class:`EquivalenceResult`.  Keys are built from the
+(de)serialisation and the key namespaces.  Two key kinds share the file
+(since ``CACHE_SCHEMA_VERSION`` 3): equivalence verdicts under the sorted
+digest-pair of :func:`query_key`, and satisfiability verdicts under a
+``##sat##``-tagged single digest.  Namespaces fold in the schema version
+and every verdict-affecting option; proved verdicts live in a
+backend-neutral namespace shared by all solver backends, while
+budget-limited verdicts are quarantined under a backend-qualified one
+(see ``docs/SOLVER.md``).  Keys are built from the
 structural *digests* of the *simplified* query pair
 (:attr:`repro.symbolic.expr.Expr.digest`): content hashes computed bottom-up
 over the hash-consed expression DAG.  Digests are deterministic across

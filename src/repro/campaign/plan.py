@@ -48,6 +48,7 @@ from ..core.patch import PatchStrategy
 from ..core.pipeline import CodePhageOptions
 from ..core.stages import POLICIES
 from ..experiments import ERROR_CASES, FIGURE8_ROWS
+from ..solver.backends import BACKENDS
 from ..solver.equivalence import EquivalenceOptions
 
 
@@ -74,8 +75,10 @@ _EQUIVALENCE_KEYS = frozenset(
         "sample_count",
         "exhaustive_bit_limit",
         "sat_cost_budget",
+        "sat_truth_cost_budget",
         "sat_conflict_limit",
         "random_seed",
+        "backend",
     }
 )
 
@@ -245,6 +248,12 @@ def expand_plan(
             raise PlanError(
                 f"variant {variant_name!r} has unknown search policy {policy!r}; "
                 "expected one of " + ", ".join(sorted(POLICIES))
+            )
+        backend = overrides.get("backend")
+        if backend is not None and backend not in BACKENDS:
+            raise PlanError(
+                f"variant {variant_name!r} has unknown solver backend {backend!r}; "
+                "expected one of " + ", ".join(sorted(BACKENDS))
             )
 
     jobs: list[JobSpec] = []

@@ -163,9 +163,14 @@ class CampaignReport:
     solver_cache_hits: int = 0
     persistent_cache_hits: int = 0
     expensive_queries: int = 0
+    batch_hits: int = 0
     #: Wall time per pipeline stage, summed over every completed job (the
     #: per-job deltas are persisted with each attempt record in the store).
     stage_timings: dict[str, float] = field(default_factory=dict)
+    #: Per-backend solver counters summed over every completed job, keyed by
+    #: backend name ("cdcl", "dpll", "portfolio"): queries, sat/unsat/unknown
+    #: verdicts, conflicts, learned clauses, wall time, portfolio wins.
+    backend_stats: dict[str, dict] = field(default_factory=dict)
 
     @property
     def persistent_hit_rate(self) -> float:
@@ -192,6 +197,8 @@ class CampaignReport:
                 f"{self.expensive_queries} expensive queries"
             )
         lines = [f"campaign {self.plan_name}: " + ", ".join(parts), cache]
+        if self.batch_hits:
+            lines.append(f"query batch: {self.batch_hits} deduped queries")
         if self.stage_timings:
             breakdown = ", ".join(
                 f"{stage} {elapsed:.2f}s"
@@ -200,6 +207,19 @@ class CampaignReport:
                 )
             )
             lines.append(f"per-stage time (all jobs): {breakdown}")
+        for name in sorted(self.backend_stats):
+            counters = self.backend_stats[name]
+            detail = (
+                f"backend {name}: {counters.get('queries', 0)} queries "
+                f"({counters.get('sat', 0)} sat, {counters.get('unsat', 0)} unsat, "
+                f"{counters.get('unknown', 0)} unknown), "
+                f"{counters.get('conflicts', 0)} conflicts, "
+                f"{counters.get('learned_clauses', 0)} learned, "
+                f"{counters.get('time_s', 0.0):.2f}s"
+            )
+            if counters.get("wins"):
+                detail += f", {counters['wins']} portfolio wins"
+            lines.append(detail)
         return "\n".join(lines)
 
 
@@ -444,10 +464,14 @@ class CampaignScheduler:
 
     @staticmethod
     def _account(report: CampaignReport, result: JobResult) -> None:
+        from ..solver.backends import merge_snapshots
+
         record = result.record or {}
         report.solver_queries += record.get("solver_queries", 0)
         report.solver_cache_hits += record.get("solver_cache_hits", 0)
         report.persistent_cache_hits += record.get("solver_persistent_hits", 0)
         report.expensive_queries += record.get("solver_expensive_queries", 0)
+        report.batch_hits += record.get("solver_batch_hits", 0)
+        merge_snapshots(report.backend_stats, record.get("solver_backend_stats") or {})
         for stage, elapsed in (record.get("stage_timings") or {}).items():
             report.stage_timings[stage] = report.stage_timings.get(stage, 0.0) + elapsed

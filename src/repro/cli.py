@@ -3,7 +3,7 @@
 Subcommands::
 
     codephage list                       # applications and formats in the database
-    codephage transfer CASE [--donor D] [--progress] [--policy P]
+    codephage transfer CASE [--donor D] [--progress] [--policy P] [--backend B]
                                          # run one transfer (e.g. cwebp-jpegdec)
     codephage figure8 [--out FILE] [--jobs N] [--resume]
                                          # regenerate the Figure 8 table
@@ -26,11 +26,18 @@ import argparse
 import sys
 from pathlib import Path
 
-from .api import POLICIES, ProgressPrinter, RepairRequest, repair
+from .api import (
+    POLICIES,
+    CodePhageOptions,
+    ProgressPrinter,
+    RepairRequest,
+    RepairSession,
+)
 from .apps import all_applications, get_application
 from .campaign import (
     CampaignPlan,
     CampaignScheduler,
+    JobSpec,
     PlanError,
     RunStore,
     SchedulerOptions,
@@ -41,6 +48,8 @@ from .campaign import (
 from .core.patch import PatchStrategy
 from .experiments import ERROR_CASES, discover_error_input
 from .formats import all_formats
+from .solver.backends import BACKENDS
+from .solver.equivalence import EquivalenceOptions
 
 DEFAULT_FIGURE8_STORE = "results/figure8-campaign"
 DEFAULT_CAMPAIGN_STORE = "results/campaign"
@@ -64,7 +73,13 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
     case = ERROR_CASES[args.case]
     donor_name = args.donor or case.donors[0]
     observers = [ProgressPrinter(verbose=args.verbose)] if args.progress else []
-    report = repair(
+    options = None
+    if args.backend:
+        options = CodePhageOptions(
+            equivalence_options=EquivalenceOptions(backend=args.backend)
+        )
+    session = RepairSession(options=options, observers=observers)
+    report = session.run(
         RepairRequest(
             recipient=case.application(),
             target=case.target(),
@@ -73,8 +88,7 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
             format_name=case.format_name,
             donor=get_application(donor_name),
             policy=args.policy,
-        ),
-        observers=observers,
+        )
     )
     outcome = report.outcome
     print(f"{case.recipient} <- {donor_name}: {'SUCCESS' if outcome.success else 'FAILED'}")
@@ -91,7 +105,43 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
             )
         )
         print("  stage timings:", breakdown)
+    if args.progress:
+        solver = session.solver_statistics()
+        for name, counters in sorted(solver["backends"].items()):
+            if not counters.get("queries"):
+                continue
+            print(
+                f"  solver backend {name}: {counters['queries']} queries, "
+                f"{counters['conflicts']} conflicts, "
+                f"{counters['learned_clauses']} learned, "
+                f"{counters['time_s'] * 1000.0:.1f}ms"
+            )
+        print(
+            f"  query batch: {solver['batch_hits']} hits "
+            f"({solver['batch_dedupe_rate']:.0%} dedupe rate)"
+        )
     return 0 if outcome.success else 1
+
+
+def _apply_backend(plan: CampaignPlan, backend: str | None) -> CampaignPlan:
+    """Pin every job of the plan to one solver backend.
+
+    The override is part of each job's content-addressed identity, so runs
+    with different backends resume independently within one store.
+    """
+    if not backend:
+        return plan
+    jobs = tuple(
+        JobSpec(
+            case_id=job.case_id,
+            donor=job.donor,
+            strategy=job.strategy,
+            variant=job.variant,
+            overrides=tuple(sorted({**dict(job.overrides), "backend": backend}.items())),
+        )
+        for job in plan.jobs
+    )
+    return CampaignPlan(name=plan.name, jobs=jobs)
 
 
 def _run_campaign(
@@ -160,7 +210,7 @@ def _run_campaign(
 
 def _cmd_figure8(args: argparse.Namespace) -> int:
     return _run_campaign(
-        figure8_plan(),
+        _apply_backend(figure8_plan(), args.backend),
         args.store,
         jobs=args.jobs,
         resume=not args.fresh,
@@ -183,7 +233,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return _run_campaign(
-        plan,
+        _apply_backend(plan, args.backend),
         args.store,
         jobs=args.jobs,
         resume=not args.fresh,
@@ -229,6 +279,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="search policy for the candidate/donor retry loops",
     )
+    transfer.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="SAT backend for solver queries (default: cdcl)",
+    )
 
     def add_campaign_arguments(command: argparse.ArgumentParser, default_store: str) -> None:
         command.add_argument("--out", default=None, help="write the rendered table here")
@@ -250,6 +306,12 @@ def main(argv: list[str] | None = None) -> int:
             "--no-cache",
             action="store_true",
             help="disable the persistent cross-process solver cache",
+        )
+        command.add_argument(
+            "--backend",
+            choices=sorted(BACKENDS),
+            default=None,
+            help="pin every job to this SAT backend (part of the job identity)",
         )
         # Campaigns resume by default: completed jobs in the store are
         # skipped, so re-running an interrupted command picks up where it

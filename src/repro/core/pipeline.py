@@ -93,6 +93,13 @@ class TransferMetrics:
     solver_cache_hits: int = 0
     solver_persistent_hits: int = 0
     solver_expensive_queries: int = 0
+    #: Structurally identical blasted/satisfiability queries answered by the
+    #: session's :class:`~repro.solver.engine.QueryBatch` during this transfer.
+    solver_batch_hits: int = 0
+    #: Per-backend counter deltas (queries, sat/unsat/unknown, conflicts,
+    #: learned clauses, time) for this transfer, keyed by backend name; the
+    #: campaign scheduler aggregates these into ``CampaignReport.backend_stats``.
+    solver_backend_stats: dict[str, dict] = field(default_factory=dict)
     #: Cumulative wall time per pipeline stage, populated solely from the
     #: ``StageFinished`` event stream (see :mod:`repro.core.events`).
     stage_timings: dict[str, float] = field(default_factory=dict)

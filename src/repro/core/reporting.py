@@ -33,11 +33,14 @@ class TransferRecord:
     patch_preview: str = ""
     failure_reason: str = ""
     # Solver accounting (not part of the rendered Figure 8 table; campaigns
-    # aggregate these to report persistent-cache effectiveness).
+    # aggregate these to report persistent-cache effectiveness and
+    # per-backend solver behaviour).
     solver_queries: int = 0
     solver_cache_hits: int = 0
     solver_persistent_hits: int = 0
     solver_expensive_queries: int = 0
+    solver_batch_hits: int = 0
+    solver_backend_stats: dict[str, dict] = field(default_factory=dict)
     # Per-stage wall-time breakdown, from the pipeline event stream; the
     # campaign store persists it with every attempt record.
     stage_timings: dict[str, float] = field(default_factory=dict)
@@ -64,6 +67,8 @@ class TransferRecord:
             solver_cache_hits=metrics.solver_cache_hits,
             solver_persistent_hits=metrics.solver_persistent_hits,
             solver_expensive_queries=metrics.solver_expensive_queries,
+            solver_batch_hits=metrics.solver_batch_hits,
+            solver_backend_stats=dict(metrics.solver_backend_stats),
             stage_timings={
                 stage: round(elapsed, 4)
                 for stage, elapsed in metrics.stage_timings.items()

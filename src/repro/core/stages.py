@@ -35,6 +35,7 @@ from ..formats.registry import get_format
 from ..lang.checker import Program, compile_program
 from ..lang.patcher import PatchError, apply_patch
 from ..lang.trace import ErrorKind
+from ..solver.backends import diff_snapshots
 from ..solver.equivalence import EquivalenceChecker
 from .check_discovery import discover_candidate_checks, relevant_fields, run_instrumented
 from .donor_selection import select_donors
@@ -612,6 +613,8 @@ class TransferEngine:
         base_cache_hits = stats.cache_hits
         base_persistent_hits = stats.persistent_cache_hits
         base_expensive = stats.solver_invocations
+        base_batch_hits = self.checker.query_batch.hits
+        base_backends = self.checker.backend_statistics()
 
         timer = self.events.subscribe(StageTimingObserver())
         try:
@@ -657,6 +660,10 @@ class TransferEngine:
                 stats.persistent_cache_hits - base_persistent_hits
             )
             metrics.solver_expensive_queries = stats.solver_invocations - base_expensive
+            metrics.solver_batch_hits = self.checker.query_batch.hits - base_batch_hits
+            metrics.solver_backend_stats = diff_snapshots(
+                base_backends, self.checker.backend_statistics()
+            )
 
     def _run_round(
         self, ctx: TransferContext, policy: SearchPolicy

@@ -114,13 +114,18 @@ def validate_patch(
                 return outcome
     outcome.regression_passed = True
 
-    # Step 4: DIODE rescan for residual errors.
+    # Step 4: DIODE rescan for residual errors.  The rescan shares the
+    # session's solver checker: its overflow-witness queries are identical
+    # across candidate patches (the patch never changes the allocation-size
+    # expression), so every rescan after the first answers them from the
+    # session's query batch instead of re-running the decision ladder.
     if options.diode_rescan and options.diode_scope != "none":
         scope_function = target_function if options.diode_scope == "function" else None
         diode = Diode(
             patched.program,
             format_spec,
             options=options.diode_options or DiodeOptions(),
+            checker=checker,
         )
         outcome.residual_findings = diode.discover(seed, site_function=scope_function)
 

@@ -255,8 +255,14 @@ def run_case_with_all_donors(
     """Run one error case against every donor listed for it.
 
     All donors run through one shared session — one solver checker, one
-    cache — exactly like :meth:`CodePhage.repair`'s donor loop, so the
-    per-donor solver/cache statistics are comparable across the two paths.
+    cache, one incremental backend — exactly like :meth:`CodePhage.repair`'s
+    donor loop, so the per-donor solver/cache statistics are comparable
+    across the two paths.  Each outcome's metrics carry the per-backend
+    counter deltas (``solver_backend_stats``) and query-batch hits for its
+    donor, the same fields campaign workers persist and
+    :class:`~repro.campaign.scheduler.CampaignReport` aggregates; later
+    donors benefit from earlier donors' learned clauses and deduped queries,
+    which is visible in those deltas.
     """
     case = ERROR_CASES[case_id]
     session = session or RepairSession(options=options)

@@ -1,14 +1,28 @@
 """SMT-lite decision procedures for Code Phage.
 
 The original system queries Z3; here the same queries are answered by a hybrid
-engine built from a CDCL SAT solver (:mod:`repro.solver.sat`), a bitvector
-bit-blaster (:mod:`repro.solver.bitblast`), exhaustive enumeration for small
-domains, and counterexample sampling, with the paper's two optimisations
-(disjoint-field filtering and query caching) layered on top
-(:mod:`repro.solver.equivalence`).
+engine built from pluggable SAT backends (:mod:`repro.solver.backends`: the
+incremental CDCL solver of :mod:`repro.solver.sat`, a DPLL reference solver,
+and a portfolio that races them), a bitvector bit-blaster
+(:mod:`repro.solver.bitblast`), exhaustive enumeration for small domains, and
+counterexample sampling.  All blasted queries flow through one incremental
+:class:`~repro.solver.engine.ValidationEngine` per checker, and the paper's
+two optimisations (disjoint-field filtering and query caching) are layered on
+top (:mod:`repro.solver.equivalence`).  ``docs/SOLVER.md`` documents the
+layer end to end.
 """
 
+from .backends import (
+    BACKENDS,
+    BackendStatistics,
+    CdclBackend,
+    DpllBackend,
+    PortfolioBackend,
+    SolverBackend,
+    make_backend,
+)
 from .bitblast import BitBlaster, BlastError, CNF, estimate_blast_cost
+from .engine import QueryBatch, SatOutcome, ValidationEngine
 from .equivalence import (
     EquivalenceChecker,
     EquivalenceOptions,
@@ -27,22 +41,32 @@ from .overflow import (
 from .sat import Result, Solver, SolverError, Status, solve_clauses
 
 __all__ = [
+    "BACKENDS",
+    "BackendStatistics",
     "BitBlaster",
     "BlastError",
     "CNF",
+    "CdclBackend",
+    "DpllBackend",
     "EquivalenceChecker",
     "EquivalenceOptions",
     "EquivalenceResult",
     "OverflowVerdict",
+    "PortfolioBackend",
+    "QueryBatch",
     "QueryCache",
     "Result",
+    "SatOutcome",
     "Solver",
+    "SolverBackend",
     "SolverError",
     "SolverStatistics",
     "Status",
+    "ValidationEngine",
     "Verdict",
     "check_blocks_overflow",
     "estimate_blast_cost",
+    "make_backend",
     "overflow_condition",
     "overflow_witness",
     "solve_clauses",

@@ -1,0 +1,462 @@
+"""Pluggable SAT solver backends.
+
+The validation hot path (:mod:`repro.solver.engine`) decides every blasted
+query through a :class:`SolverBackend` — a small incremental-solver contract
+that lets the CDCL solver, the DPLL reference solver, and the portfolio
+selector be swapped per session (``EquivalenceOptions.backend``, CLI
+``--backend``).  The contract, in full (see ``docs/SOLVER.md``):
+
+* ``ensure_vars(n)`` / ``add_clause(clause)`` grow the formula; clauses are
+  only added while the backend is idle (between ``solve`` calls), and are
+  *permanent* — a backend may never forget one;
+* ``solve(assumptions, max_conflicts)`` decides the accumulated formula under
+  the given assumption literals.  Assumptions scope a query: they constrain
+  this call only, so per-query activation literals (the blasted condition
+  bit) never poison later queries.  ``max_conflicts`` bounds the search;
+  exceeding it yields ``Status.UNKNOWN``, never a wrong verdict;
+* verdicts must agree across backends: for the same formula and assumptions,
+  any two backends may differ only in ``UNKNOWN`` (budget) outcomes and in
+  *which* model witnesses a SAT answer, never in SAT vs UNSAT
+  (property-tested in ``tests/solver/test_backends.py``);
+* ``statistics`` accumulates a :class:`BackendStatistics` across the
+  backend's lifetime; campaign reporting aggregates these per backend name.
+
+:class:`CdclBackend` wraps the incremental CDCL solver
+(:mod:`repro.solver.sat`) and keeps its learned clauses across queries —
+that is the assumption-based incremental solving the per-candidate query
+sequence (equivalence, overflow, insertion-point constraints) relies on.
+:class:`DpllBackend` is a deliberately simple chronological-backtracking
+solver: no learning, no watches — the semantic baseline the parity tests
+measure the others against, and often the fastest answer on tiny formulas.
+:class:`PortfolioBackend` holds one instance of each and races them per
+query under escalating conflict budgets, recording which backend won.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterable, Optional, Sequence
+
+from .sat import Result, Solver, SolverError, Status
+
+
+@dataclass
+class BackendStatistics:
+    """Lifetime counters for one backend (JSON-friendly via :meth:`as_dict`)."""
+
+    queries: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    learned_clauses: int = 0
+    time_s: float = 0.0
+    #: Queries this backend answered definitively on behalf of a portfolio.
+    wins: int = 0
+
+    def record(self, result: Result, elapsed_s: float) -> None:
+        self.queries += 1
+        self.conflicts += result.conflicts
+        self.decisions += result.decisions
+        self.propagations += result.propagations
+        self.time_s += elapsed_s
+        if result.status is Status.SAT:
+            self.sat += 1
+        elif result.status is Status.UNSAT:
+            self.unsat += 1
+        else:
+            self.unknown += 1
+
+    def merge(self, other: "BackendStatistics") -> None:
+        """Fold another statistics block into this one (campaign aggregation)."""
+        self.queries += other.queries
+        self.sat += other.sat
+        self.unsat += other.unsat
+        self.unknown += other.unknown
+        self.conflicts += other.conflicts
+        self.decisions += other.decisions
+        self.propagations += other.propagations
+        self.learned_clauses += other.learned_clauses
+        self.time_s += other.time_s
+        self.wins += other.wins
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "sat": self.sat,
+            "unsat": self.unsat,
+            "unknown": self.unknown,
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "learned_clauses": self.learned_clauses,
+            "time_s": round(self.time_s, 6),
+            "wins": self.wins,
+        }
+
+
+class SolverBackend:
+    """The incremental-solver contract every backend implements."""
+
+    name: str = ""
+
+    def __init__(self) -> None:
+        self.statistics = BackendStatistics()
+
+    def ensure_vars(self, count: int) -> None:
+        raise NotImplementedError
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        raise NotImplementedError
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> Result:
+        raise NotImplementedError
+
+    #: Statistics for this backend and any sub-backends, keyed by name.
+    def statistics_by_name(self) -> dict[str, BackendStatistics]:
+        return {self.name: self.statistics}
+
+
+class CdclBackend(SolverBackend):
+    """The conflict-driven clause-learning solver, used incrementally.
+
+    One :class:`~repro.solver.sat.Solver` instance lives for the backend's
+    lifetime: clauses accumulate, learned clauses and level-0 facts persist
+    across queries, and each query is scoped by its assumption literals.
+    """
+
+    name = "cdcl"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._solver = Solver()
+
+    def ensure_vars(self, count: int) -> None:
+        self._solver.ensure_vars(count)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        self._solver.add_clause(literals)
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> Result:
+        learned_before = self._solver.learned_clauses
+        started = perf_counter()
+        result = self._solver.solve(assumptions=assumptions, max_conflicts=max_conflicts)
+        self.statistics.record(result, perf_counter() - started)
+        self.statistics.learned_clauses += self._solver.learned_clauses - learned_before
+        return result
+
+
+_UNASSIGNED, _TRUE, _FALSE = 0, 1, -1
+
+
+class DpllBackend(SolverBackend):
+    """Chronological-backtracking DPLL: unit propagation, no clause learning.
+
+    Each ``solve`` searches the accumulated clause set from scratch (there is
+    nothing to carry over — DPLL learns nothing), which makes it the clean
+    reference semantics for parity testing, and surprisingly competitive on
+    the small formulas the rewrite algorithm mostly produces.  ``conflicts``
+    counts chronological backtracks so ``max_conflicts`` bounds the search
+    exactly like the CDCL budget.
+    """
+
+    name = "dpll"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._num_vars = 0
+        self._clauses: list[list[int]] = []
+        self._occurrences: dict[int, list[int]] = {}
+        self._empty_clause = False
+
+    def ensure_vars(self, count: int) -> None:
+        while self._num_vars < count:
+            self._num_vars += 1
+            self._occurrences.setdefault(self._num_vars, [])
+            self._occurrences.setdefault(-self._num_vars, [])
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause: list[int] = []
+        seen: set[int] = set()
+        for literal in literals:
+            if literal == 0:
+                raise SolverError("literal 0 is not allowed")
+            if abs(literal) > self._num_vars:
+                self.ensure_vars(abs(literal))
+            if -literal in seen:
+                return  # tautology
+            if literal not in seen:
+                seen.add(literal)
+                clause.append(literal)
+        if not clause:
+            self._empty_clause = True
+            return
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        for literal in clause:
+            self._occurrences[literal].append(index)
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> Result:
+        started = perf_counter()
+        result = self._search(assumptions, max_conflicts)
+        self.statistics.record(result, perf_counter() - started)
+        return result
+
+    # -- search ------------------------------------------------------------------
+
+    def _search(
+        self, assumptions: Sequence[int], max_conflicts: Optional[int]
+    ) -> Result:
+        if self._empty_clause:
+            return Result(Status.UNSAT)
+        assignment = [_UNASSIGNED] * (self._num_vars + 1)
+        trail: list[int] = []
+        # Each frame: (trail length at decision, decision literal, flipped?).
+        decisions: list[tuple[int, int, bool]] = []
+        conflicts = 0
+        propagations = 0
+        decision_count = 0
+
+        def value(literal: int) -> int:
+            v = assignment[abs(literal)]
+            return v if literal > 0 else -v if v != _UNASSIGNED else _UNASSIGNED
+
+        def assign(literal: int) -> bool:
+            """Assign and propagate; False on conflict."""
+            nonlocal propagations
+            queue = [literal]
+            while queue:
+                current = queue.pop()
+                v = value(current)
+                if v == _TRUE:
+                    continue
+                if v == _FALSE:
+                    return False
+                assignment[abs(current)] = _TRUE if current > 0 else _FALSE
+                trail.append(current)
+                propagations += 1
+                # Clauses containing the falsified polarity may become unit.
+                for index in self._occurrences[-current]:
+                    unassigned = None
+                    for other in self._clauses[index]:
+                        v = value(other)
+                        if v == _TRUE:
+                            break  # clause satisfied
+                        if v == _UNASSIGNED:
+                            if unassigned is not None:
+                                unassigned = None  # two free literals: not unit
+                                break
+                            unassigned = other
+                    else:
+                        if unassigned is None:
+                            return False  # every literal false: conflict
+                        queue.append(unassigned)
+            return True
+
+        def undo_to(length: int) -> None:
+            while len(trail) > length:
+                assignment[abs(trail.pop())] = _UNASSIGNED
+
+        for literal in assumptions:
+            if not assign(literal):
+                return Result(
+                    Status.UNSAT,
+                    conflicts=conflicts,
+                    decisions=decision_count,
+                    propagations=propagations,
+                )
+        assumption_mark = len(trail)
+
+        while True:
+            branch = next(
+                (v for v in range(1, self._num_vars + 1) if assignment[v] == _UNASSIGNED),
+                None,
+            )
+            if branch is None:
+                model = {
+                    v: assignment[v] == _TRUE for v in range(1, self._num_vars + 1)
+                }
+                return Result(
+                    Status.SAT,
+                    model=model,
+                    conflicts=conflicts,
+                    decisions=decision_count,
+                    propagations=propagations,
+                )
+            decision_count += 1
+            # Negative polarity first, matching the CDCL default: CP queries
+            # are mostly UNSAT, and all-false is a common easy model.
+            decisions.append((len(trail), -branch, False))
+            literal = -branch
+            while not assign(literal):
+                conflicts += 1
+                if max_conflicts is not None and conflicts > max_conflicts:
+                    undo_to(assumption_mark)
+                    return Result(
+                        Status.UNKNOWN,
+                        conflicts=conflicts,
+                        decisions=decision_count,
+                        propagations=propagations,
+                    )
+                # Chronological backtracking: flip the deepest unflipped decision.
+                while decisions and decisions[-1][2]:
+                    mark, _, _ = decisions.pop()
+                    undo_to(mark)
+                if not decisions:
+                    return Result(
+                        Status.UNSAT,
+                        conflicts=conflicts,
+                        decisions=decision_count,
+                        propagations=propagations,
+                    )
+                mark, tried, _ = decisions.pop()
+                undo_to(mark)
+                decisions.append((mark, -tried, True))
+                literal = -tried
+
+
+class PortfolioBackend(SolverBackend):
+    """Races the concrete backends per query under escalating budgets.
+
+    Both sub-backends hold the full formula.  A query runs each backend in
+    turn under a slice of the conflict budget — DPLL first on small formulas
+    (cheap, no learning overhead), CDCL first on everything else — doubling
+    the slice each round until some backend answers definitively or the
+    total budget is exhausted.  The winner's ``wins`` counter records which
+    backend actually settled each query; campaign reports aggregate these to
+    show the per-query selection working.
+    """
+
+    name = "portfolio"
+
+    #: Formulas with at most this many clauses try DPLL first.
+    small_formula_clauses = 64
+    #: First-round conflict budget per backend.
+    initial_slice = 32
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cdcl = CdclBackend()
+        self._dpll = DpllBackend()
+        self._clause_count = 0
+
+    def ensure_vars(self, count: int) -> None:
+        self._cdcl.ensure_vars(count)
+        self._dpll.ensure_vars(count)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = list(literals)
+        self._cdcl.add_clause(clause)
+        self._dpll.add_clause(clause)
+        self._clause_count += 1
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> Result:
+        started = perf_counter()
+        if self._clause_count <= self.small_formula_clauses:
+            order: tuple[SolverBackend, ...] = (self._dpll, self._cdcl)
+        else:
+            order = (self._cdcl, self._dpll)
+
+        budget = max_conflicts
+        spent = {id(backend): 0 for backend in order}
+        slice_size = self.initial_slice
+        last: Result = Result(Status.UNKNOWN)
+        while True:
+            exhausted = True
+            for backend in order:
+                if budget is not None:
+                    remaining = budget - spent[id(backend)]
+                    if remaining <= 0:
+                        continue
+                    this_slice = min(slice_size, remaining)
+                else:
+                    this_slice = slice_size
+                result = backend.solve(assumptions=assumptions, max_conflicts=this_slice)
+                spent[id(backend)] += result.conflicts
+                last = result
+                if result.status is not Status.UNKNOWN:
+                    backend.statistics.wins += 1
+                    self.statistics.record(result, perf_counter() - started)
+                    return result
+                exhausted = exhausted and (
+                    budget is not None and budget - spent[id(backend)] <= 0
+                )
+            if exhausted:
+                self.statistics.record(last, perf_counter() - started)
+                return Result(
+                    Status.UNKNOWN,
+                    conflicts=sum(spent.values()),
+                    decisions=last.decisions,
+                    propagations=last.propagations,
+                )
+            slice_size *= 2
+
+    def statistics_by_name(self) -> dict[str, BackendStatistics]:
+        return {
+            self.name: self.statistics,
+            self._cdcl.name: self._cdcl.statistics,
+            self._dpll.name: self._dpll.statistics,
+        }
+
+
+#: Backend registry, keyed by the public names ``EquivalenceOptions.backend``
+#: and the CLI ``--backend`` flag accept.
+BACKENDS: dict[str, type[SolverBackend]] = {
+    backend.name: backend for backend in (CdclBackend, DpllBackend, PortfolioBackend)
+}
+
+
+def make_backend(name: str) -> SolverBackend:
+    """Instantiate a backend by registry name."""
+    try:
+        return BACKENDS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown solver backend {name!r}; expected one of {sorted(BACKENDS)}"
+        ) from None
+
+
+def diff_snapshots(before: dict[str, dict], after: dict[str, dict]) -> dict[str, dict]:
+    """Per-backend counter deltas between two ``backend_snapshot`` dicts.
+
+    Used to attribute a shared checker's lifetime counters to one transfer
+    (:class:`~repro.core.pipeline.TransferMetrics`).  Backends with no
+    activity in the window are dropped so records stay compact.
+    """
+    deltas: dict[str, dict] = {}
+    for name, counters in after.items():
+        base = before.get(name, {})
+        delta = {
+            key: round(value - base.get(key, 0), 6)
+            for key, value in counters.items()
+        }
+        if any(delta.values()):
+            deltas[name] = delta
+    return deltas
+
+
+def merge_snapshots(total: dict[str, dict], extra: dict[str, dict]) -> None:
+    """Fold one snapshot/delta dict into an aggregate (campaign reporting)."""
+    for name, counters in extra.items():
+        bucket = total.setdefault(name, {})
+        for key, value in counters.items():
+            bucket[key] = round(bucket.get(key, 0) + value, 6)

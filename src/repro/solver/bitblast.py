@@ -79,6 +79,41 @@ class BitBlaster:
         #: Distinct nodes actually translated (cache misses); benchmarks
         #: compare this against the tree size to show shared-subtree wins.
         self.nodes_visited = 0
+        # Journals for snapshot/rollback (None when no episode is open).
+        self._journal_nodes: "list[Expr] | None" = None
+        self._journal_fields: "list[str] | None" = None
+
+    # -- snapshot / rollback ----------------------------------------------------
+
+    def snapshot(self) -> tuple[int, int]:
+        """Open a rollbackable episode; new cache/field entries are journaled.
+
+        A long-lived blaster shared across queries (the incremental
+        validation engine) must not keep the half-translated state of a
+        blast that failed partway — orphan gate clauses would be fed to the
+        solver as dead weight, and partially registered field widths would
+        force unrelated later queries into width clashes.
+        """
+        self._journal_nodes = []
+        self._journal_fields = []
+        return (len(self.cnf.clauses), self.cnf.num_vars)
+
+    def commit(self) -> None:
+        """Close the episode, keeping everything it added."""
+        self._journal_nodes = None
+        self._journal_fields = None
+
+    def rollback(self, mark: tuple[int, int]) -> None:
+        """Discard everything added since the matching :meth:`snapshot`."""
+        clause_count, num_vars = mark
+        del self.cnf.clauses[clause_count:]
+        self.cnf.num_vars = num_vars
+        for node in self._journal_nodes or ():
+            self._cache.pop(node, None)
+        for path in self._journal_fields or ():
+            self._field_bits.pop(path, None)
+            self._field_widths.pop(path, None)
+        self.commit()
 
     # -- field variables -----------------------------------------------------
 
@@ -93,6 +128,8 @@ class BitBlaster:
         bits = [self.cnf.new_var() for _ in range(width)]
         self._field_bits[path] = bits
         self._field_widths[path] = width
+        if self._journal_fields is not None:
+            self._journal_fields.append(path)
         return bits
 
     def field_assignment(self, model: Mapping[int, bool]) -> dict[str, int]:
@@ -281,6 +318,8 @@ class BitBlaster:
                 f"internal error: blasted width {len(bits)} != expression width {expr.width}"
             )
         self._cache[expr] = bits
+        if self._journal_nodes is not None:
+            self._journal_nodes.append(expr)
         return bits
 
     def _blast(self, expr: Expr) -> list[Bit]:

@@ -1,0 +1,236 @@
+"""The validation engine: batched, incremental SAT-backed decisions.
+
+Every blasted query the equivalence checker issues — equivalence differences
+(``E != E'``), overflow conditions, insertion-point constraints — flows
+through one :class:`ValidationEngine` per checker (and therefore one per
+``RepairSession``).  The engine owns three things:
+
+* **one backend instance** (:mod:`repro.solver.backends`), selected by
+  ``EquivalenceOptions.backend``, used *incrementally*: its clause set only
+  ever grows, learned clauses persist, and each query is scoped by an
+  assumption literal instead of a permanent unit clause;
+* **one shared bit-blaster**: expressions are hash-consed, so a subtree
+  shared between queries (the same donor check rewritten against many
+  insertion points, the same size expression re-validated per candidate) is
+  translated to gates exactly once for the engine's whole lifetime — every
+  later query reuses the same CNF variables;
+* **one query batch** (:class:`QueryBatch`): outcomes are memoised by the
+  condition's structural digest, so a structurally identical query issued by
+  a different candidate, donor, or pipeline stage is answered without
+  touching the solver at all.  The dedupe rate feeds ``SolverStatistics``
+  and the per-backend benchmark JSON.
+
+Queries over a field used at conflicting widths cannot share the blaster's
+field variables; such queries transparently fall back to a one-shot blaster
+and a fresh backend instance (statistics still accrue to the same counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..symbolic.expr import Expr, InputField
+from .backends import BackendStatistics, SolverBackend, make_backend
+from .bitblast import BitBlaster, BlastError
+from .sat import Status
+
+
+@dataclass
+class SatOutcome:
+    """The engine's answer to one blasted satisfiability query."""
+
+    status: Status
+    witness: Optional[dict[str, int]] = None
+    conflicts: int = 0
+    backend: str = ""
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is Status.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is Status.UNSAT
+
+
+class QueryBatch:
+    """Digest-keyed memo of query outcomes, with dedupe accounting.
+
+    Entries are namespaced by ``kind`` so the CNF-level outcomes
+    (:class:`SatOutcome`) and the checker-level satisfiability verdicts
+    share one dedupe surface without colliding.  Expressions are interned
+    and their digests content-derived, so a hit means the *query* — not just
+    the object — is structurally identical.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str], object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, kind: str, digest: str):
+        entry = self._entries.get((kind, digest))
+        if entry is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return entry
+
+    def put(self, kind: str, digest: str, outcome) -> None:
+        self._entries[(kind, digest)] = outcome
+
+    @property
+    def dedupe_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ValidationEngine:
+    """Decides width-1 conditions with one incremental, shared backend."""
+
+    def __init__(
+        self,
+        backend: str = "cdcl",
+        conflict_limit: int = 5000,
+        use_batch: bool = True,
+    ) -> None:
+        self.backend_name = backend
+        self.conflict_limit = conflict_limit
+        self.use_batch = use_batch
+        self.backend: SolverBackend = make_backend(backend)
+        self.batch = QueryBatch()
+        self._blaster = BitBlaster()
+        self._fed_clauses = 0
+        #: Accumulated counters from one-shot fallback solves (each such
+        #: query gets a private backend: its blaster numbers variables from
+        #: 1, which cannot coexist with the shared solver's clause set).
+        self._one_shot_stats: dict[str, BackendStatistics] = {}
+
+    # -- public API --------------------------------------------------------------
+
+    def check_sat(self, condition: Expr, conflict_limit: Optional[int] = None) -> SatOutcome:
+        """Decide whether the width-1 ``condition`` has a satisfying assignment.
+
+        Definitive outcomes are memoised by the condition's digest (unless
+        the engine was built with ``use_batch=False``, the query-cache
+        ablation knob); a repeated query (across candidates, donors, or
+        recursive rounds) then costs one dict probe.  ``Status.UNKNOWN``
+        means the conflict budget ran out — the caller falls back to its
+        cheaper, approximate strategies.  UNKNOWN outcomes are *not*
+        cached: a later ask may pass a larger budget or profit from clauses
+        learned since, so budget exhaustion must stay retryable.
+
+        Raises :class:`BlastError` only for genuinely un-blastable
+        expressions; width clashes against earlier queries are handled by an
+        internal one-shot fallback.
+        """
+        if self.use_batch:
+            cached = self.batch.get("cnf", condition.digest)
+            if cached is not None:
+                return cached
+        outcome = self._solve(condition, conflict_limit or self.conflict_limit)
+        if self.use_batch and outcome.status is not Status.UNKNOWN:
+            self.batch.put("cnf", condition.digest, outcome)
+        return outcome
+
+    def statistics_by_name(self) -> dict[str, BackendStatistics]:
+        """Lifetime statistics for the backend (and portfolio sub-backends)."""
+        merged = dict(self.backend.statistics_by_name())
+        for name, stats in self._one_shot_stats.items():
+            if name in merged:
+                combined = BackendStatistics()
+                combined.merge(merged[name])
+                combined.merge(stats)
+                merged[name] = combined
+            else:
+                merged[name] = stats
+        return merged
+
+    def backend_snapshot(self) -> dict[str, dict]:
+        """JSON-friendly snapshot of every backend's counters."""
+        return {
+            name: stats.as_dict()
+            for name, stats in self.statistics_by_name().items()
+        }
+
+    # -- solving -----------------------------------------------------------------
+
+    def _solve(self, condition: Expr, conflict_limit: int) -> SatOutcome:
+        # Blast inside a rollbackable episode: a failed blast (width clash,
+        # unsupported shape) must not leave half-translated gates or field
+        # registrations behind in the shared blaster.
+        mark = self._blaster.snapshot()
+        try:
+            bit = self._blaster.blast(condition)[0]
+        except BlastError:
+            self._blaster.rollback(mark)
+            return self._solve_one_shot(condition, conflict_limit)
+        self._blaster.commit()
+
+        if isinstance(bit, bool):
+            return self._constant_outcome(bit, condition)
+
+        # Feed the clauses this query added, then ask under an assumption —
+        # never a unit clause, so the condition does not constrain later
+        # queries sharing the solver.
+        self.backend.ensure_vars(self._blaster.cnf.num_vars)
+        clauses = self._blaster.cnf.clauses
+        for index in range(self._fed_clauses, len(clauses)):
+            self.backend.add_clause(clauses[index])
+        self._fed_clauses = len(clauses)
+
+        result = self.backend.solve(assumptions=[bit], max_conflicts=conflict_limit)
+        return self._outcome(result, condition, self._blaster)
+
+    def _solve_one_shot(self, condition: Expr, conflict_limit: int) -> SatOutcome:
+        """Fresh blaster + backend for a query the shared blaster rejects."""
+        blaster = BitBlaster()
+        bit = blaster.blast(condition)[0]  # a BlastError here is genuine
+        if isinstance(bit, bool):
+            return self._constant_outcome(bit, condition)
+        blaster.assert_bit(bit, True)
+        backend = make_backend(self.backend_name)
+        backend.ensure_vars(blaster.cnf.num_vars)
+        for clause in blaster.cnf.clauses:
+            backend.add_clause(clause)
+        result = backend.solve(max_conflicts=conflict_limit)
+        for name, stats in backend.statistics_by_name().items():
+            self._one_shot_stats.setdefault(name, BackendStatistics()).merge(stats)
+        return self._outcome(result, condition, blaster)
+
+    def _constant_outcome(self, bit: bool, condition: Expr) -> SatOutcome:
+        """Outcome for a condition the blaster folded to a constant."""
+        if not bit:
+            return SatOutcome(Status.UNSAT, backend=self.backend.name)
+        # Constant-true condition: any assignment works.
+        return SatOutcome(
+            Status.SAT,
+            witness={path: 0 for path in _field_paths(condition)},
+            backend=self.backend.name,
+        )
+
+    def _outcome(self, result, condition: Expr, blaster: BitBlaster) -> SatOutcome:
+        if result.status is Status.SAT:
+            full = blaster.field_assignment(result.model)
+            paths = _field_paths(condition)
+            return SatOutcome(
+                Status.SAT,
+                witness={path: full.get(path, 0) for path in paths},
+                conflicts=result.conflicts,
+                backend=self.backend.name,
+            )
+        return SatOutcome(
+            result.status, conflicts=result.conflicts, backend=self.backend.name
+        )
+
+
+def _field_paths(expr: Expr) -> list[str]:
+    """The input-field paths ``expr`` depends on (sorted for determinism)."""
+    paths = {
+        node.path for node in expr.walk_unique() if isinstance(node, InputField)
+    }
+    return sorted(paths)

@@ -37,8 +37,8 @@ from ..symbolic import builder
 from ..symbolic.evaluate import evaluate
 from ..symbolic.expr import Binary, Expr, InputField, Kind, Unary
 from ..symbolic.simplify import SimplifyOptions, simplify
-from .bitblast import BitBlaster, BlastError, estimate_blast_cost
-from .sat import Solver, Status
+from .bitblast import BlastError, estimate_blast_cost
+from .engine import ValidationEngine
 
 
 class Verdict(enum.Enum):
@@ -139,12 +139,23 @@ class EquivalenceOptions:
     use_disjoint_field_filter: bool = True
     sample_count: int = 48
     exhaustive_bit_limit: int = 16
-    #: Queries whose estimated circuit exceeds this are answered by sampling;
-    #: wide multiplier-equivalence instances are SAT-hostile, so the budget is
-    #: deliberately below the cost of a 32x32 multiplication.
+    #: Equivalence queries whose estimated circuit exceeds this are answered
+    #: by sampling; wide multiplier-*equivalence* instances (a miter over two
+    #: different circuits) are SAT-hostile, so the budget is deliberately
+    #: below the cost of a 32x32 multiplication.
     sat_cost_budget: int = 2000
+    #: Truth (satisfiability) queries get a far larger circuit budget: a
+    #: single condition propagates instead of fighting a miter, so the SAT
+    #: path beats exhaustive enumeration by orders of magnitude even on
+    #: widened-multiplication overflow conditions.
+    sat_truth_cost_budget: int = 20000
     sat_conflict_limit: int = 5000
     random_seed: int = 0x0C0DE
+    #: Which solver backend decides blasted queries: "cdcl" (incremental,
+    #: clause-learning — the default), "dpll" (the chronological reference
+    #: solver), or "portfolio" (races both per query).  See
+    #: :mod:`repro.solver.backends` and ``docs/SOLVER.md``.
+    backend: str = "cdcl"
     #: When set, equivalence verdicts are shared across checkers *and*
     #: processes through an append-only JSONL cache at this path (the §3.3
     #: query-cache optimisation at campaign scale; see
@@ -165,8 +176,10 @@ _CHEAP_METHODS = frozenset({"syntactic", "disjoint-fields", "width-mismatch"})
 #: against new semantics.
 #:
 #: Version history: 1 = repr-derived keys and repr-seeded sampling;
-#: 2 = interned-node digest keys and digest-seeded sampling (PR 2).
-CACHE_SCHEMA_VERSION = 2
+#: 2 = interned-node digest keys and digest-seeded sampling (PR 2);
+#: 3 = backend-aware namespaces, persisted satisfiability verdicts, and the
+#: SAT-before-exhaustive truth path (PR 4).
+CACHE_SCHEMA_VERSION = 3
 
 
 class EquivalenceChecker:
@@ -181,6 +194,15 @@ class EquivalenceChecker:
         self.simplify_options = simplify_options
         self.cache = QueryCache()
         self.statistics = SolverStatistics()
+        #: Every blasted query runs through one incremental engine: one
+        #: backend instance (learned clauses persist across queries), one
+        #: shared bit-blaster, one digest-keyed query batch.
+        self.engine = ValidationEngine(
+            backend=options.backend,
+            conflict_limit=options.sat_conflict_limit,
+            use_batch=options.use_cache,
+        )
+        self.query_batch = self.engine.batch
         self.persistent_cache = None
         if options.persistent_cache_path:
             # Imported lazily: the campaign package depends on the solver.
@@ -191,7 +213,13 @@ class EquivalenceChecker:
             # Verdicts are only valid under the options that produced them
             # (sampling depth, SAT budgets, ...), so checkers with different
             # options must not share entries even when they share the file.
-            self._cache_namespace = ":".join(
+            # Two namespaces: *proved* verdicts are backend-independent (any
+            # correct backend returns the same SAT/UNSAT answer), so they
+            # live in the neutral namespace and are shared across backends;
+            # budget-limited verdicts ("sat-timeout", unproven
+            # satisfiability) can legitimately differ per backend and are
+            # quarantined in a backend-qualified namespace.
+            self._ns_neutral = ":".join(
                 str(value)
                 for value in (
                     CACHE_SCHEMA_VERSION,
@@ -199,10 +227,12 @@ class EquivalenceChecker:
                     options.sample_count,
                     options.exhaustive_bit_limit,
                     options.sat_cost_budget,
+                    options.sat_truth_cost_budget,
                     options.sat_conflict_limit,
                     options.random_seed,
                 )
             )
+            self._ns_backend = self._ns_neutral + ":" + options.backend
 
     # -- public API ------------------------------------------------------------
 
@@ -218,14 +248,14 @@ class EquivalenceChecker:
                 self.statistics.cache_hits += 1
                 return cached
 
-        persistent_key = None
+        pair_key = None
         if self.persistent_cache is not None:
-            persistent_key = (
-                self._cache_namespace
-                + "##"
-                + self._query_key(left_simplified, right_simplified)
-            )
-            payload = self.persistent_cache.get(persistent_key)
+            pair_key = self._query_key(left_simplified, right_simplified)
+            # Proved verdicts live in the backend-neutral namespace (shared
+            # across backends); budget-limited ones are backend-qualified.
+            payload = self.persistent_cache.get(self._ns_neutral + "##" + pair_key)
+            if payload is None:
+                payload = self.persistent_cache.get(self._ns_backend + "##" + pair_key)
             if payload is not None:
                 self.statistics.persistent_cache_hits += 1
                 result = _result_from_payload(payload)
@@ -235,10 +265,15 @@ class EquivalenceChecker:
 
         result = self._decide(left_simplified, right_simplified)
 
-        if persistent_key is not None and result.method not in _CHEAP_METHODS:
+        if pair_key is not None and result.method not in _CHEAP_METHODS:
             # Trivially recomputable verdicts are not worth a locked append
-            # and a cache line carrying both expression reprs.
-            self.persistent_cache.put(persistent_key, _result_to_payload(result))
+            # and a cache line carrying both expression digests.
+            namespace = (
+                self._ns_backend if result.method == "sat-timeout" else self._ns_neutral
+            )
+            self.persistent_cache.put(
+                namespace + "##" + pair_key, _result_to_payload(result)
+            )
         if self.options.use_cache:
             self.cache.put(left_simplified, right_simplified, result)
         return result
@@ -246,31 +281,103 @@ class EquivalenceChecker:
     def satisfiable(self, condition: Expr) -> tuple[bool, Optional[dict[str, int]]]:
         """Decide whether a width-1 condition has a satisfying field assignment.
 
-        Used by the overflow-specific validation step (:mod:`repro.solver.overflow`).
-        Returns ``(satisfiable, witness_or_None)``; when the formula is too
-        large for SAT the answer is based on sampling (a found witness is
-        always genuine; absence of a witness is then only probabilistic).
+        Used by the overflow-specific validation step
+        (:mod:`repro.solver.overflow`) and the DIODE rescan.  Returns
+        ``(satisfiable, witness_or_None)``; when the formula is too large for
+        SAT the answer is based on sampling and (for small domains)
+        exhaustive enumeration (a found witness is always genuine; absence
+        of a witness is then only probabilistic).
+
+        *Proved* verdicts are memoised in the session's :class:`QueryBatch`
+        (keyed by the simplified condition's digest) and, when configured,
+        the persistent cross-process cache — the per-candidate validation
+        loop re-asks the same overflow condition for every candidate patch,
+        and only the first ask pays.  Unproven verdicts (every decision
+        procedure exhausted its budget) are deliberately *not* cached: a
+        later ask may profit from clauses the solver has learned since, so
+        budget exhaustion stays retryable — matching
+        :meth:`ValidationEngine.check_sat`'s treatment of UNKNOWN.
         """
         self.statistics.satisfiability_queries += 1
         condition = simplify(condition, self.simplify_options)
+
+        if self.options.use_cache:
+            cached = self.query_batch.get("satisfiable", condition.digest)
+            if cached is not None:
+                return cached
+
+        persistent_key = None
+        if self.persistent_cache is not None:
+            # Only proved verdicts are stored, and proved verdicts are
+            # backend-independent, so one neutral-namespace key suffices.
+            persistent_key = self._ns_neutral + "##sat##" + condition.digest
+            payload = self.persistent_cache.get(persistent_key)
+            if payload is not None:
+                self.statistics.persistent_cache_hits += 1
+                witness = payload.get("witness")
+                answer = (
+                    bool(payload.get("satisfiable")),
+                    dict(witness) if witness is not None else None,
+                )
+                self._remember_satisfiable(condition, answer, persist=None)
+                return answer
+
+        answer, proved = self._decide_satisfiable(condition)
+        if proved:
+            self._remember_satisfiable(condition, answer, persist=persistent_key)
+        return answer
+
+    def _decide_satisfiable(
+        self, condition: Expr
+    ) -> tuple[tuple[bool, Optional[dict[str, int]]], bool]:
+        """The satisfiability decision ladder; returns (answer, proved)."""
         fields = _field_widths(condition)
 
         # Sampling first: cheap and yields real witnesses.
         witness = self._sample_for_truth(condition, fields, self._query_random(condition))
         if witness is not None:
-            return True, witness
+            return (True, witness), True
+
+        # SAT next: a single condition propagates well (unlike an
+        # equivalence miter), so the backend routinely beats exhaustive
+        # enumeration by orders of magnitude — hence the larger budget.
+        if estimate_blast_cost(condition) <= self.options.sat_truth_cost_budget:
+            try:
+                self.statistics.sat_queries += 1
+                outcome = self.engine.check_sat(condition)
+                if outcome.is_unsat:
+                    return (False, None), True
+                if outcome.is_sat and outcome.witness is not None:
+                    # Trust but verify: the witness must reproduce concretely.
+                    if evaluate(condition, outcome.witness):
+                        return (True, dict(outcome.witness)), True
+                # UNKNOWN (conflict budget) or an unconfirmed witness: fall
+                # through to the enumeration/sampling verdicts.
+            except BlastError:
+                pass
 
         total_bits = sum(fields.values())
         if total_bits <= self.options.exhaustive_bit_limit:
+            self.statistics.exhaustive_queries += 1
             found = self._exhaustive_for_truth(condition, fields)
-            return (found is not None), found
+            return ((found is not None), found), True
 
-        if estimate_blast_cost(condition) <= self.options.sat_cost_budget:
-            try:
-                return self._sat_for_truth(condition)
-            except BlastError:
-                pass
-        return False, None
+        self.statistics.sampling_fallbacks += 1
+        return (False, None), False
+
+    def _remember_satisfiable(
+        self,
+        condition: Expr,
+        answer: tuple[bool, Optional[dict[str, int]]],
+        persist: Optional[str],
+    ) -> None:
+        """Record a proved satisfiability verdict in the caches."""
+        if self.options.use_cache:
+            self.query_batch.put("satisfiable", condition.digest, answer)
+        if persist is not None:
+            self.persistent_cache.put(
+                persist, {"satisfiable": answer[0], "witness": answer[1]}
+            )
 
     # -- decision strategies ------------------------------------------------------
 
@@ -398,23 +505,21 @@ class EquivalenceChecker:
     # -- SAT-backed decisions -----------------------------------------------------------
 
     def _sat_equivalence(self, left: Expr, right: Expr) -> EquivalenceResult:
-        self.statistics.sat_queries += 1
-        blaster = BitBlaster()
-        difference = builder.ne(left, right)
-        bit = blaster.blast(difference)[0]
-        blaster.assert_bit(bit, True)
+        """Decide ``left == right`` by asking the engine whether they differ.
 
-        solver = Solver()
-        solver.ensure_vars(blaster.cnf.num_vars)
-        for clause in blaster.cnf.clauses:
-            solver.add_clause(clause)
-        result = solver.solve(max_conflicts=self.options.sat_conflict_limit)
-        if result.status is Status.UNSAT:
+        The difference condition is blasted into the session's shared solver
+        and decided under an assumption literal, so learned clauses and the
+        gates of shared subtrees carry over to every later query.
+        """
+        self.statistics.sat_queries += 1
+        difference = builder.ne(left, right)
+        outcome = self.engine.check_sat(difference)  # BlastError handled by caller
+        if outcome.is_unsat:
             return EquivalenceResult(
-                Verdict.EQUIVALENT, method="sat", sat_conflicts=result.conflicts
+                Verdict.EQUIVALENT, method="sat", sat_conflicts=outcome.conflicts
             )
-        if result.status is Status.SAT:
-            witness = blaster.field_assignment(result.model)
+        if outcome.is_sat and outcome.witness is not None:
+            witness = dict(outcome.witness)
             # The SAT model may use bit patterns outside the sampled space;
             # double-check with the evaluator to produce a trustworthy witness.
             if evaluate(left, witness) != evaluate(right, witness):
@@ -422,28 +527,16 @@ class EquivalenceChecker:
                     Verdict.NOT_EQUIVALENT,
                     method="sat",
                     witness=witness,
-                    sat_conflicts=result.conflicts,
+                    sat_conflicts=outcome.conflicts,
                 )
         self.statistics.sampling_fallbacks += 1
         return EquivalenceResult(Verdict.PROBABLY_EQUIVALENT, method="sat-timeout")
 
-    def _sat_for_truth(self, condition: Expr) -> tuple[bool, Optional[dict[str, int]]]:
-        blaster = BitBlaster()
-        bit = blaster.blast(condition)[0]
-        blaster.assert_bit(bit, True)
-        solver = Solver()
-        solver.ensure_vars(blaster.cnf.num_vars)
-        for clause in blaster.cnf.clauses:
-            solver.add_clause(clause)
-        result = solver.solve(max_conflicts=self.options.sat_conflict_limit)
-        if result.status is Status.SAT:
-            witness = blaster.field_assignment(result.model)
-            if evaluate(condition, witness):
-                return True, witness
-            return True, None
-        if result.status is Status.UNSAT:
-            return False, None
-        return False, None
+    # -- statistics plumbing ------------------------------------------------------------
+
+    def backend_statistics(self) -> dict[str, dict]:
+        """Per-backend counters (queries, verdicts, conflicts, learned, time)."""
+        return self.engine.backend_snapshot()
 
 
 def _result_to_payload(result: EquivalenceResult) -> dict:

@@ -13,6 +13,12 @@ preprocessing.  It is not a competition solver, but it comfortably handles the
 equivalence queries the CP rewrite algorithm produces for checks over a few
 8/16/32-bit input fields.
 
+The solver is *incremental*: clauses may be added between :meth:`Solver.solve`
+calls, learned clauses and level-0 assignments persist across calls, and
+assumption literals scope a query to one candidate without constraining the
+next.  The backend layer (:mod:`repro.solver.backends`) builds on exactly this
+contract; see ``docs/SOLVER.md`` for the semantics.
+
 Literal encoding: variables are positive integers ``1..n``; a literal is
 ``+v`` or ``-v`` (DIMACS convention).  :meth:`Solver.solve` returns a
 :class:`Result` whose ``model`` maps each variable to a boolean when
@@ -22,6 +28,7 @@ satisfiable.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -75,10 +82,17 @@ class Solver:
         self._activity: list[float] = [0.0]
         self._activity_inc = 1.0
         self._activity_decay = 0.95
+        #: Lazy max-heap of ``(-activity, var)`` branching candidates.  The
+        #: engine keeps one solver for a whole session, so branching must
+        #: not scan every variable ever allocated; stale entries (assigned
+        #: vars, outdated activities) are dropped as they surface.
+        self._heap: list[tuple[float, int]] = []
         self._propagation_head = 0
+        self._root_conflict = False
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.learned_clauses = 0
 
     # -- problem construction ------------------------------------------------
 
@@ -90,6 +104,7 @@ class Solver:
         self._level.append(0)
         self._reason.append(None)
         self._activity.append(0.0)
+        heapq.heappush(self._heap, (-0.0, var))
         self._watches.setdefault(var, [])
         self._watches.setdefault(-var, [])
         return var
@@ -122,23 +137,44 @@ class Solver:
                 seen.add(literal)
                 clause.append(literal)
         if not clause:
-            # Empty clause: the formula is trivially unsatisfiable.  Encode it
-            # as two contradictory unit clauses over a fresh variable.
-            var = self.new_var()
-            self._attach([var])
-            self._attach([-var])
+            # Empty clause: the formula is trivially unsatisfiable.
+            self._root_conflict = True
             return
         self._attach(clause)
 
     def _attach(self, clause: list[int]) -> None:
+        """Attach a clause, keeping the watch invariant under level-0 facts.
+
+        Clauses may arrive between incremental :meth:`solve` calls, after
+        earlier queries have fixed variables at level 0.  A watched literal
+        that is already falsified would never be revisited by propagation, so
+        non-falsified literals are moved into the watch slots; a clause left
+        with one supported literal is asserted immediately, and one with none
+        marks the formula unsatisfiable at the root.
+        """
         index = len(self._clauses)
         self._clauses.append(clause)
         if len(clause) == 1:
-            literal = clause[0]
-            self._watches[literal].append(index)
-        else:
             self._watches[clause[0]].append(index)
-            self._watches[clause[1]].append(index)
+            value = self._value(clause[0])
+            if value == _FALSE:
+                self._root_conflict = True
+            elif value == _UNASSIGNED:
+                self._assign(clause[0], index)
+            return
+        slot = 0
+        for position, literal in enumerate(clause):
+            if self._value(literal) != _FALSE:
+                clause[slot], clause[position] = clause[position], clause[slot]
+                slot += 1
+                if slot == 2:
+                    break
+        self._watches[clause[0]].append(index)
+        self._watches[clause[1]].append(index)
+        if slot == 0:
+            self._root_conflict = True
+        elif slot == 1 and self._value(clause[0]) == _UNASSIGNED:
+            self._assign(clause[0], index)
 
     # -- assignment helpers --------------------------------------------------
 
@@ -161,6 +197,7 @@ class Solver:
             var = abs(literal)
             self._assignment[var] = _UNASSIGNED
             self._reason[var] = None
+            heapq.heappush(self._heap, (-self._activity[var], var))
         del self._trail[target:]
         del self._trail_lim[level:]
         self._propagation_head = min(self._propagation_head, len(self._trail))
@@ -231,6 +268,17 @@ class Solver:
             for index in range(1, len(self._activity)):
                 self._activity[index] *= 1e-100
             self._activity_inc *= 1e-100
+            # Every heap entry's activity is now stale; rebuild from the
+            # unassigned variables (assigned ones re-enter on unassignment).
+            self._heap = [
+                (-self._activity[v], v)
+                for v in range(1, self._num_vars + 1)
+                if self._assignment[v] == _UNASSIGNED
+            ]
+            heapq.heapify(self._heap)
+            return
+        if self._assignment[var] == _UNASSIGNED:
+            heapq.heappush(self._heap, (-self._activity[var], var))
 
     def _analyse(self, conflict_index: int) -> tuple[list[int], int]:
         """First-UIP conflict analysis; returns (learned clause, backjump level)."""
@@ -286,13 +334,23 @@ class Solver:
     # -- decision heuristic ----------------------------------------------------
 
     def _pick_branch_variable(self) -> Optional[int]:
-        best_var = None
-        best_activity = -1.0
-        for var in range(1, self._num_vars + 1):
-            if self._assignment[var] == _UNASSIGNED and self._activity[var] > best_activity:
-                best_var = var
-                best_activity = self._activity[var]
-        return best_var
+        """Highest-activity unassigned variable, via the lazy heap.
+
+        Entries for assigned variables and outdated activities are dropped
+        on discovery; every unassigned variable always has one entry
+        carrying its current activity (pushed at allocation, on bump, and
+        on unassignment), so an empty heap means a full assignment.
+        """
+        while self._heap:
+            negated_activity, var = self._heap[0]
+            if (
+                self._assignment[var] != _UNASSIGNED
+                or -negated_activity != self._activity[var]
+            ):
+                heapq.heappop(self._heap)
+                continue
+            return var
+        return None
 
     # -- main loop ---------------------------------------------------------------
 
@@ -310,9 +368,15 @@ class Solver:
         self.decisions = 0
         self.propagations = 0
 
-        # Top-level propagation of unit clauses.
+        if self._root_conflict:
+            return Result(Status.UNSAT)
+
+        # Top-level propagation of unit clauses.  A conflict here is at level
+        # 0, so the formula itself (not just this query) is unsatisfiable —
+        # remembered so later incremental calls need not rediscover it.
         conflict = self._propagate()
         if conflict is not None:
+            self._root_conflict = True
             return Result(Status.UNSAT, conflicts=self.conflicts)
 
         # Apply assumptions as decisions at successive levels.
@@ -340,6 +404,8 @@ class Solver:
                 self.conflicts += 1
                 conflicts_since_restart += 1
                 if self._decision_level == assumption_level:
+                    if assumption_level == 0:
+                        self._root_conflict = True
                     self._unassign_to(0) if self._trail_lim else None
                     self._restart()
                     return Result(Status.UNSAT, conflicts=self.conflicts)
@@ -379,6 +445,7 @@ class Solver:
 
     def add_clause_learned(self, clause: list[int]) -> None:
         """Attach a learned clause and assert its first literal."""
+        self.learned_clauses += 1
         index = len(self._clauses)
         self._clauses.append(clause)
         if len(clause) == 1:

@@ -47,6 +47,11 @@ def _fake_record(payload: dict) -> dict:
             solver_cache_hits=4,
             solver_persistent_hits=2,
             solver_expensive_queries=1,
+            solver_batch_hits=3,
+            solver_backend_stats={
+                "cdcl": {"queries": 5, "unsat": 4, "sat": 1, "conflicts": 7,
+                         "learned_clauses": 6, "time_s": 0.001},
+            },
         )
     )
 
@@ -118,9 +123,14 @@ def test_scheduler_completes_all_jobs_and_merges_in_plan_order(plan, store):
     assert [record.recipient for record in database.records] == [
         job.case_id for job in plan.jobs
     ]
-    # Solver accounting is aggregated from the records.
+    # Solver accounting is aggregated from the records — including the
+    # per-backend counters and batch dedupe, not just cache hit counts.
     assert report.solver_queries == 10 * len(plan)
     assert report.persistent_cache_hits == 2 * len(plan)
+    assert report.batch_hits == 3 * len(plan)
+    assert report.backend_stats["cdcl"]["queries"] == 5 * len(plan)
+    assert report.backend_stats["cdcl"]["learned_clauses"] == 6 * len(plan)
+    assert f"backend cdcl: {5 * len(plan)} queries" in report.summary()
 
 
 def test_rerun_skips_completed_jobs(plan, store):

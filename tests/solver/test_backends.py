@@ -1,0 +1,188 @@
+"""Backend parity: DPLL, CDCL, and portfolio must agree on every verdict.
+
+The :class:`SolverBackend` contract allows backends to differ in *which*
+model witnesses a SAT answer and in budget-limited UNKNOWN outcomes — never
+in SAT vs UNSAT.  These property tests drive all three backends over
+randomized CNF formulas and randomized *blasted* bitvector queries (the
+formulas the rewrite algorithm actually produces) and check:
+
+* identical status on every query (no budget, so no UNKNOWNs);
+* every SAT model satisfies every clause of the CNF;
+* incremental use (clauses added between solves, assumption-scoped queries)
+  agrees with a fresh solve of the same accumulated formula.
+"""
+
+import random
+
+import pytest
+
+from repro.solver.backends import BACKENDS, make_backend
+from repro.solver.bitblast import BitBlaster
+from repro.solver.sat import Status
+from repro.symbolic import builder
+
+
+ALL_BACKENDS = sorted(BACKENDS)
+
+
+def random_cnf(rng: random.Random) -> tuple[int, list[list[int]]]:
+    num_vars = rng.randint(3, 18)
+    num_clauses = rng.randint(2, num_vars * 4)
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.randint(1, 3)
+        clauses.append(
+            [rng.choice((1, -1)) * rng.randint(1, num_vars) for _ in range(width)]
+        )
+    return num_vars, clauses
+
+
+def solve_with(name: str, num_vars: int, clauses: list[list[int]], assumptions=()):
+    backend = make_backend(name)
+    backend.ensure_vars(num_vars)
+    for clause in clauses:
+        backend.add_clause(clause)
+    return backend.solve(assumptions=assumptions)
+
+
+def assert_model_satisfies(model: dict[int, bool], clauses: list[list[int]]) -> None:
+    for clause in clauses:
+        literals = set(clause)
+        if any(-lit in literals for lit in literals):
+            continue  # tautology, dropped at add_clause time
+        assert any(
+            (lit > 0) == model.get(abs(lit), False) for lit in literals
+        ), f"model violates clause {clause}"
+
+
+class TestRandomCnfParity:
+    def test_verdicts_agree_and_models_satisfy(self):
+        rng = random.Random(0xBACC)
+        for _ in range(150):
+            num_vars, clauses = random_cnf(rng)
+            verdicts = {}
+            for name in ALL_BACKENDS:
+                result = solve_with(name, num_vars, clauses)
+                assert result.status is not Status.UNKNOWN
+                verdicts[name] = result.status
+                if result.status is Status.SAT:
+                    assert_model_satisfies(result.model, clauses)
+            assert len(set(verdicts.values())) == 1, verdicts
+
+    def test_verdicts_agree_under_assumptions(self):
+        rng = random.Random(0xA55)
+        for _ in range(80):
+            num_vars, clauses = random_cnf(rng)
+            assumptions = [
+                rng.choice((1, -1)) * var
+                for var in rng.sample(range(1, num_vars + 1), k=min(3, num_vars))
+            ]
+            verdicts = {
+                name: solve_with(name, num_vars, clauses, assumptions).status
+                for name in ALL_BACKENDS
+            }
+            assert len(set(verdicts.values())) == 1, (verdicts, assumptions)
+
+
+def random_expression(rng: random.Random, fields, depth: int):
+    if depth == 0 or rng.random() < 0.3:
+        if rng.random() < 0.4:
+            return builder.const(rng.getrandbits(8), 8)
+        return rng.choice(fields)
+    op = rng.choice(["add", "sub", "and", "or", "xor", "mul"])
+    left = random_expression(rng, fields, depth - 1)
+    right = random_expression(rng, fields, depth - 1)
+    return {
+        "add": builder.add,
+        "sub": builder.sub,
+        "and": builder.bvand,
+        "or": builder.bvor,
+        "xor": builder.bvxor,
+        "mul": builder.mul,
+    }[op](left, right)
+
+
+class TestBlastedQueryParity:
+    def test_backends_agree_on_blasted_queries(self):
+        rng = random.Random(0xB1A5)
+        fields = [builder.input_field("/x", 8), builder.input_field("/y", 8)]
+        for _ in range(40):
+            left = random_expression(rng, fields, 2)
+            right = random_expression(rng, fields, 2)
+            condition = builder.ne(left, right)
+
+            blaster = BitBlaster()
+            bit = blaster.blast(condition)[0]
+            if isinstance(bit, bool):
+                continue  # constant-folded: nothing for a backend to decide
+            blaster.assert_bit(bit, True)
+            clauses = blaster.cnf.clauses
+
+            verdicts = {}
+            for name in ALL_BACKENDS:
+                result = solve_with(name, blaster.cnf.num_vars, clauses)
+                assert result.status is not Status.UNKNOWN
+                verdicts[name] = result.status
+                if result.status is Status.SAT:
+                    assert_model_satisfies(result.model, clauses)
+            assert len(set(verdicts.values())) == 1, verdicts
+
+
+class TestIncrementalContract:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_incremental_matches_fresh(self, name):
+        """Adding clauses between solves == solving the whole formula fresh."""
+        rng = random.Random(0x1C0)
+        for _ in range(25):
+            num_vars, clauses = random_cnf(rng)
+            split = rng.randint(0, len(clauses))
+            incremental = make_backend(name)
+            incremental.ensure_vars(num_vars)
+            for clause in clauses[:split]:
+                incremental.add_clause(clause)
+            incremental.solve()  # intermediate query; must not poison the next
+            for clause in clauses[split:]:
+                incremental.add_clause(clause)
+            assert (
+                incremental.solve().status
+                == solve_with(name, num_vars, clauses).status
+            )
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_assumptions_scope_single_query(self, name):
+        backend = make_backend(name)
+        backend.add_clause([1, 2])
+        assert backend.solve(assumptions=[-1, -2]).status is Status.UNSAT
+        assert backend.solve().status is Status.SAT
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_root_unsat_is_sticky(self, name):
+        backend = make_backend(name)
+        backend.add_clause([1])
+        backend.add_clause([-1])
+        assert backend.solve().status is Status.UNSAT
+        assert backend.solve().status is Status.UNSAT
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_statistics_accumulate(self, name):
+        backend = make_backend(name)
+        backend.add_clause([1, 2])
+        backend.solve()
+        backend.solve(assumptions=[-1])
+        stats = backend.statistics
+        assert stats.queries == 2
+        assert stats.sat == 2
+        payload = stats.as_dict()
+        assert payload["queries"] == 2
+
+    def test_portfolio_records_wins(self):
+        backend = make_backend("portfolio")
+        backend.add_clause([1, 2])
+        backend.solve()
+        by_name = backend.statistics_by_name()
+        assert set(by_name) == {"portfolio", "cdcl", "dpll"}
+        assert sum(stats.wins for stats in by_name.values()) == 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            make_backend("z3")

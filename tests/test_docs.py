@@ -1,7 +1,7 @@
-"""Documentation drift checks (tier-1 mirror of the CI docs step).
+"""Documentation drift checks (tier-1 mirror of the CI docs steps).
 
 ``tools/check_docs.py`` is what CI runs; these tests exercise the same
-checker so stale module references in ``docs/ARCHITECTURE.md`` or
+checker so stale module references or broken links in ``docs/*.md`` or
 ``README.md`` fail locally before they fail in CI.
 """
 
@@ -14,9 +14,22 @@ sys.path.insert(0, str(REPO_ROOT / "tools"))
 import check_docs  # noqa: E402
 
 
+def test_default_documents_cover_all_docs():
+    documents = check_docs.default_documents()
+    assert REPO_ROOT / "docs" / "ARCHITECTURE.md" in documents
+    assert REPO_ROOT / "docs" / "SOLVER.md" in documents
+    assert REPO_ROOT / "README.md" in documents
+
+
 def test_architecture_doc_references_exist():
     document = REPO_ROOT / "docs" / "ARCHITECTURE.md"
     assert document.exists(), "docs/ARCHITECTURE.md is part of the repo contract"
+    assert check_docs.stale_references(document) == []
+
+
+def test_solver_doc_references_exist():
+    document = REPO_ROOT / "docs" / "SOLVER.md"
+    assert document.exists(), "docs/SOLVER.md is part of the repo contract"
     assert check_docs.stale_references(document) == []
 
 
@@ -24,8 +37,15 @@ def test_readme_references_exist():
     assert check_docs.stale_references(REPO_ROOT / "README.md") == []
 
 
-def test_readme_links_architecture_doc():
-    assert "docs/ARCHITECTURE.md" in (REPO_ROOT / "README.md").read_text()
+def test_no_broken_links_in_default_documents():
+    for document in check_docs.default_documents():
+        assert check_docs.stale_links(document) == [], document
+
+
+def test_readme_links_architecture_and_solver_docs():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/SOLVER.md" in readme
 
 
 def test_checker_flags_missing_paths(tmp_path):
@@ -35,3 +55,33 @@ def test_checker_flags_missing_paths(tmp_path):
         "repro.not.there",
         "src/repro/no_such_module.py",
     ]
+
+
+def test_checker_flags_broken_markdown_links(tmp_path):
+    doc = tmp_path / "doc.md"
+    (tmp_path / "exists.md").write_text("ok")
+    doc.write_text(
+        "[good](exists.md) [anchored](exists.md#section) "
+        "[bad](missing.md) [web](https://example.com/page.md)"
+    )
+    assert check_docs.stale_links(doc) == ["missing.md"]
+
+
+def test_checker_flags_broken_wiki_links(tmp_path):
+    doc = tmp_path / "doc.md"
+    (tmp_path / "present.md").write_text("ok")
+    doc.write_text("see [[present]] and [[absent]] and [[present|with a label]]")
+    assert check_docs.stale_links(doc) == ["absent"]
+
+
+def test_main_reports_failures(tmp_path, capsys):
+    doc = tmp_path / "doc.md"
+    doc.write_text("[bad](nowhere.md) and `repro.not.there`")
+    # Default mode: code references only.
+    assert check_docs.main([str(doc)]) == 1
+    captured = capsys.readouterr().err
+    assert "repro.not.there" in captured and "nowhere.md" not in captured
+    # --links-only: links only — each CI step fails on its own class.
+    assert check_docs.main(["--links-only", str(doc)]) == 1
+    captured = capsys.readouterr().err
+    assert "nowhere.md" in captured and "repro.not.there" not in captured

@@ -1,18 +1,28 @@
 #!/usr/bin/env python3
-"""Fail when architecture docs reference module paths that no longer exist.
+"""Fail when docs reference module paths or link targets that don't exist.
 
-``docs/ARCHITECTURE.md`` is a prose map of ``src/repro/``; nothing ties it to
-the code except this check.  It extracts every backtick-quoted reference that
-looks like a repository path (``src/repro/...``, ``benchmarks/...``,
-``examples/...``, ``tools/...``, ``docs/...``) or a dotted module name
-(``repro.solver.equivalence``) and verifies the file or directory exists.
+The prose docs (``docs/ARCHITECTURE.md``, ``docs/SOLVER.md``, ``README.md``)
+are maps of ``src/repro/``; nothing ties them to the code except this check.
+Two classes of reference are verified:
+
+* **code references** — every backtick-quoted repository path
+  (``src/repro/...``, ``benchmarks/...``, ``examples/...``, ``tools/...``,
+  ``docs/...``, ``tests/...``) or dotted module name
+  (``repro.solver.equivalence``) must exist;
+* **links** — every relative markdown link target (``[text](FILE.md)``,
+  anchors stripped) and every ``[[FILE]]``-style wiki link must resolve to a
+  file, relative to the linking document (absolute ``http(s)://`` and
+  ``mailto:`` targets are skipped).
 
 Run from the repository root (CI does)::
 
-    python tools/check_docs.py [files...]
+    python tools/check_docs.py [--links-only] [files...]
 
-Defaults to checking ``docs/ARCHITECTURE.md`` and ``README.md``.  Exits
-non-zero listing every stale reference.
+Defaults to checking ``docs/*.md`` and ``README.md``.  Exits non-zero
+listing every stale reference.  The default mode runs the code-reference
+checks; ``--links-only`` runs the link checks instead — CI runs the two
+modes as separate, clearly named steps, so each class of breakage fails
+under its own step.
 """
 
 from __future__ import annotations
@@ -31,10 +41,18 @@ _PATH_PATTERN = re.compile(
 #: Backticked dotted modules rooted at the package: `repro.solver.sat`.
 _MODULE_PATTERN = re.compile(r"`(repro(?:\.[A-Za-z0-9_]+)+)`")
 
+#: Markdown links `[text](target)`; the target is group 1, anchor excluded.
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s#]+)(?:#[^)]*)?\)")
+
+#: Wiki-style links `[[target]]` (optionally `[[target|label]]`).
+_WIKILINK_PATTERN = re.compile(r"\[\[([^\]|]+)(?:\|[^\]]*)?\]\]")
+
+#: Link schemes that point outside the repository and are not checked.
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
+
 
 def _path_exists(reference: str) -> bool:
-    candidate = REPO_ROOT / reference
-    return candidate.exists()
+    return (REPO_ROOT / reference).exists()
 
 
 def _module_exists(dotted: str) -> bool:
@@ -45,7 +63,7 @@ def _module_exists(dotted: str) -> bool:
 
 
 def stale_references(document: Path) -> list[str]:
-    """Every referenced path/module in ``document`` that does not exist."""
+    """Every referenced code path/module in ``document`` that does not exist."""
     text = document.read_text(encoding="utf-8")
     stale = []
     for match in _PATH_PATTERN.finditer(text):
@@ -59,21 +77,54 @@ def stale_references(document: Path) -> list[str]:
     return sorted(set(stale))
 
 
+def stale_links(document: Path) -> list[str]:
+    """Every relative markdown/wiki link in ``document`` with no target file.
+
+    Targets resolve relative to the linking document; ``[[name]]`` links may
+    omit the ``.md`` suffix.
+    """
+    text = document.read_text(encoding="utf-8")
+    targets: set[str] = set()
+    for match in _LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_SCHEMES):
+            continue
+        targets.add(target)
+    for match in _WIKILINK_PATTERN.finditer(text):
+        targets.add(match.group(1).strip())
+
+    stale = []
+    base = document.parent
+    for target in targets:
+        candidates = [base / target]
+        if not Path(target).suffix:
+            candidates.append(base / f"{target}.md")
+        if not any(candidate.exists() for candidate in candidates):
+            stale.append(target)
+    return sorted(stale)
+
+
+def default_documents() -> list[Path]:
+    return sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+
+
 def main(argv: list[str]) -> int:
-    documents = [Path(arg) for arg in argv] or [
-        REPO_ROOT / "docs" / "ARCHITECTURE.md",
-        REPO_ROOT / "README.md",
-    ]
+    links_only = "--links-only" in argv
+    arguments = [arg for arg in argv if arg != "--links-only"]
+    documents = [Path(arg) for arg in arguments] or default_documents()
     failures = 0
     for document in documents:
         if not document.exists():
             print(f"{document}: missing document", file=sys.stderr)
             failures += 1
             continue
-        stale = stale_references(document)
+        stale = [] if links_only else stale_references(document)
         for reference in stale:
             print(f"{document}: stale reference {reference!r}", file=sys.stderr)
-        failures += len(stale)
+        broken = stale_links(document) if links_only else []
+        for target in broken:
+            print(f"{document}: broken link {target!r}", file=sys.stderr)
+        failures += len(stale) + len(broken)
     if failures:
         print(f"{failures} stale documentation reference(s)", file=sys.stderr)
         return 1
