@@ -1,0 +1,121 @@
+"""E7 — scenario matrix: generated transfers across every error class.
+
+Generates a seeded scenario corpus (:mod:`repro.scenarios`), runs its
+transfer matrix through the campaign engine, and reports per-error-class
+timing and success.  This is the "beyond Figure 8" benchmark: where the other
+benches replay the paper's ten fixed errors, this one measures the pipeline
+over procedurally generated donor/recipient pairs — every
+:class:`~repro.lang.trace.ErrorKind` the VM detects, rotated across the
+registered input formats.
+
+Emits ``results/scenario_matrix.json``: per-class transfer counts, success
+rates, and wall-time totals, plus corpus generation time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.campaign import SchedulerOptions
+from repro.lang.trace import ErrorKind
+from repro.scenarios import generate_corpus, run_matrix
+
+from conftest import RESULTS_DIR
+
+SEED = 0
+PAIRS_PER_CLASS = 2
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def matrix_results(tmp_path_factory):
+    """Generate the corpus, run the full matrix once, persist the JSON."""
+    generation_start = time.perf_counter()
+    corpus = generate_corpus(seed=SEED, pairs_per_class=PAIRS_PER_CLASS)
+    generation_s = time.perf_counter() - generation_start
+
+    store_dir = tmp_path_factory.mktemp("scenario-matrix") / "run"
+    report, database = run_matrix(
+        corpus, store_dir, options=SchedulerOptions(jobs=WORKERS, start_method="fork")
+    )
+
+    by_recipient = corpus.kind_of_recipient()
+    per_class: dict[str, dict] = {}
+    for record in database.records:
+        name = by_recipient.get(record.recipient)
+        if name is None:
+            continue
+        entry = per_class.setdefault(
+            name,
+            {"transfers": 0, "successful": 0, "generation_time_s": 0.0, "formats": []},
+        )
+        entry["transfers"] += 1
+        entry["successful"] += 1 if record.success else 0
+        entry["generation_time_s"] = round(
+            entry["generation_time_s"] + record.generation_time_s, 4
+        )
+    for pair in corpus:
+        formats = per_class.setdefault(
+            pair.error_kind.value,
+            {"transfers": 0, "successful": 0, "generation_time_s": 0.0, "formats": []},
+        )["formats"]
+        if pair.format_name not in formats:
+            formats.append(pair.format_name)
+
+    payload = {
+        "seed": SEED,
+        "pairs_per_class": PAIRS_PER_CLASS,
+        "workers": WORKERS,
+        "corpus_generation_s": round(generation_s, 4),
+        "campaign_elapsed_s": round(report.elapsed_s, 4),
+        "classes": per_class,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "scenario_matrix.json").write_text(json.dumps(payload, indent=2))
+    return corpus, report, database, payload
+
+
+def test_every_error_class_produces_validated_transfers(matrix_results):
+    corpus, report, _, payload = matrix_results
+    assert report.completed == len(corpus)
+    assert not report.failed
+    for kind in ErrorKind:
+        entry = payload["classes"][kind.value]
+        assert entry["transfers"] == PAIRS_PER_CLASS
+        assert entry["successful"] == PAIRS_PER_CLASS, (
+            f"{kind.value}: {entry['successful']}/{entry['transfers']} validated"
+        )
+    print(
+        f"\nmatrix: {report.completed} transfers in {report.elapsed_s:.2f}s "
+        f"({payload['corpus_generation_s']:.2f}s corpus generation)"
+    )
+    for name in sorted(payload["classes"]):
+        entry = payload["classes"][name]
+        print(
+            f"  {name:22s} {entry['successful']}/{entry['transfers']} ok, "
+            f"{entry['generation_time_s']:.2f}s, formats: {', '.join(entry['formats'])}"
+        )
+
+
+def test_matrix_scales_past_the_paper_corpus(matrix_results):
+    """The corpus covers strictly more error classes than Figure 8's three."""
+    corpus, _, database, _ = matrix_results
+    classes = {pair.error_kind for pair in corpus}
+    assert len(classes) == len(ErrorKind)
+    assert len({record.recipient for record in database.records}) == len(corpus)
+
+
+def test_bench_scenario_matrix(tmp_path_factory, benchmark):
+    corpus = generate_corpus(seed=SEED, pairs_per_class=1)
+
+    def run(index=[0]):
+        index[0] += 1
+        store = tmp_path_factory.mktemp(f"bench-matrix-{index[0]}")
+        return run_matrix(
+            corpus, store / "run", options=SchedulerOptions(jobs=1, start_method="fork")
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -45,6 +45,33 @@ class RepairRequest:
     donors: Optional[Sequence[ApplicationRef]] = None
     policy: Union[str, SearchPolicy, None] = None
 
+    @classmethod
+    def for_case(
+        cls,
+        case,
+        donor: Optional[ApplicationRef] = None,
+        donors: Optional[Sequence[ApplicationRef]] = None,
+        policy: Union[str, SearchPolicy, None] = None,
+    ) -> "RepairRequest":
+        """Build a request from any *case-like* object.
+
+        ``case`` is duck-typed: anything with ``application()``, ``target()``,
+        ``seed_input()``, ``error_input()``, and ``format_name`` — both the
+        paper corpus (:class:`repro.experiments.ErrorCase`) and generated
+        scenarios (:class:`repro.scenarios.ScenarioPair`) qualify, so every
+        driver funnels through one construction path.
+        """
+        return cls(
+            recipient=case.application(),
+            target=case.target(),
+            seed=case.seed_input(),
+            error_input=case.error_input(),
+            format_name=case.format_name,
+            donor=donor,
+            donors=donors,
+            policy=policy,
+        )
+
 
 @dataclass
 class RepairReport:
@@ -153,6 +180,16 @@ class RepairSession:
         finally:
             self.events.unsubscribe(log)
         return RepairReport(outcome=outcome, attempts=attempts, events=tuple(log.events))
+
+    def run_case(
+        self,
+        case,
+        donor: Optional[ApplicationRef] = None,
+        donors: Optional[Sequence[ApplicationRef]] = None,
+        policy: Union[str, SearchPolicy, None] = None,
+    ) -> RepairReport:
+        """Run one case-like object (see :meth:`RepairRequest.for_case`)."""
+        return self.run(RepairRequest.for_case(case, donor=donor, donors=donors, policy=policy))
 
     # -- legacy-shaped helpers (the CodePhage shim calls these) ------------------------
 

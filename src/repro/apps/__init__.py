@@ -16,6 +16,8 @@ from .registry import (
     get_application,
     recipients,
     register_application,
+    scoped_registration,
+    unregister_application,
 )
 
 # Importing the application modules registers them.
@@ -45,4 +47,6 @@ __all__ = [
     "get_application",
     "recipients",
     "register_application",
+    "scoped_registration",
+    "unregister_application",
 ]

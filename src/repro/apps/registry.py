@@ -10,9 +10,10 @@ divide-by-zero sites, data structures holding the relevant input fields).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Optional
+from typing import Iterator, Optional
 
 from ..lang.checker import Program, compile_program
 from ..lang.trace import ErrorKind
@@ -84,6 +85,45 @@ def register_application(application: Application) -> Application:
         raise AppError(f"application {application.name!r} already registered")
     _APPLICATIONS[application.name] = application
     return application
+
+
+def unregister_application(name: str) -> Application:
+    """Remove one application and drop any cached compilation for it.
+
+    The compile cache is keyed by name, so an unregister followed by a
+    re-register under the same name (e.g. a regenerated scenario corpus)
+    must not serve the previous registration's program.
+    """
+    try:
+        application = _APPLICATIONS.pop(name)
+    except KeyError:
+        known = ", ".join(sorted(_APPLICATIONS))
+        raise AppError(f"unknown application {name!r} (known: {known})") from None
+    _compile_cached.cache_clear()
+    return application
+
+
+@contextmanager
+def scoped_registration(*applications: Application) -> Iterator[tuple[Application, ...]]:
+    """Register applications for the duration of a ``with`` block.
+
+    Generated scenario corpora and synthetic test applications need to come
+    and go without leaking duplicate-name ``AppError`` into later runs; this
+    is the supported way to do that.  Registration is all-or-nothing: if one
+    application clashes with an existing name, the ones registered so far
+    are removed before the error propagates.
+    """
+    registered: list[str] = []
+    try:
+        for application in applications:
+            register_application(application)
+            registered.append(application.name)
+        yield applications
+    finally:
+        for name in reversed(registered):
+            _APPLICATIONS.pop(name, None)
+        if registered:
+            _compile_cached.cache_clear()
 
 
 def get_application(name: str) -> Application:

@@ -17,7 +17,14 @@ into a first-class *campaign*:
 """
 
 from .cache import PersistentSolverCache, query_key
-from .plan import CampaignPlan, JobSpec, PlanError, expand_plan, figure8_plan
+from .plan import (
+    CampaignPlan,
+    JobSpec,
+    PlanError,
+    expand_plan,
+    figure8_plan,
+    matrix_plan,
+)
 from .scheduler import (
     CampaignReport,
     CampaignScheduler,
@@ -52,5 +59,6 @@ __all__ = [
     "default_job_runner",
     "expand_plan",
     "figure8_plan",
+    "matrix_plan",
     "query_key",
 ]

@@ -189,6 +189,53 @@ class CampaignPlan:
         )
 
 
+def _validated_strategies(strategies: Optional[Sequence[str]]) -> tuple[str, ...]:
+    """Deduplicate and validate patch-strategy names (default: exit)."""
+    strategy_values = (
+        tuple(dict.fromkeys(strategies)) if strategies else (PatchStrategy.EXIT.value,)
+    )
+    for strategy in strategy_values:
+        try:
+            PatchStrategy(strategy)
+        except ValueError:
+            raise PlanError(f"unknown patch strategy {strategy!r}") from None
+    return strategy_values
+
+
+def _validated_variants(
+    variants: Optional[Mapping[str, Mapping[str, object]]],
+) -> list[tuple[str, Mapping[str, object]]]:
+    """Validate option-override variants up front (default: one empty variant).
+
+    Fail fast on typo'd override keys: a bad variant is a plan error, not
+    something every worker should discover (and retry) at run time.
+    """
+    variant_items: list[tuple[str, Mapping[str, object]]] = (
+        list(variants.items()) if variants else [("default", {})]
+    )
+    known_keys = _PIPELINE_KEYS | _EQUIVALENCE_KEYS
+    for variant_name, overrides in variant_items:
+        unknown = sorted(set(overrides) - known_keys)
+        if unknown:
+            raise PlanError(
+                f"variant {variant_name!r} has unknown option override(s): "
+                + ", ".join(unknown)
+            )
+        policy = overrides.get("search_policy")
+        if policy is not None and policy not in POLICIES:
+            raise PlanError(
+                f"variant {variant_name!r} has unknown search policy {policy!r}; "
+                "expected one of " + ", ".join(sorted(POLICIES))
+            )
+        backend = overrides.get("backend")
+        if backend is not None and backend not in BACKENDS:
+            raise PlanError(
+                f"variant {variant_name!r} has unknown solver backend {backend!r}; "
+                "expected one of " + ", ".join(sorted(BACKENDS))
+            )
+    return variant_items
+
+
 def expand_plan(
     cases: Optional[Iterable[str]] = None,
     donors: Optional[Iterable[str]] = None,
@@ -221,40 +268,8 @@ def expand_plan(
         if unknown:
             raise PlanError(f"unknown donor(s): {', '.join(unknown)}")
 
-    strategy_values = (
-        tuple(dict.fromkeys(strategies)) if strategies else (PatchStrategy.EXIT.value,)
-    )
-    for strategy in strategy_values:
-        try:
-            PatchStrategy(strategy)
-        except ValueError:
-            raise PlanError(f"unknown patch strategy {strategy!r}") from None
-
-    variant_items: list[tuple[str, Mapping[str, object]]] = (
-        list(variants.items()) if variants else [("default", {})]
-    )
-    # Fail fast on typo'd override keys: a bad variant is a plan error, not
-    # something every worker should discover (and retry) at run time.
-    known_keys = _PIPELINE_KEYS | _EQUIVALENCE_KEYS
-    for variant_name, overrides in variant_items:
-        unknown = sorted(set(overrides) - known_keys)
-        if unknown:
-            raise PlanError(
-                f"variant {variant_name!r} has unknown option override(s): "
-                + ", ".join(unknown)
-            )
-        policy = overrides.get("search_policy")
-        if policy is not None and policy not in POLICIES:
-            raise PlanError(
-                f"variant {variant_name!r} has unknown search policy {policy!r}; "
-                "expected one of " + ", ".join(sorted(POLICIES))
-            )
-        backend = overrides.get("backend")
-        if backend is not None and backend not in BACKENDS:
-            raise PlanError(
-                f"variant {variant_name!r} has unknown solver backend {backend!r}; "
-                "expected one of " + ", ".join(sorted(BACKENDS))
-            )
+    strategy_values = _validated_strategies(strategies)
+    variant_items = _validated_variants(variants)
 
     jobs: list[JobSpec] = []
     empty_cases: list[str] = []
@@ -300,3 +315,38 @@ def figure8_plan(name: str = "figure8") -> CampaignPlan:
             JobSpec(case_id=row.case_id, donor=row.donor) for row in FIGURE8_ROWS
         ),
     )
+
+
+def matrix_plan(
+    transfers: Iterable[tuple[str, str]],
+    strategies: Optional[Sequence[str]] = None,
+    variants: Optional[Mapping[str, Mapping[str, object]]] = None,
+    name: str = "matrix",
+) -> CampaignPlan:
+    """Expand explicit ``(case_id, donor)`` transfers into a campaign plan.
+
+    This is the scenario-matrix entry point: unlike :func:`expand_plan` the
+    case ids are *not* validated against the paper's ``ERROR_CASES`` —
+    generated corpora (:mod:`repro.scenarios`) bring their own
+    content-addressed cases, and whoever runs the plan supplies a runner
+    that can resolve them.  Strategy and variant validation (and the
+    deterministic job-id scheme, and therefore resume) are shared with
+    :func:`expand_plan`.
+    """
+    strategy_values = _validated_strategies(strategies)
+    variant_items = _validated_variants(variants)
+    jobs = [
+        JobSpec(
+            case_id=case_id,
+            donor=donor,
+            strategy=strategy,
+            variant=variant_name,
+            overrides=tuple(sorted(overrides.items())),
+        )
+        for case_id, donor in dict.fromkeys(transfers)
+        for strategy in strategy_values
+        for variant_name, overrides in variant_items
+    ]
+    if not jobs:
+        raise PlanError("matrix request selects no jobs")
+    return CampaignPlan(name=name, jobs=tuple(jobs))

@@ -171,6 +171,21 @@ class CampaignReport:
     #: backend name ("cdcl", "dpll", "portfolio"): queries, sat/unsat/unknown
     #: verdicts, conflicts, learned clauses, wall time, portfolio wins.
     backend_stats: dict[str, dict] = field(default_factory=dict)
+    #: Per-class transfer accounting, populated only when the scheduler was
+    #: given a ``job_class`` mapping (the scenario matrix maps each job to
+    #: its :class:`~repro.lang.trace.ErrorKind`): class name -> counters
+    #: ``jobs`` (settled this run or skipped as already done), ``completed``,
+    #: ``validated`` (completed with a successful transfer), ``failed``.
+    #: Skipped jobs contribute their stored record's verdict, so a resumed
+    #: matrix reports the same rates as an uninterrupted one.
+    class_stats: dict[str, dict] = field(default_factory=dict)
+
+    def class_success_rates(self) -> dict[str, float]:
+        """Validated-transfer rate per class (0.0 when nothing settled)."""
+        return {
+            name: (counters["validated"] / counters["jobs"]) if counters["jobs"] else 0.0
+            for name, counters in self.class_stats.items()
+        }
 
     @property
     def persistent_hit_rate(self) -> float:
@@ -220,6 +235,13 @@ class CampaignReport:
             if counters.get("wins"):
                 detail += f", {counters['wins']} portfolio wins"
             lines.append(detail)
+        for name in sorted(self.class_stats):
+            counters = self.class_stats[name]
+            lines.append(
+                f"class {name}: {counters['validated']}/{counters['jobs']} "
+                f"transfers validated"
+                + (f", {counters['failed']} failed" if counters["failed"] else "")
+            )
         return "\n".join(lines)
 
 
@@ -240,18 +262,29 @@ class CampaignScheduler:
         store: RunStore,
         options: Optional[SchedulerOptions] = None,
         runner: Runner = default_job_runner,
+        job_class: Optional[object] = None,
     ) -> None:
         self.plan = plan
         self.store = store
         self.options = options or SchedulerOptions()
         self.runner = runner
+        # job_class maps a job to its reporting class (the scenario matrix
+        # passes each case's ErrorKind): either a callable over JobSpec or a
+        # mapping keyed by case id.  Runs in the parent process only.
+        if job_class is None or callable(job_class):
+            self._job_class = job_class
+        else:
+            self._job_class = lambda job: job_class.get(job.case_id)
 
     # -- public API ------------------------------------------------------------------
 
     def run(self, on_result: Optional[Callable[[JobSpec, JobResult], None]] = None) -> CampaignReport:
         """Run every pending job; returns the report for *this* invocation."""
         start = time.perf_counter()
-        completed_before = self.store.completed_ids()
+        stored = self.store.results()
+        completed_before = {
+            job_id for job_id, result in stored.items() if result.completed
+        }
         pending = deque(
             job for job in self.plan.jobs if job.job_id not in completed_before
         )
@@ -261,6 +294,17 @@ class CampaignScheduler:
             skipped=len(self.plan.jobs) - len(pending),
             cache_enabled=self.options.use_persistent_cache,
         )
+        if self._job_class is not None and report.skipped:
+            # Skipped jobs still count toward per-class rates: take their
+            # verdict from the stored record so a resumed run reports the
+            # same rates as an uninterrupted one.
+            for job in self.plan.jobs:
+                if job.job_id in completed_before:
+                    record = stored[job.job_id].record or {}
+                    self._class_account(
+                        report, job, completed=True,
+                        success=bool(record.get("success")),
+                    )
         cache_path = (
             str(self.store.cache_path) if self.options.use_persistent_cache else None
         )
@@ -287,6 +331,10 @@ class CampaignScheduler:
             if result.completed:
                 self._account(report, result)
                 report.completed += 1
+                self._class_account(
+                    report, entry.job, completed=True,
+                    success=bool((result.record or {}).get("success")),
+                )
             else:
                 self._retry_or_fail(entry.job, attempts, pending, report)
             if on_result is not None:
@@ -461,6 +509,27 @@ class CampaignScheduler:
             pending.append(job)
         else:
             report.failed.append(job.job_id)
+            self._class_account(report, job, completed=False)
+
+    def _class_account(
+        self, report: CampaignReport, job: JobSpec, completed: bool, success: bool = False
+    ) -> None:
+        """Fold one settled (or skipped-as-done) job into the per-class stats."""
+        if self._job_class is None:
+            return
+        name = self._job_class(job)
+        if name is None:
+            return
+        counters = report.class_stats.setdefault(
+            name, {"jobs": 0, "completed": 0, "validated": 0, "failed": 0}
+        )
+        counters["jobs"] += 1
+        if completed:
+            counters["completed"] += 1
+            if success:
+                counters["validated"] += 1
+        else:
+            counters["failed"] += 1
 
     @staticmethod
     def _account(report: CampaignReport, result: JobResult) -> None:

@@ -9,12 +9,18 @@ Subcommands::
                                          # regenerate the Figure 8 table
     codephage campaign [--cases ...] [--donors ...] [--strategies ...] [--jobs N]
                                          # run an arbitrary transfer campaign
+    codephage matrix [--seed N] [--pairs N] [--classes ...] [--formats ...]
+                                         # generate a scenario corpus and run the
+                                         # N-pairs x error-class transfer matrix
     codephage discover CASE              # re-discover the error input with DIODE/fuzzing
 
-``figure8`` and ``campaign`` both run through the campaign engine
+``figure8``, ``campaign``, and ``matrix`` all run through the campaign engine
 (:mod:`repro.campaign`): jobs are scheduled over a worker pool, every attempt
 is recorded in a resumable on-disk run store, and solver queries are shared
-through a persistent cross-process cache.
+through a persistent cross-process cache.  ``matrix`` additionally generates
+its corpus (:mod:`repro.scenarios`) from ``--seed`` — deterministically, so
+job ids are stable and ``--resume`` works across invocations — and reports
+per-error-class success rates.
 
 Every subcommand routes repairs through the :mod:`repro.api` facade; this
 module contains no stage-sequencing logic of its own.
@@ -48,11 +54,22 @@ from .campaign import (
 from .core.patch import PatchStrategy
 from .experiments import ERROR_CASES, discover_error_input
 from .formats import all_formats
+from .formats.fields import FormatError
+from .lang.trace import ErrorKind
+from .scenarios import (
+    CorpusConfig,
+    ScenarioError,
+    corpus_plan,
+    generate_corpus,
+    matrix_scheduler_kwargs,
+    prepare_matrix_store,
+)
 from .solver.backends import BACKENDS
 from .solver.equivalence import EquivalenceOptions
 
 DEFAULT_FIGURE8_STORE = "results/figure8-campaign"
 DEFAULT_CAMPAIGN_STORE = "results/campaign"
+DEFAULT_MATRIX_STORE = "results/matrix"
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -155,14 +172,23 @@ def _run_campaign(
     no_cache: bool,
     out: str | None,
     title: str,
+    store: RunStore | None = None,
+    scheduler_kwargs=None,
+    classify_record=None,
 ) -> int:
-    """Shared driver for the ``figure8`` and ``campaign`` subcommands."""
-    store = RunStore(store_dir)
-    try:
-        store.initialise(plan, fresh=not resume)
-    except StoreError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    """Shared driver for the ``figure8``, ``campaign``, and ``matrix`` subcommands.
+
+    ``store`` may be passed pre-initialised (the matrix subcommand attaches
+    to it earlier, before writing its corpus manifest); otherwise the plan
+    is initialised here.
+    """
+    if store is None:
+        store = RunStore(store_dir)
+        try:
+            store.initialise(plan, fresh=not resume)
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     def on_result(job, result) -> None:
         if result.completed:
@@ -175,6 +201,7 @@ def _run_campaign(
         else:
             print(f"[{result.status}] {job.describe()}: {result.error}")
 
+    scheduler_kwargs = dict(scheduler_kwargs or {})
     scheduler = CampaignScheduler(
         plan,
         store,
@@ -184,11 +211,20 @@ def _run_campaign(
             retries=retries,
             use_persistent_cache=not no_cache,
         ),
+        **scheduler_kwargs,
     )
     report = scheduler.run(on_result=on_result)
 
     database = store.merge_into_database(plan)
     table = database.to_table(title=title)
+    if classify_record is not None:
+        rates = database.class_summary(classify_record)
+        if rates:
+            table += "\n\nSuccess by error class (all recorded runs):\n" + "\n".join(
+                f"  {name:22s} {counters['successful']}/{counters['transfers']} "
+                f"({counters['success_rate']:.0%})"
+                for name, counters in sorted(rates.items())
+            )
     # The run store keeps the machine-readable results; --out (or the store
     # itself) receives the rendered table.
     database.save(store.directory / "results.json")
@@ -242,6 +278,54 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         no_cache=args.no_cache,
         out=args.out,
         title=f"Campaign ({len(plan)} transfers)",
+    )
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    # Deduplicate repeated values: a shell-expanded list should narrow the
+    # corpus, not inflate it (mirrors expand_plan's --cases treatment).
+    kinds = (
+        tuple(ErrorKind(value) for value in dict.fromkeys(args.classes))
+        if args.classes
+        else CorpusConfig().error_kinds
+    )
+    try:
+        corpus = generate_corpus(
+            CorpusConfig(
+                seed=args.seed,
+                pairs_per_class=args.pairs,
+                error_kinds=kinds,
+                formats=tuple(dict.fromkeys(args.formats or ())),
+            )
+        )
+        plan = _apply_backend(
+            corpus_plan(corpus, strategies=args.strategies or None), args.backend
+        )
+        store, manifest_path = prepare_matrix_store(
+            corpus, plan, args.store, resume=not args.fresh
+        )
+    except (ScenarioError, PlanError, FormatError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kind_of_recipient = corpus.kind_of_recipient()
+    print(
+        f"scenario corpus: {len(corpus)} generated pairs "
+        f"({args.pairs} per class, seed {args.seed}) -> {len(plan)} transfers "
+        f"(manifest: {manifest_path})"
+    )
+    return _run_campaign(
+        plan,
+        args.store,
+        jobs=args.jobs,
+        resume=not args.fresh,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        no_cache=args.no_cache,
+        out=args.out,
+        title=f"Scenario matrix (seed {args.seed}, {len(plan)} transfers)",
+        store=store,
+        scheduler_kwargs=matrix_scheduler_kwargs(corpus, manifest_path),
+        classify_record=lambda record: kind_of_recipient.get(record.recipient),
     )
 
 
@@ -346,6 +430,35 @@ def main(argv: list[str] | None = None) -> int:
         help="patch strategies to cross with the cases",
     )
 
+    matrix = sub.add_parser(
+        "matrix",
+        help="generate a scenario corpus and run its error-class transfer matrix",
+    )
+    add_campaign_arguments(matrix, DEFAULT_MATRIX_STORE)
+    matrix.add_argument(
+        "--seed", type=int, default=0, help="corpus generation seed (drives everything)"
+    )
+    matrix.add_argument(
+        "--pairs", type=int, default=2, help="donor/recipient pairs per error class"
+    )
+    matrix.add_argument(
+        "--classes",
+        nargs="+",
+        choices=sorted(kind.value for kind in ErrorKind),
+        help="restrict to these error classes (default: every class)",
+    )
+    matrix.add_argument(
+        "--formats",
+        nargs="+",
+        help="restrict generation to these input formats",
+    )
+    matrix.add_argument(
+        "--strategies",
+        nargs="+",
+        choices=[strategy.value for strategy in PatchStrategy],
+        help="patch strategies to cross with the generated pairs",
+    )
+
     discover = sub.add_parser("discover", help="re-discover an error input")
     discover.add_argument("case", choices=sorted(ERROR_CASES))
 
@@ -355,6 +468,7 @@ def main(argv: list[str] | None = None) -> int:
         "transfer": _cmd_transfer,
         "figure8": _cmd_figure8,
         "campaign": _cmd_campaign,
+        "matrix": _cmd_matrix,
         "discover": _cmd_discover,
     }
     return handlers[args.command](args)

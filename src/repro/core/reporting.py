@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from .pipeline import TransferOutcome
 
@@ -125,6 +125,31 @@ class ResultsDatabase:
                 f"| {record.insertion_points} | {record.check_size} |"
             )
         return "\n".join(lines)
+
+    def class_summary(
+        self, classifier: Callable[[TransferRecord], Optional[str]]
+    ) -> dict[str, dict]:
+        """Per-class success statistics over the stored records.
+
+        ``classifier`` maps a record to its class name (the scenario matrix
+        classifies by the recipient's seeded :class:`ErrorKind`); records it
+        returns ``None`` for are left out.  Unlike the scheduler's per-run
+        ``class_stats``, this aggregates whatever the database holds — e.g. a
+        store merged across several resumed runs.
+        """
+        grouped: dict[str, dict] = {}
+        for record in self.records:
+            name = classifier(record)
+            if name is None:
+                continue
+            counters = grouped.setdefault(
+                name, {"transfers": 0, "successful": 0, "success_rate": 0.0}
+            )
+            counters["transfers"] += 1
+            counters["successful"] += 1 if record.success else 0
+        for counters in grouped.values():
+            counters["success_rate"] = counters["successful"] / counters["transfers"]
+        return grouped
 
     def summary(self) -> dict:
         """Aggregate statistics (used by EXPERIMENTS.md and tests)."""

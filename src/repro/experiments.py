@@ -224,14 +224,7 @@ def run_row(
             "runs under its own options"
         )
     report = session.run(
-        RepairRequest(
-            recipient=case.application(),
-            target=case.target(),
-            seed=case.seed_input(),
-            error_input=case.error_input(),
-            format_name=case.format_name,
-            donor=get_application(row.donor),
-        )
+        RepairRequest.for_case(case, donor=get_application(row.donor))
     )
     return report.outcome
 

@@ -80,6 +80,12 @@ class VMConfig:
     track_symbolic: bool = True
     simplify_options: SimplifyOptions = dataclass_field(default_factory=SimplifyOptions)
     detect_allocation_overflow: bool = True
+    #: Cumulative bytes ``malloc``/``malloc64`` may hand out in one run before
+    #: the VM reports :class:`ErrorKind.RESOURCE_EXHAUSTED` — the stand-in for
+    #: a real process being OOM-killed.  1 TiB is far above anything a 32-bit
+    #: allocation can request, so only ``malloc64`` callers (and pathological
+    #: allocation loops) can reach it; 0 disables the budget.
+    max_heap_bytes: int = 1 << 40
 
 
 @dataclass
@@ -140,6 +146,7 @@ class VM:
         self._allocation_sequence = 0
         self._division_sequence = 0
         self._invocations = 0
+        self._heap_allocated = 0
         self._frames: list[Frame] = []
 
     # -- public API -----------------------------------------------------------------
@@ -164,6 +171,7 @@ class VM:
         self.result = RunResult(status=RunStatus.OK)
         self._stream = _InputStream(data, field_map, self.config.track_symbolic)
         self._steps = 0
+        self._heap_allocated = 0
         self._branch_sequence = 0
         self._allocation_sequence = 0
         self._division_sequence = 0
@@ -898,6 +906,14 @@ class VM:
             self._raise_error(
                 ErrorKind.INTEGER_OVERFLOW,
                 f"allocation size overflows: true size {true_size} wraps to {wrapped} "
+                f"at {frame.function} line {expression.line}",
+            )
+        self._heap_allocated += wrapped
+        if self.config.max_heap_bytes and self._heap_allocated > self.config.max_heap_bytes:
+            self._raise_error(
+                ErrorKind.RESOURCE_EXHAUSTED,
+                f"heap exhausted: {self._heap_allocated} bytes allocated exceeds "
+                f"the {self.config.max_heap_bytes}-byte budget "
                 f"at {frame.function} line {expression.line}",
             )
         buffer = Buffer(

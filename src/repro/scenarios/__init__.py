@@ -1,0 +1,56 @@
+"""Scenario corpus engine: procedural donor/recipient pairs at campaign scale.
+
+The paper validates horizontal code transfer on ten fixed donor/recipient
+pairs; this package generates *matched pairs on demand* — for every error
+class the VM detects, over every registered input format — so campaigns can
+exercise thousands of distinct transfers instead of replaying Figure 8:
+
+* :mod:`repro.scenarios.templates` — one defect/check template per
+  :class:`~repro.lang.trace.ErrorKind`: what the seeded bug looks like in
+  the recipient, and what protective check the donor carries;
+* :mod:`repro.scenarios.generate` — pair synthesis: reader codegen from the
+  format's field layout, template instantiation, content-addressed naming;
+* :mod:`repro.scenarios.corpus` — deterministic seeded batches with a JSON
+  manifest for cross-process campaigns;
+* :mod:`repro.scenarios.runner` — the campaign worker entry point and the
+  ``codephage matrix`` driver helpers.
+
+See ``docs/SCENARIOS.md`` for the error-class taxonomy, the generation
+knobs, and the determinism guarantees.
+"""
+
+from .corpus import (
+    DEFAULT_ERROR_KINDS,
+    CorpusConfig,
+    ScenarioCorpus,
+    generate_corpus,
+)
+from .generate import ScenarioError, ScenarioPair, synthesize_pair
+from .runner import (
+    MANIFEST_NAME,
+    corpus_plan,
+    matrix_job_runner,
+    matrix_scheduler_kwargs,
+    prepare_matrix_store,
+    run_matrix,
+)
+from .templates import TEMPLATES, DefectTemplate, FieldAccess
+
+__all__ = [
+    "CorpusConfig",
+    "DEFAULT_ERROR_KINDS",
+    "DefectTemplate",
+    "FieldAccess",
+    "MANIFEST_NAME",
+    "ScenarioCorpus",
+    "ScenarioError",
+    "ScenarioPair",
+    "TEMPLATES",
+    "corpus_plan",
+    "generate_corpus",
+    "matrix_job_runner",
+    "matrix_scheduler_kwargs",
+    "prepare_matrix_store",
+    "run_matrix",
+    "synthesize_pair",
+]

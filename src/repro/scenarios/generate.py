@@ -1,0 +1,404 @@
+"""Donor/recipient pair synthesis.
+
+One :func:`synthesize_pair` call turns ``(error kind, format, seeded RNG)``
+into a matched pair of MicroC applications:
+
+* both applications read the *same* input fields of the shared format — the
+  reader code is generated from the format's :class:`~repro.formats.fields.Field`
+  layout (offset, size, endianness), assembling multi-byte fields from
+  individual bytes with shifts and ors exactly like the hand-written
+  applications in ``src/repro/apps/`` do (or via the ``read_u16/u32``
+  builtins; the RNG picks a style per program, so a pair may mix styles and
+  the rewrite stage has to prove the equivalence);
+* the recipient uses one field at a seeded defect site without the
+  protective check (:mod:`repro.scenarios.templates`);
+* the donor performs the same computation behind the protective check.
+
+Names are **content-addressed**: the application name ends in a digest of
+both sources plus the seed/error field values, so two different generations
+can never collide in the registry, and the same configuration always
+produces byte-identical names (which is what makes campaign job ids — and
+therefore ``--resume`` — stable across processes and runs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional, Sequence
+
+from ..apps.registry import Application, ErrorTarget
+from ..formats.fields import FormatSpec
+from ..formats.registry import get_format
+from ..lang.trace import ErrorKind
+from .templates import TEMPLATES, DefectPlan, DefectTemplate, FieldAccess
+
+
+class ScenarioError(ValueError):
+    """Raised when a scenario cannot be generated as requested."""
+
+
+#: Function-name pools; the RNG picks per program for surface variety.
+_RECIPIENT_FUNCTIONS = ("decode_frame", "parse_header", "read_image", "process_chunk")
+_DONOR_FUNCTIONS = ("load_input", "validate_and_load", "scan_header", "import_frame")
+
+
+@dataclass(frozen=True)
+class ScenarioPair:
+    """One generated donor/recipient pair plus its seed and error inputs.
+
+    Mirrors the surface of :class:`repro.experiments.ErrorCase`
+    (``application()``/``target()``/``seed_input()``/``error_input()``/
+    ``format_name``) so the :mod:`repro.api` facade can run either without
+    knowing which corpus it came from — except that ``application()``
+    returns the held object directly instead of a registry lookup, because
+    generated pairs are only registered for the duration of a run.
+    """
+
+    case_id: str
+    error_kind: ErrorKind
+    format_name: str
+    index: int
+    recipient: Application
+    donor: Application
+    error_values: dict[str, int] = dataclass_field(default_factory=dict)
+    defect_fields: tuple[str, ...] = ()
+    threshold: int = 0
+    description: str = ""
+
+    @property
+    def donor_name(self) -> str:
+        return self.donor.name
+
+    @property
+    def recipient_name(self) -> str:
+        return self.recipient.name
+
+    def application(self) -> Application:
+        return self.recipient
+
+    def target(self) -> ErrorTarget:
+        return self.recipient.targets[0]
+
+    @property
+    def target_id(self) -> str:
+        return self.target().target_id
+
+    def seed_input(self) -> bytes:
+        # The seed is always the format's canonical defaults; templates pick
+        # fields whose defaults sit in the benign window.
+        return get_format(self.format_name).build()
+
+    def error_input(self) -> bytes:
+        spec = get_format(self.format_name)
+        return spec.with_values(self.seed_input(), **self.error_values)
+
+    @property
+    def digest(self) -> str:
+        """The content digest embedded in the generated names."""
+        return self.case_id.rsplit("-", 1)[-1]
+
+    # -- serialisation (the corpus manifest) ---------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "case_id": self.case_id,
+            "error_kind": self.error_kind.value,
+            "format_name": self.format_name,
+            "index": self.index,
+            "recipient": _application_to_dict(self.recipient),
+            "donor": _application_to_dict(self.donor),
+            "error_values": dict(self.error_values),
+            "defect_fields": list(self.defect_fields),
+            "threshold": self.threshold,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioPair":
+        return cls(
+            case_id=payload["case_id"],
+            error_kind=ErrorKind(payload["error_kind"]),
+            format_name=payload["format_name"],
+            index=payload["index"],
+            recipient=_application_from_dict(payload["recipient"]),
+            donor=_application_from_dict(payload["donor"]),
+            error_values=dict(payload.get("error_values", {})),
+            defect_fields=tuple(payload.get("defect_fields", ())),
+            threshold=payload.get("threshold", 0),
+            description=payload.get("description", ""),
+        )
+
+
+def _application_to_dict(application: Application) -> dict:
+    return {
+        "name": application.name,
+        "version": application.version,
+        "source": application.source,
+        "formats": list(application.formats),
+        "role": application.role,
+        "description": application.description,
+        "library": application.library,
+        "targets": [
+            {
+                "target_id": target.target_id,
+                "error_kind": target.error_kind.value,
+                "site_function": target.site_function,
+                "description": target.description,
+            }
+            for target in application.targets
+        ],
+    }
+
+
+def _application_from_dict(payload: dict) -> Application:
+    return Application(
+        name=payload["name"],
+        version=payload["version"],
+        source=payload["source"],
+        formats=tuple(payload["formats"]),
+        role=payload["role"],
+        description=payload.get("description", ""),
+        library=payload.get("library", ""),
+        targets=tuple(
+            ErrorTarget(
+                target_id=entry["target_id"],
+                error_kind=ErrorKind(entry["error_kind"]),
+                site_function=entry["site_function"],
+                description=entry.get("description", ""),
+            )
+            for entry in payload.get("targets", ())
+        ),
+    )
+
+
+# -- field selection ---------------------------------------------------------------
+
+
+def suitable_fields(spec: FormatSpec, template: DefectTemplate) -> list[FieldAccess]:
+    """The format's fields this template can seed a defect on."""
+    seed = spec.build()
+    entries = list(spec.field_map(seed))
+    names = _variable_names([entry.path for entry in entries])
+    accesses = []
+    for entry in entries:
+        access = FieldAccess(
+            path=entry.path,
+            var=names[entry.path],
+            offset=entry.offset,
+            size=entry.size,
+            endianness=entry.endianness,
+            default=entry.read(seed),
+        )
+        if template.suits(access):
+            accesses.append(access)
+    return accesses
+
+
+def _variable_names(paths: Sequence[str]) -> dict[str, str]:
+    """Readable MicroC identifiers per field path (``/ihdr/width`` -> ``width``).
+
+    When two paths share a leaf (GIF has ``/screen/width`` and
+    ``/image/width``) every colliding path keeps its parent as a prefix, so
+    donor and recipient — both named from the full field list — always agree.
+    """
+    leaves = {path: _identifier(path.rstrip("/").rsplit("/", 1)[-1]) for path in paths}
+    counts: dict[str, int] = {}
+    for leaf in leaves.values():
+        counts[leaf] = counts.get(leaf, 0) + 1
+    names = {}
+    for path, leaf in leaves.items():
+        if counts[leaf] > 1:
+            segments = [part for part in path.split("/") if part]
+            names[path] = _identifier("_".join(segments[-2:]))
+        else:
+            names[path] = leaf
+    return names
+
+
+def _identifier(text: str) -> str:
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in text)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"field_{cleaned}"
+    return cleaned
+
+
+# -- reader codegen ----------------------------------------------------------------
+
+
+def _reader_lines(fields: Sequence[FieldAccess], style: str) -> list[str]:
+    """MicroC statements reading ``fields`` (offset order) into u32 locals."""
+    ordered = sorted(fields, key=lambda access: access.offset)
+
+    def manual(access: FieldAccess) -> bool:
+        # The read_uN builtins only exist for 16 and 32 bits; odd-sized
+        # fields (e.g. 24-bit lengths) always take the byte-assembly path.
+        return style == "manual" or access.size not in (2, 4)
+
+    lines: list[str] = []
+    if any(access.size > 1 and manual(access) for access in ordered):
+        widest = max(access.size for access in ordered if manual(access))
+        for i in range(widest):
+            lines.append(f"    u8 b{i};")
+    cursor = 0
+    for access in ordered:
+        if access.offset > cursor:
+            lines.append(f"    skip_bytes({access.offset - cursor});")
+        cursor = access.offset + access.size
+        if access.size == 1:
+            lines.append(f"    u32 {access.var} = (u32) read_byte();")
+            continue
+        if not manual(access):
+            suffix = "be" if access.endianness == "big" else "le"
+            width = access.size * 8
+            lines.append(f"    u32 {access.var} = (u32) read_u{width}_{suffix}();")
+            continue
+        for i in range(access.size):
+            lines.append(f"    b{i} = read_byte();")
+        parts = []
+        for i in range(access.size):
+            shift = (
+                (access.size - 1 - i) * 8
+                if access.endianness == "big"
+                else i * 8
+            )
+            parts.append(f"((u32) b{i})" if shift == 0 else f"(((u32) b{i}) << {shift})")
+        lines.append(f"    u32 {access.var} = " + " | ".join(parts) + ";")
+    return lines
+
+
+def _render_program(
+    title: str,
+    function: str,
+    reader: Sequence[str],
+    body: Sequence[str],
+    fields: Sequence[FieldAccess],
+) -> str:
+    lines = [f"// {title}", "", f"int {function}() {{"]
+    lines.extend(reader)
+    lines.extend(body)
+    for access in sorted(fields, key=lambda entry: entry.offset):
+        lines.append(f"    emit({access.var});")
+    lines.append("    return 0;")
+    lines.append("}")
+    lines.append("")
+    lines.append("int main() {")
+    lines.append(f"    return {function}();")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# -- pair synthesis ----------------------------------------------------------------
+
+
+def synthesize_pair(
+    error_kind: ErrorKind,
+    format_name: str,
+    index: int = 0,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+    candidates: Optional[Sequence[FieldAccess]] = None,
+) -> ScenarioPair:
+    """Generate one matched donor/recipient pair for an error class.
+
+    Deterministic: the RNG is derived from ``(seed, error_kind, format,
+    index)`` unless one is passed in, and everything else is a pure function
+    of its draws.  ``candidates`` short-circuits the field-suitability scan
+    when the caller (the corpus generator) has already computed it.
+    """
+    template = TEMPLATES.get(error_kind)
+    if template is None:
+        raise ScenarioError(f"no defect template for error kind {error_kind.value!r}")
+    if candidates is None:
+        candidates = suitable_fields(get_format(format_name), template)
+    if len(candidates) < template.field_count:
+        raise ScenarioError(
+            f"format {format_name!r} has no suitable fields for "
+            f"{error_kind.value} (need {template.field_count})"
+        )
+    if rng is None:
+        rng = random.Random(f"{seed}:{error_kind.value}:{format_name}:{index}")
+
+    chosen = rng.sample(candidates, template.field_count)
+    chosen.sort(key=lambda access: access.offset)
+    plan = template.instantiate(chosen, rng)
+
+    recipient_function = rng.choice(_RECIPIENT_FUNCTIONS)
+    donor_function = rng.choice(_DONOR_FUNCTIONS)
+    recipient_style = rng.choice(("manual", "builtin"))
+    donor_style = rng.choice(("manual", "builtin"))
+
+    kind_slug = error_kind.value.replace("-", "")
+    recipient_source = _render_program(
+        f"Generated recipient: seeded {error_kind.value} over {format_name} "
+        f"({plan.description}).",
+        recipient_function,
+        _reader_lines(chosen, recipient_style),
+        plan.recipient_body,
+        chosen,
+    )
+    donor_source = _render_program(
+        f"Generated donor: protective {error_kind.value} check over {format_name}.",
+        donor_function,
+        _reader_lines(chosen, donor_style),
+        plan.donor_body,
+        chosen,
+    )
+
+    digest = hashlib.sha1(
+        json.dumps(
+            {
+                "recipient": recipient_source,
+                "donor": donor_source,
+                "error_values": sorted(plan.error_values.items()),
+                "format": format_name,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+    ).hexdigest()[:8]
+
+    case_id = f"gen-{kind_slug}-{format_name}-{index}-{digest}"
+    # Names end in the digest so Application.full_name stays the bare name.
+    recipient_name = f"gen-{kind_slug}-rx{index}-{digest}"
+    donor_name = f"gen-{kind_slug}-dn{index}-{digest}"
+    defect_line = recipient_source.splitlines().index(plan.defect_marker) + 1
+
+    target = ErrorTarget(
+        target_id=f"{recipient_name}.c:{defect_line}",
+        error_kind=error_kind,
+        site_function=recipient_function,
+        description=plan.description,
+    )
+    recipient = Application(
+        name=recipient_name,
+        version=digest,
+        source=recipient_source,
+        formats=(format_name,),
+        role="recipient",
+        library=f"gen-{format_name}",
+        description=f"generated recipient with a seeded {error_kind.value} defect",
+        targets=(target,),
+    )
+    donor = Application(
+        name=donor_name,
+        version=digest,
+        source=donor_source,
+        formats=(format_name,),
+        role="donor",
+        library=f"gen-{format_name}",
+        description=f"generated donor carrying the {error_kind.value} protective check",
+    )
+    return ScenarioPair(
+        case_id=case_id,
+        error_kind=error_kind,
+        format_name=format_name,
+        index=index,
+        recipient=recipient,
+        donor=donor,
+        error_values=dict(plan.error_values),
+        defect_fields=tuple(access.path for access in chosen),
+        threshold=plan.threshold,
+        description=plan.description,
+    )

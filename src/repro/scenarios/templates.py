@@ -1,0 +1,390 @@
+"""Defect and donor-check templates, one per :class:`ErrorKind`.
+
+A template is the error-class-specific half of scenario synthesis: given the
+input fields a generated application reads (already bound to local variables
+by the reader codegen in :mod:`repro.scenarios.generate`), it produces
+
+* the **recipient body** — code that uses one field at a seeded defect site
+  without the protective check (the missing check is the bug), and
+* the **donor body** — the same computation guarded by the protective check
+  the paper would transfer (reject-and-return, exactly the shape of FEH's
+  ``IMAGE_DIMENSIONS_OK`` or Wireshark 1.8's ``if (real_len)`` guards), and
+* the **error field values** that drive the recipient into the defect.
+
+Every numeric parameter (thresholds, buffer sizes, error values) is drawn
+from the scenario's seeded RNG, under two standing constraints that keep
+generated transfers validatable by the unchanged pipeline:
+
+* the *benign window*: thresholds sit strictly above the values the
+  regression corpus generates (``InputGenerator.regression_corpus`` draws
+  1..64 for multi-byte fields, 1..4 for single-byte fields), so an inserted
+  donor check never changes regression behaviour;
+* the *rejection window*: every error value the template can emit lies
+  strictly above the donor threshold, so the transferred check rejects every
+  error-triggering input and a DIODE rescan finds no residual errors.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..lang.trace import ErrorKind
+
+
+@dataclass(frozen=True)
+class FieldAccess:
+    """One chosen input field, bound to a MicroC local by the reader."""
+
+    path: str
+    var: str
+    offset: int
+    size: int
+    endianness: str
+    default: int
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.size * 8)) - 1
+
+
+@dataclass(frozen=True)
+class DefectPlan:
+    """The concrete, RNG-resolved instantiation of one template."""
+
+    error_kind: ErrorKind
+    recipient_body: tuple[str, ...]
+    donor_body: tuple[str, ...]
+    error_values: dict[str, int]
+    threshold: int
+    #: The exact source line of the recipient's error site (used to derive
+    #: the ``file:line`` target id once the program is rendered).
+    defect_marker: str
+    description: str
+
+
+class DefectTemplate:
+    """Base class: how one error class turns fields into a defect + check."""
+
+    kind: ErrorKind
+    #: How many input fields the defect consumes.
+    field_count: int = 1
+    #: Minimum field width in bits (wide enough to exceed the thresholds).
+    min_field_bits: int = 16
+    #: Whether the field's format default must be non-zero (divide-by-zero
+    #: uses the default as the benign divisor).
+    requires_nonzero_default: bool = False
+
+    def suits(self, field: FieldAccess) -> bool:
+        if field.size * 8 < self.min_field_bits:
+            return False
+        # The reader codegen assembles fields into u32 locals; wider fields
+        # would need >=32-bit shifts and a different variable type.
+        if field.size > 4:
+            return False
+        if self.requires_nonzero_default and field.default == 0:
+            return False
+        # The seeded defect flips on values above the threshold; a format
+        # default already above the benign window would make the seed input
+        # itself error-triggering.
+        return 0 < field.default <= 64
+
+    def instantiate(self, fields: Sequence[FieldAccess], rng: random.Random) -> DefectPlan:
+        raise NotImplementedError
+
+
+class IntegerOverflowTemplate(DefectTemplate):
+    """``width * height * 4`` wraps at 32 bits at the allocation site."""
+
+    kind = ErrorKind.INTEGER_OVERFLOW
+    field_count = 2
+
+    def instantiate(self, fields, rng):
+        first, second = fields
+        threshold = rng.randrange(1 << 16, 1 << 20)
+        # Each factor at 33000+ puts the product at 2**30, so `* 4` wraps
+        # 32 bits — and every such product also exceeds the check threshold.
+        low = 33000
+        error_values = {
+            first.path: rng.randrange(low, min(first.max_value, 120000) + 1),
+            second.path: rng.randrange(low, min(second.max_value, 120000) + 1),
+        }
+        defect = f"    u8* pixels = malloc({first.var} * {second.var} * 4);"
+        recipient = (
+            f"    u32 stride = {first.var} * 4;",
+            "    // Seeded defect: the 32-bit size product is unchecked.",
+            defect,
+            "    if (pixels == 0) {",
+            "        return 1;",
+            "    }",
+            f"    store8(pixels, ({first.var} * {second.var} * 4) - 1, 0);",
+        )
+        donor = (
+            "    // Protective check: reject dimension products that could",
+            "    // overflow downstream 32-bit size computations.",
+            f"    if ((((u64) {first.var}) * ((u64) {second.var})) > {threshold}) {{",
+            "        return 0;",
+            "    }",
+            f"    u8* pixels = malloc({first.var} * {second.var} * 4);",
+            "    if (pixels == 0) {",
+            "        return 1;",
+            "    }",
+            f"    store8(pixels, ({first.var} * {second.var} * 4) - 1, 0);",
+        )
+        return DefectPlan(
+            error_kind=self.kind,
+            recipient_body=recipient,
+            donor_body=donor,
+            error_values=error_values,
+            threshold=threshold,
+            defect_marker=defect,
+            description=f"{first.var} * {second.var} * 4 wraps at the buffer malloc",
+        )
+
+
+class OutOfBoundsWriteTemplate(DefectTemplate):
+    """An initialisation loop bounded by an unchecked field overruns a table."""
+
+    kind = ErrorKind.OUT_OF_BOUNDS_WRITE
+
+    def instantiate(self, fields, rng):
+        (field,) = fields
+        table_size = rng.choice((256, 512, 1024))
+        threshold = table_size // 2
+        error_values = {
+            field.path: rng.randrange(table_size + 1, min(field.max_value, 60000) + 1)
+        }
+        defect = f"        store8(table, entry, 255);"
+        recipient = (
+            f"    u8* table = malloc({table_size});",
+            "    if (table == 0) {",
+            "        return 1;",
+            "    }",
+            "    u32 entry = 0;",
+            "    // Seeded defect: the loop bound is never checked against the",
+            "    // table size.",
+            f"    while (entry < {field.var}) {{",
+            defect,
+            "        entry = entry + 1;",
+            "    }",
+        )
+        donor = (
+            f"    // Protective check: the entry count is limited to {threshold}.",
+            f"    if ({field.var} > {threshold}) {{",
+            "        return 0;",
+            "    }",
+            f"    u8* table = malloc({table_size});",
+            "    if (table == 0) {",
+            "        return 1;",
+            "    }",
+            "    u32 entry = 0;",
+            f"    while (entry < {field.var}) {{",
+            "        store8(table, entry, 255);",
+            "        entry = entry + 1;",
+            "    }",
+        )
+        return DefectPlan(
+            error_kind=self.kind,
+            recipient_body=recipient,
+            donor_body=donor,
+            error_values=error_values,
+            threshold=threshold,
+            defect_marker=defect,
+            description=f"table initialisation loop bounded by {field.var} overruns "
+            f"the {table_size}-byte table",
+        )
+
+
+class OutOfBoundsReadTemplate(DefectTemplate):
+    """An unchecked field indexes directly into a fixed-size table."""
+
+    kind = ErrorKind.OUT_OF_BOUNDS_READ
+
+    def instantiate(self, fields, rng):
+        (field,) = fields
+        table_size = rng.choice((256, 512, 1024))
+        threshold = rng.randrange(128, table_size + 1)
+        error_values = {
+            field.path: rng.randrange(table_size + 1, min(field.max_value, 60000) + 1)
+        }
+        defect = f"    u8 looked_up = load8(table, {field.var});"
+        recipient = (
+            f"    u8* table = malloc({table_size});",
+            "    if (table == 0) {",
+            "        return 1;",
+            "    }",
+            "    store8(table, 0, 7);",
+            "    // Seeded defect: the lookup index is never bounds-checked.",
+            defect,
+            "    emit((u32) looked_up);",
+        )
+        donor = (
+            f"    // Protective check: indices beyond {threshold} are rejected.",
+            f"    if ({field.var} >= {threshold}) {{",
+            "        return 0;",
+            "    }",
+            f"    u8* table = malloc({table_size});",
+            "    if (table == 0) {",
+            "        return 1;",
+            "    }",
+            "    store8(table, 0, 7);",
+            f"    u8 looked_up = load8(table, {field.var});",
+            "    emit((u32) looked_up);",
+        )
+        return DefectPlan(
+            error_kind=self.kind,
+            recipient_body=recipient,
+            donor_body=donor,
+            error_values=error_values,
+            threshold=threshold,
+            defect_marker=defect,
+            description=f"{field.var} indexes past the {table_size}-byte table",
+        )
+
+
+class DivideByZeroTemplate(DefectTemplate):
+    """A per-unit division whose divisor field can be zero."""
+
+    kind = ErrorKind.DIVIDE_BY_ZERO
+    min_field_bits = 8
+    requires_nonzero_default = True
+
+    def instantiate(self, fields, rng):
+        (field,) = fields
+        total = rng.randrange(100000, 1000000)
+        error_values = {field.path: 0}
+        defect = f"    u32 per_unit = {total} / {field.var};"
+        recipient = (
+            "    // Seeded defect: the divisor field is never checked for zero.",
+            defect,
+            f"    u32 leftover = {total} % {field.var};",
+            "    emit(per_unit);",
+            "    emit(leftover);",
+        )
+        donor = (
+            "    // Protective check: degenerate zero divisors are rejected.",
+            f"    if ({field.var} == 0) {{",
+            "        return 0;",
+            "    }",
+            f"    u32 per_unit = {total} / {field.var};",
+            f"    u32 leftover = {total} % {field.var};",
+            "    emit(per_unit);",
+            "    emit(leftover);",
+        )
+        return DefectPlan(
+            error_kind=self.kind,
+            recipient_body=recipient,
+            donor_body=donor,
+            error_values=error_values,
+            threshold=0,
+            defect_marker=defect,
+            description=f"{total} / {field.var} divides by the zero field",
+        )
+
+
+class NullDereferenceTemplate(DefectTemplate):
+    """The buffer is only allocated on the expected path; the use is not."""
+
+    kind = ErrorKind.NULL_DEREFERENCE
+    min_field_bits = 8
+
+    def instantiate(self, fields, rng):
+        (field,) = fields
+        if field.max_value <= 255:
+            threshold = rng.randrange(100, 200)
+        else:
+            threshold = rng.randrange(300, 2000)
+        error_values = {
+            field.path: rng.randrange(threshold + 1, min(field.max_value, 60000) + 1)
+        }
+        defect = "    store8(scratch, 0, 1);"
+        recipient = (
+            "    u8* scratch;",
+            f"    if ({field.var} <= {threshold}) {{",
+            "        scratch = malloc(64);",
+            "    }",
+            "    // Seeded defect: the unexpected path leaves scratch null.",
+            defect,
+            "    emit((u32) load8(scratch, 0));",
+        )
+        donor = (
+            f"    // Protective check: values beyond {threshold} are rejected",
+            "    // before the buffer is touched.",
+            f"    if ({field.var} > {threshold}) {{",
+            "        return 0;",
+            "    }",
+            "    u8* scratch = malloc(64);",
+            "    store8(scratch, 0, 1);",
+            "    emit((u32) load8(scratch, 0));",
+        )
+        return DefectPlan(
+            error_kind=self.kind,
+            recipient_body=recipient,
+            donor_body=donor,
+            error_values=error_values,
+            threshold=threshold,
+            defect_marker=defect,
+            description=f"scratch stays null when {field.var} exceeds {threshold}",
+        )
+
+
+class ResourceExhaustedTemplate(DefectTemplate):
+    """A 64-bit allocation request scales past the VM's heap budget."""
+
+    kind = ErrorKind.RESOURCE_EXHAUSTED
+    #: Bytes requested per field unit; with the VM's 1 TiB heap budget the
+    #: request exhausts the heap once the field exceeds 2**14.
+    UNIT = 1 << 26
+
+    def instantiate(self, fields, rng):
+        (field,) = fields
+        threshold = rng.randrange(8192, 16000)
+        error_values = {
+            field.path: rng.randrange(20000, min(field.max_value, 65000) + 1)
+        }
+        defect = f"    u8* arena = malloc64(((u64) {field.var}) * ((u64) {self.UNIT}));"
+        recipient = (
+            "    // Seeded defect: the arena request scales with the field",
+            "    // without any budget check.",
+            defect,
+            "    if (arena == 0) {",
+            "        return 1;",
+            "    }",
+            "    store8(arena, 0, 1);",
+        )
+        donor = (
+            f"    // Protective check: requests beyond {threshold} units",
+            "    // exceed the memory budget and are rejected.",
+            f"    if ({field.var} > {threshold}) {{",
+            "        return 0;",
+            "    }",
+            f"    u8* arena = malloc64(((u64) {field.var}) * ((u64) {self.UNIT}));",
+            "    if (arena == 0) {",
+            "        return 1;",
+            "    }",
+            "    store8(arena, 0, 1);",
+        )
+        return DefectPlan(
+            error_kind=self.kind,
+            recipient_body=recipient,
+            donor_body=donor,
+            error_values=error_values,
+            threshold=threshold,
+            defect_marker=defect,
+            description=f"arena of {field.var} * {self.UNIT} bytes exhausts the heap budget",
+        )
+
+
+#: Every template, keyed by the error class it seeds.
+TEMPLATES: dict[ErrorKind, DefectTemplate] = {
+    template.kind: template
+    for template in (
+        IntegerOverflowTemplate(),
+        OutOfBoundsWriteTemplate(),
+        OutOfBoundsReadTemplate(),
+        DivideByZeroTemplate(),
+        NullDereferenceTemplate(),
+        ResourceExhaustedTemplate(),
+    )
+}

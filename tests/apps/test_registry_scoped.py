@@ -1,0 +1,101 @@
+"""Scoped (temporary) application registration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.registry import (
+    AppError,
+    Application,
+    get_application,
+    register_application,
+    scoped_registration,
+    unregister_application,
+)
+
+_SOURCE = """
+int main() {
+    u8 first = read_byte();
+    emit((u32) first);
+    return 0;
+}
+"""
+
+
+def _synthetic(name: str) -> Application:
+    return Application(
+        name=name,
+        version="0",
+        source=_SOURCE,
+        formats=("raw",),
+        role="donor",
+    )
+
+
+class TestScopedRegistration:
+    def test_registers_for_block_only(self):
+        app = _synthetic("scoped-app")
+        with scoped_registration(app):
+            assert get_application("scoped-app") is app
+        with pytest.raises(AppError):
+            get_application("scoped-app")
+
+    def test_reentry_after_exit_does_not_collide(self):
+        app = _synthetic("scoped-app")
+        with scoped_registration(app):
+            pass
+        with scoped_registration(app):
+            assert get_application("scoped-app") is app
+
+    def test_cleanup_on_exception(self):
+        app = _synthetic("scoped-app")
+        with pytest.raises(RuntimeError):
+            with scoped_registration(app):
+                raise RuntimeError("boom")
+        with pytest.raises(AppError):
+            get_application("scoped-app")
+
+    def test_name_clash_rolls_back_partial_registration(self):
+        first = _synthetic("scoped-one")
+        clash = _synthetic("cwebp")  # permanently registered by the corpus
+        with pytest.raises(AppError):
+            with scoped_registration(first, clash):
+                pass  # pragma: no cover - never reached
+        # The partial registration must not leak.
+        with pytest.raises(AppError):
+            get_application("scoped-one")
+        # And the permanent registration must be untouched.
+        assert get_application("cwebp").name == "cwebp"
+
+    def test_compiled_program_not_stale_across_scopes(self):
+        app = _synthetic("scoped-app")
+        with scoped_registration(app):
+            first_program = app.program()
+        # Same (name, version) cache key, different source: only the scope
+        # teardown's cache invalidation keeps this from serving stale code.
+        replacement = Application(
+            name="scoped-app",
+            version="0",
+            source=_SOURCE.replace("emit((u32) first);", "emit(7);"),
+            formats=("raw",),
+            role="donor",
+        )
+        with scoped_registration(replacement):
+            second_program = replacement.program()
+        assert first_program is not second_program
+
+
+class TestUnregister:
+    def test_unregister_round_trip(self):
+        app = register_application(_synthetic("transient-app"))
+        try:
+            assert get_application("transient-app") is app
+        finally:
+            removed = unregister_application("transient-app")
+        assert removed is app
+        with pytest.raises(AppError):
+            get_application("transient-app")
+
+    def test_unknown_name(self):
+        with pytest.raises(AppError):
+            unregister_application("never-registered")

@@ -18,6 +18,7 @@ def test_default_documents_cover_all_docs():
     documents = check_docs.default_documents()
     assert REPO_ROOT / "docs" / "ARCHITECTURE.md" in documents
     assert REPO_ROOT / "docs" / "SOLVER.md" in documents
+    assert REPO_ROOT / "docs" / "SCENARIOS.md" in documents
     assert REPO_ROOT / "README.md" in documents
 
 
@@ -30,6 +31,12 @@ def test_architecture_doc_references_exist():
 def test_solver_doc_references_exist():
     document = REPO_ROOT / "docs" / "SOLVER.md"
     assert document.exists(), "docs/SOLVER.md is part of the repo contract"
+    assert check_docs.stale_references(document) == []
+
+
+def test_scenarios_doc_references_exist():
+    document = REPO_ROOT / "docs" / "SCENARIOS.md"
+    assert document.exists(), "docs/SCENARIOS.md is part of the repo contract"
     assert check_docs.stale_references(document) == []
 
 
@@ -46,6 +53,7 @@ def test_readme_links_architecture_and_solver_docs():
     readme = (REPO_ROOT / "README.md").read_text()
     assert "docs/ARCHITECTURE.md" in readme
     assert "docs/SOLVER.md" in readme
+    assert "docs/SCENARIOS.md" in readme
 
 
 def test_checker_flags_missing_paths(tmp_path):

@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
 """Fail when docs reference module paths or link targets that don't exist.
 
-The prose docs (``docs/ARCHITECTURE.md``, ``docs/SOLVER.md``, ``README.md``)
-are maps of ``src/repro/``; nothing ties them to the code except this check.
+The prose docs (``docs/ARCHITECTURE.md``, ``docs/SOLVER.md``,
+``docs/SCENARIOS.md``, ``README.md``) are maps of ``src/repro/``; nothing
+ties them to the code except this check.  The defaults are ``docs/*.md``
+plus ``README.md``, so a newly added document is covered the moment it
+lands in ``docs/``.
 Two classes of reference are verified:
 
 * **code references** — every backtick-quoted repository path
