@@ -14,7 +14,6 @@ rates, and wall-time totals, plus corpus generation time.
 
 from __future__ import annotations
 
-import json
 import time
 
 import pytest
@@ -23,7 +22,7 @@ from repro.campaign import SchedulerOptions
 from repro.lang.trace import ErrorKind
 from repro.scenarios import generate_corpus, run_matrix
 
-from conftest import RESULTS_DIR
+from conftest import write_benchmark_summary
 
 SEED = 0
 PAIRS_PER_CLASS = 2
@@ -73,8 +72,18 @@ def matrix_results(tmp_path_factory):
         "campaign_elapsed_s": round(report.elapsed_s, 4),
         "classes": per_class,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "scenario_matrix.json").write_text(json.dumps(payload, indent=2))
+    write_benchmark_summary(
+        "scenario_matrix",
+        wall_ms={
+            "corpus_generation": generation_s * 1000.0,
+            "campaign": report.elapsed_s * 1000.0,
+        },
+        counters={
+            "transfers": report.completed,
+            "successful": sum(entry["successful"] for entry in per_class.values()),
+        },
+        extra=payload,
+    )
     return corpus, report, database, payload
 
 

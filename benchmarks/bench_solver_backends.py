@@ -19,9 +19,7 @@ seconds); run with ``-s`` to see the table::
 
 from __future__ import annotations
 
-import json
 import random
-from pathlib import Path
 
 from repro.solver import BACKENDS
 from repro.solver.engine import ValidationEngine
@@ -29,7 +27,7 @@ from repro.solver.overflow import overflow_condition
 from repro.solver.sat import Status
 from repro.symbolic import builder
 
-RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+from conftest import write_benchmark_summary
 
 A8 = builder.input_field("/a", 8)
 B8 = builder.input_field("/b", 8)
@@ -107,10 +105,19 @@ def test_backend_workload_json():
         assert statuses == reference, f"{name} diverged from {sorted(BACKENDS)[0]}"
         assert Status.UNKNOWN.value not in statuses
 
-    payload = {"queries": len(workload) * 2, "backends": per_backend}
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "solver_backends.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = write_benchmark_summary(
+        "solver_backends",
+        wall_ms={
+            name: counters["wall_time_s"] * 1000.0
+            for name, counters in per_backend.items()
+        },
+        counters={
+            "queries": len(workload) * 2,
+            "conflicts": sum(c["conflicts"] for c in per_backend.values()),
+            "learned_clauses": sum(c["learned_clauses"] for c in per_backend.values()),
+        },
+        extra={"backends": per_backend},
+    )
 
     print(f"\nPer-backend workload ({len(workload)} distinct queries, each asked twice; {out}):")
     for name, counters in per_backend.items():

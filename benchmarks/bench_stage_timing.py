@@ -1,22 +1,20 @@
 """Per-stage wall-time breakdown of the transfer pipeline.
 
 Runs a representative subset of Figure 8 rows (every error class) through
-the ``repro.api`` facade and emits ``results/stage_timing.json``: for each
-row the per-stage wall time from the pipeline event stream, plus aggregate
-totals and the dominant stage.  Run with ``-s`` to see the table::
+the ``repro.api`` facade and emits ``results/stage_timing.json`` — a
+shared-schema benchmark summary (per-stage wall-ms breakdown, the
+``validation_share`` counter the perf-trajectory ledger gates, and the
+per-row detail under ``extra``).  Run with ``-s`` to see the table::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_stage_timing.py -q -s
 """
 
 from __future__ import annotations
 
-import json
-from pathlib import Path
-
 from repro.api import RepairSession
 from repro.experiments import Figure8Row, run_row
 
-RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+from conftest import write_benchmark_summary
 
 #: One row per error class, plus the multiversion scenario.
 ROWS = [
@@ -45,14 +43,18 @@ def test_stage_timing_breakdown_json():
             totals[stage] = totals.get(stage, 0.0) + elapsed
 
     dominant = max(totals, key=totals.get)
-    payload = {
-        "rows": per_row,
-        "totals": {stage: round(elapsed, 4) for stage, elapsed in totals.items()},
-        "dominant_stage": dominant,
-    }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "stage_timing.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    total_s = sum(totals.values())
+    out = write_benchmark_summary(
+        "stage_timing",
+        wall_ms={stage: elapsed * 1000.0 for stage, elapsed in totals.items()},
+        counters={
+            "validation_share": round(totals.get("validation", 0.0) / total_s, 4)
+            if total_s
+            else 0.0,
+            "transfers": len(ROWS),
+        },
+        extra={"rows": per_row, "dominant_stage": dominant},
+    )
 
     print(f"\nPer-stage wall time over {len(ROWS)} transfers (written to {out}):")
     width = max(len(stage) for stage in totals)

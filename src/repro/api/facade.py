@@ -20,6 +20,7 @@ from ..apps.registry import Application, ErrorTarget
 from ..core.events import EventBus, EventLog, Observer, PipelineEvent
 from ..core.pipeline import CodePhageOptions, TransferMetrics, TransferOutcome
 from ..core.stages import SearchPolicy, TransferEngine
+from ..obs.metrics import MetricsEventObserver
 
 ApplicationRef = Union[Application, str]
 
@@ -109,6 +110,9 @@ class RepairSession:
     ) -> None:
         self.options = options or CodePhageOptions()
         self.events = EventBus()
+        # Every session feeds the process-wide metrics registry; while the
+        # registry is disabled (the default) the observer is a cheap no-op.
+        self.events.subscribe(MetricsEventObserver())
         for observer in observers:
             self.events.subscribe(observer)
         self.engine = TransferEngine(options=self.options, events=self.events)

@@ -4,6 +4,11 @@
 :class:`~repro.core.events.EventBus` or pass it to
 :func:`repro.api.repair` via ``observers``); ``codephage transfer
 --progress`` wires one to stderr.
+
+When the process-wide metrics registry (:mod:`repro.obs.metrics`) is
+enabled — ``codephage transfer --progress`` enables it — the printer also
+surfaces a live snapshot line (donor attempts, solver queries, cache hit
+rate, VM instructions) at each search decision.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from ..core.events import (
     ResidualErrorFound,
     StageFinished,
 )
+from ..obs import metrics as obs_metrics
 
 
 class ProgressPrinter:
@@ -33,6 +39,24 @@ class ProgressPrinter:
         line = self._format(event)
         if line is not None:
             print(line, file=self.stream, flush=True)
+        if isinstance(event, (DonorAttempted, PatchValidated, ResidualErrorFound)):
+            snapshot = self.metrics_line()
+            if snapshot is not None:
+                print(snapshot, file=self.stream, flush=True)
+
+    def metrics_line(self) -> Optional[str]:
+        """A live registry snapshot line (None while metrics are disabled)."""
+        registry = obs_metrics.REGISTRY
+        if not registry.enabled:
+            return None
+        queries = registry.counter("solver.queries")
+        hits = registry.counter("solver.cache_hits")
+        rate = hits / queries if queries else 0.0
+        return (
+            f"    metrics: {int(registry.counter('pipeline.donor_attempts'))} donor "
+            f"attempt(s), {int(queries)} solver queries ({rate:.0%} cache hits), "
+            f"{int(registry.counter('vm.instructions_retired'))} VM instructions"
+        )
 
     def _format(self, event: PipelineEvent) -> Optional[str]:
         if isinstance(event, DonorAttempted):

@@ -73,6 +73,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Optional
 
+from ..obs import metrics as obs_metrics
 from .plan import CampaignPlan, JobSpec
 from .store import (
     STATUS_CRASHED,
@@ -90,15 +91,31 @@ Runner = Callable[[dict, Optional[str]], dict]
 
 
 def default_job_runner(payload: dict, cache_path: Optional[str]) -> dict:
-    """Run one real transfer; executed inside a worker process."""
+    """Run one real transfer; executed inside a worker process.
+
+    Besides the record, the payload ships the job's serialized event stream
+    (persisted to the store's ``events/`` directory for ``codephage trace``
+    and ``codephage bundle``) and a per-job metrics snapshot: the worker's
+    registry is reset and enabled around the transfer, so the snapshot is
+    exactly this attempt's counters even under fork-started workers that
+    inherit parent registry state.
+    """
+    from ..core.events import events_as_dicts
     from ..core.reporting import TransferRecord
-    from ..experiments import execute_job
+    from ..experiments import execute_job_report
 
     job = JobSpec.from_dict(payload)
+    obs_metrics.REGISTRY.reset()
+    obs_metrics.REGISTRY.enable()
     start = time.perf_counter()
-    outcome = execute_job(job, persistent_cache_path=cache_path)
-    record = TransferRecord.from_outcome(outcome)
-    return {"record": asdict(record), "elapsed_s": time.perf_counter() - start}
+    report = execute_job_report(job, persistent_cache_path=cache_path)
+    record = TransferRecord.from_outcome(report.outcome)
+    return {
+        "record": asdict(record),
+        "elapsed_s": time.perf_counter() - start,
+        "events": events_as_dicts(report.events),
+        "metrics": obs_metrics.REGISTRY.snapshot(),
+    }
 
 
 def _outbox_file(outbox: Path, job_id: str, attempt: int) -> Path:
@@ -179,6 +196,11 @@ class CampaignReport:
     #: Skipped jobs contribute their stored record's verdict, so a resumed
     #: matrix reports the same rates as an uninterrupted one.
     class_stats: dict[str, dict] = field(default_factory=dict)
+    #: Merged worker telemetry (a :mod:`repro.obs.metrics` snapshot —
+    #: counters add, gauges keep the peak, histograms merge) plus the
+    #: scheduler's own control-plane gauges (peak queue depth, worker
+    #: utilization).  Empty when workers ship no snapshots (stub runners).
+    metrics: dict = field(default_factory=dict)
 
     def class_success_rates(self) -> dict[str, float]:
         """Validated-transfer rate per class (0.0 when nothing settled)."""
@@ -214,6 +236,20 @@ class CampaignReport:
         lines = [f"campaign {self.plan_name}: " + ", ".join(parts), cache]
         if self.batch_hits:
             lines.append(f"query batch: {self.batch_hits} deduped queries")
+        counters = self.metrics.get("counters") or {}
+        gauges = self.metrics.get("gauges") or {}
+        if counters:
+            lines.append(
+                f"telemetry: {int(counters.get('pipeline.donor_attempts', 0))} donor "
+                f"attempts, {int(counters.get('solver.queries', 0))} solver queries, "
+                f"{int(counters.get('vm.instructions_retired', 0))} VM instructions "
+                "retired"
+            )
+        if "campaign.worker_utilization" in gauges:
+            lines.append(
+                f"workers: {gauges['campaign.worker_utilization']:.0%} utilized, "
+                f"peak queue depth {int(gauges.get('campaign.queue_depth_peak', 0))}"
+            )
         if self.stage_timings:
             breakdown = ", ".join(
                 f"{stage} {elapsed:.2f}s"
@@ -324,9 +360,14 @@ class CampaignScheduler:
         running: dict[str, _Running] = {}
         attempts: dict[str, int] = {}
         slots = max(1, self.options.jobs)
+        # Control-plane telemetry: peak depth/occupancy and total worker-busy
+        # seconds (for the utilization gauge folded into report.metrics).
+        peak = {"queue": 0, "workers": 0}
+        busy = {"s": 0.0}
 
         def finish(entry: _Running, result: JobResult) -> None:
             """Record one settled attempt and decide what happens next."""
+            busy["s"] += time.perf_counter() - entry.started_at
             self.store.append(result)
             if result.completed:
                 self._account(report, result)
@@ -360,6 +401,12 @@ class CampaignScheduler:
                     return
                 finally:
                     payload_file.unlink(missing_ok=True)
+                events = payload.get("events") or []
+                if events:
+                    self.store.write_events(entry.job.job_id, events)
+                snapshot = payload.get("metrics")
+                if snapshot:
+                    obs_metrics.merge_snapshots(report.metrics, snapshot)
                 finish(
                     entry,
                     JobResult(
@@ -432,6 +479,12 @@ class CampaignScheduler:
                     process, job, attempts[job.job_id], time.perf_counter()
                 )
 
+            peak["queue"] = max(peak["queue"], len(pending))
+            peak["workers"] = max(peak["workers"], len(running))
+            # Live readings for progress observers (no-ops while disabled).
+            obs_metrics.set_gauge("campaign.queue_depth", len(pending))
+            obs_metrics.set_gauge("campaign.workers_active", len(running))
+
             drain()
             for job_id, entry in list(running.items()):
                 if job_id not in running:
@@ -494,6 +547,19 @@ class CampaignScheduler:
         results.close()
         shutil.rmtree(outbox, ignore_errors=True)
         report.elapsed_s = time.perf_counter() - start
+        utilization = (
+            busy["s"] / (slots * report.elapsed_s) if report.elapsed_s > 0 else 0.0
+        )
+        obs_metrics.merge_snapshots(
+            report.metrics,
+            {
+                "gauges": {
+                    "campaign.queue_depth_peak": peak["queue"],
+                    "campaign.workers_active_peak": peak["workers"],
+                    "campaign.worker_utilization": round(min(utilization, 1.0), 4),
+                }
+            },
+        )
         return report
 
     # -- helpers ---------------------------------------------------------------------

@@ -7,7 +7,11 @@ A run store is a directory holding everything one campaign run produces:
 * ``records.jsonl`` — one line per job *attempt* (done, crashed, timed out,
   or errored), appended as workers finish, in completion order;
 * ``solver_cache.jsonl`` — the persistent solver query cache shared by the
-  campaign's workers (see :mod:`repro.campaign.cache`).
+  campaign's workers (see :mod:`repro.campaign.cache`);
+* ``events/<job-id>.jsonl`` — the serialized pipeline event stream of each
+  job's latest completed attempt, persisted by workers so that traces
+  (``codephage trace``) and evidence bundles (``codephage bundle``) can be
+  rebuilt after the run (see :mod:`repro.obs`).
 
 Because every attempt is appended rather than rewritten, killing a campaign
 mid-run loses at most the in-flight jobs; re-opening the store recovers the
@@ -112,6 +116,7 @@ class RunStore:
     PLAN_FILE = "plan.json"
     RECORDS_FILE = "records.jsonl"
     CACHE_FILE = "solver_cache.jsonl"
+    EVENTS_DIR = "events"
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
@@ -127,6 +132,13 @@ class RunStore:
     @property
     def cache_path(self) -> Path:
         return self.directory / self.CACHE_FILE
+
+    @property
+    def events_dir(self) -> Path:
+        return self.directory / self.EVENTS_DIR
+
+    def events_path(self, job_id: str) -> Path:
+        return self.events_dir / f"{job_id}.jsonl"
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -151,6 +163,8 @@ class RunStore:
                 )
         if fresh and self.records_path.exists():
             self.records_path.unlink()
+        if fresh and self.events_dir.exists():
+            shutil.rmtree(self.events_dir, ignore_errors=True)
         self.plan_path.write_text(json.dumps(plan.to_dict(), indent=2))
 
     def clear(self) -> None:
@@ -201,6 +215,37 @@ class RunStore:
 
     def completed_ids(self) -> set[str]:
         return {job_id for job_id, result in self.results().items() if result.completed}
+
+    # -- per-job event streams ---------------------------------------------------------
+
+    def write_events(self, job_id: str, events: list[dict]) -> Path:
+        """Persist a job's serialized event stream (one JSON dict per line).
+
+        Overwrites any earlier attempt's stream — the events on disk always
+        describe the same attempt as the latest record for the job.
+        """
+        path = self.events_path(job_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            "".join(json.dumps(event, separators=(",", ":")) + "\n" for event in events)
+        )
+        return path
+
+    def load_event_dicts(self, job_id: str) -> list[dict]:
+        """The stored event stream for ``job_id`` ([] when none was persisted)."""
+        try:
+            text = self.events_path(job_id).read_text()
+        except FileNotFoundError:
+            return []
+        events = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn write from an interrupted run
+        return events
 
     # -- reporting -------------------------------------------------------------------
 

@@ -12,6 +12,8 @@ Subcommands::
     codephage matrix [--seed N] [--pairs N] [--classes ...] [--formats ...]
                                          # generate a scenario corpus and run the
                                          # N-pairs x error-class transfer matrix
+    codephage trace JOB_ID [--chrome]    # export a stored job's trace (spans)
+    codephage bundle JOB_ID [--out F]    # export a repair evidence bundle
     codephage discover CASE              # re-discover the error input with DIODE/fuzzing
 
 ``figure8``, ``campaign``, and ``matrix`` all run through the campaign engine
@@ -56,6 +58,16 @@ from .experiments import ERROR_CASES, discover_error_input
 from .formats import all_formats
 from .formats.fields import FormatError
 from .lang.trace import ErrorKind
+from .obs import (
+    BundleError,
+    TraceObserver,
+    Tracer,
+    bundle_from_store,
+    metrics as obs_metrics,
+    trace_session,
+    tracer_from_events,
+    write_bundle,
+)
 from .scenarios import (
     CorpusConfig,
     ScenarioError,
@@ -89,24 +101,36 @@ def _cmd_list(_: argparse.Namespace) -> int:
 def _cmd_transfer(args: argparse.Namespace) -> int:
     case = ERROR_CASES[args.case]
     donor_name = args.donor or case.donors[0]
-    observers = [ProgressPrinter(verbose=args.verbose)] if args.progress else []
+    observers: list = [ProgressPrinter(verbose=args.verbose)] if args.progress else []
+    if args.progress:
+        # Live metric snapshot lines ride on the progress stream.
+        obs_metrics.enable()
+    tracer = None
+    if args.trace:
+        tracer = Tracer()
+        observers.append(TraceObserver(tracer))
     options = None
     if args.backend:
         options = CodePhageOptions(
             equivalence_options=EquivalenceOptions(backend=args.backend)
         )
     session = RepairSession(options=options, observers=observers)
-    report = session.run(
-        RepairRequest(
-            recipient=case.application(),
-            target=case.target(),
-            seed=case.seed_input(),
-            error_input=case.error_input(),
-            format_name=case.format_name,
-            donor=get_application(donor_name),
-            policy=args.policy,
-        )
+    request = RepairRequest(
+        recipient=case.application(),
+        target=case.target(),
+        seed=case.seed_input(),
+        error_input=case.error_input(),
+        format_name=case.format_name,
+        donor=get_application(donor_name),
+        policy=args.policy,
     )
+    if tracer is not None:
+        with trace_session(tracer):
+            report = session.run(request)
+        trace_path = tracer.write(args.trace, chrome=args.chrome)
+        print(f"trace: {len(tracer.spans)} spans -> {trace_path}", file=sys.stderr)
+    else:
+        report = session.run(request)
     outcome = report.outcome
     print(f"{case.recipient} <- {donor_name}: {'SUCCESS' if outcome.success else 'FAILED'}")
     for check in outcome.checks:
@@ -329,6 +353,77 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     )
 
 
+def _find_store(job_id: str, store_arg: str | None) -> RunStore | None:
+    """The run store holding ``job_id`` (explicit ``--store``, or a default).
+
+    Without ``--store``, every default store directory with a plan is
+    searched for a plan containing the job.
+    """
+    if store_arg:
+        return RunStore(store_arg)
+    for candidate in (
+        DEFAULT_FIGURE8_STORE,
+        DEFAULT_CAMPAIGN_STORE,
+        DEFAULT_MATRIX_STORE,
+    ):
+        store = RunStore(candidate)
+        try:
+            plan = store.load_plan()
+        except StoreError:
+            continue
+        if any(job.job_id == job_id for job in plan.jobs):
+            return store
+    return None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    store = _find_store(args.job_id, args.store)
+    if store is None:
+        print(
+            f"error: no run store contains job {args.job_id!r}; pass --store",
+            file=sys.stderr,
+        )
+        return 2
+    events = store.load_event_dicts(args.job_id)
+    if not events:
+        print(
+            f"error: store {store.directory} has no event stream for job "
+            f"{args.job_id!r} (the job has not completed under this version)",
+            file=sys.stderr,
+        )
+        return 1
+    tracer = tracer_from_events(events)
+    suffix = ".json" if args.chrome else ".jsonl"
+    out = Path(args.out) if args.out else store.directory / "traces" / f"{args.job_id}{suffix}"
+    tracer.write(out, chrome=args.chrome)
+    print(f"trace: {len(tracer.spans)} spans ({len(events)} events) -> {out}")
+    return 0
+
+
+def _cmd_bundle(args: argparse.Namespace) -> int:
+    store = _find_store(args.job_id, args.store)
+    if store is None:
+        print(
+            f"error: no run store contains job {args.job_id!r}; pass --store",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        bundle = bundle_from_store(store, args.job_id)
+    except (BundleError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    out = Path(args.out) if args.out else store.directory / "bundles" / f"{args.job_id}.json"
+    write_bundle(bundle, out)
+    repair = bundle["repair"]
+    print(
+        f"bundle: {repair['recipient']} <- {repair['donor']} "
+        f"({'success' if repair['success'] else 'failed'}, schema v"
+        f"{bundle['schema_version']}, {len(bundle['events'])} events) -> {out}"
+    )
+    return 0
+
+
 def _cmd_discover(args: argparse.Namespace) -> int:
     error_input = discover_error_input(args.case)
     if error_input is None:
@@ -368,6 +463,18 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(BACKENDS),
         default=None,
         help="SAT backend for solver queries (default: cdcl)",
+    )
+    transfer.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record tracing spans (stages, donor attempts, solver queries, "
+        "VM runs) and write them here",
+    )
+    transfer.add_argument(
+        "--chrome",
+        action="store_true",
+        help="with --trace, write Chrome trace_event JSON instead of span JSONL",
     )
 
     def add_campaign_arguments(command: argparse.ArgumentParser, default_store: str) -> None:
@@ -459,6 +566,33 @@ def main(argv: list[str] | None = None) -> int:
         help="patch strategies to cross with the generated pairs",
     )
 
+    trace = sub.add_parser(
+        "trace", help="export the span trace of a completed campaign job"
+    )
+    trace.add_argument("job_id", help="job id (shown in plan.json / records.jsonl)")
+    trace.add_argument(
+        "--store", default=None, help="run store directory (default: search the defaults)"
+    )
+    trace.add_argument(
+        "--out", default=None, help="output path (default: <store>/traces/<job-id>)"
+    )
+    trace.add_argument(
+        "--chrome",
+        action="store_true",
+        help="write Chrome trace_event JSON instead of span JSONL",
+    )
+
+    bundle = sub.add_parser(
+        "bundle", help="export the repair evidence bundle of a completed job"
+    )
+    bundle.add_argument("job_id", help="job id (shown in plan.json / records.jsonl)")
+    bundle.add_argument(
+        "--store", default=None, help="run store directory (default: search the defaults)"
+    )
+    bundle.add_argument(
+        "--out", default=None, help="output path (default: <store>/bundles/<job-id>.json)"
+    )
+
     discover = sub.add_parser("discover", help="re-discover an error input")
     discover.add_argument("case", choices=sorted(ERROR_CASES))
 
@@ -469,6 +603,8 @@ def main(argv: list[str] | None = None) -> int:
         "figure8": _cmd_figure8,
         "campaign": _cmd_campaign,
         "matrix": _cmd_matrix,
+        "trace": _cmd_trace,
+        "bundle": _cmd_bundle,
         "discover": _cmd_discover,
     }
     return handlers[args.command](args)

@@ -29,8 +29,9 @@ Event                    Emitted when
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Callable, Iterable, Sequence
 
 Observer = Callable[["PipelineEvent"], None]
 
@@ -96,6 +97,79 @@ class ResidualErrorFound(PipelineEvent):
 
     count: int
     round_index: int
+
+
+# -- serialization ---------------------------------------------------------------------
+#
+# Events cross process and disk boundaries: campaign workers ship their event
+# stream back through the run store, evidence bundles embed it, and the trace
+# exporter replays it.  The registry is *explicit* — a new event class must be
+# added here, and ``tests/core/test_event_serialization.py`` fails if the
+# registry and the set of PipelineEvent subclasses ever drift apart.
+
+#: Every concrete event type, keyed by its serialized name.
+EVENT_TYPES: dict[str, type["PipelineEvent"]] = {}
+
+
+def _register_event_types() -> None:
+    for cls in (
+        StageStarted,
+        StageFinished,
+        DonorAttempted,
+        CandidateRejected,
+        PatchValidated,
+        ResidualErrorFound,
+    ):
+        EVENT_TYPES[cls.__name__] = cls
+
+
+_register_event_types()
+
+
+def event_to_dict(event: "PipelineEvent") -> dict:
+    """One event as a JSON-ready dict with an ``event`` type tag."""
+    name = type(event).__name__
+    if name not in EVENT_TYPES:
+        raise ValueError(f"unregistered event type {name!r}; add it to EVENT_TYPES")
+    return {"event": name, **asdict(event)}
+
+
+def event_from_dict(payload: dict) -> "PipelineEvent":
+    """Rebuild an event from :func:`event_to_dict` output.
+
+    Unknown *fields* are dropped (a newer writer may have added one); an
+    unknown *event type* raises — silently swallowing a whole event class
+    would defeat the taxonomy-drift tests.
+    """
+    name = payload.get("event", "")
+    try:
+        cls = EVENT_TYPES[name]
+    except KeyError:
+        raise ValueError(f"unknown event type {name!r} in payload") from None
+    known = {f.name for f in fields(cls)}
+    return cls(**{key: value for key, value in payload.items() if key in known})
+
+
+def events_to_jsonl(events: Iterable["PipelineEvent"]) -> str:
+    """The event stream as JSON Lines (one event per line, append-friendly)."""
+    return "".join(
+        json.dumps(event_to_dict(event), separators=(",", ":")) + "\n"
+        for event in events
+    )
+
+
+def events_from_jsonl(text: str) -> list["PipelineEvent"]:
+    """Parse :func:`events_to_jsonl` output (blank lines skipped)."""
+    return [
+        event_from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+def events_as_dicts(events: Sequence["PipelineEvent"]) -> list[dict]:
+    """The event stream as a list of dicts (payload transport)."""
+    return [event_to_dict(event) for event in events]
 
 
 class EventBus:

@@ -229,15 +229,25 @@ def run_row(
     return report.outcome
 
 
-def execute_job(job, persistent_cache_path: Optional[str] = None) -> TransferOutcome:
-    """Run one campaign job (a :class:`repro.campaign.plan.JobSpec`).
+def execute_job_report(job, persistent_cache_path: Optional[str] = None):
+    """Run one campaign job and return the full :class:`~repro.api.RepairReport`.
 
-    ``job`` is duck-typed (``case_id``/``donor``/``build_options``) to keep
-    this module free of a circular import on :mod:`repro.campaign`.
+    The report carries the typed event stream alongside the outcome, which
+    campaign workers serialize into their result payload so the run store can
+    persist it (for ``codephage trace``/``bundle``).  ``job`` is duck-typed
+    (``case_id``/``donor``/``build_options``) to keep this module free of a
+    circular import on :mod:`repro.campaign`.
     """
     row = Figure8Row(case_id=job.case_id, donor=job.donor)
     session = RepairSession(options=job.build_options(persistent_cache_path))
-    return run_row(row, session=session)
+    return session.run(
+        RepairRequest.for_case(row.case, donor=get_application(row.donor))
+    )
+
+
+def execute_job(job, persistent_cache_path: Optional[str] = None) -> TransferOutcome:
+    """Run one campaign job (a :class:`repro.campaign.plan.JobSpec`)."""
+    return execute_job_report(job, persistent_cache_path=persistent_cache_path).outcome
 
 
 def run_case_with_all_donors(

@@ -15,11 +15,14 @@ inputs the application accepts, exactly as described in §1.1.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field as dataclass_field
 from typing import Optional, Union
 
 from ..formats.fields import FieldMap
 from ..formats.raw import RawFormat
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..symbolic import builder
 from ..symbolic.expr import Constant, Expr
 from ..symbolic.simplify import SimplifyOptions, simplify
@@ -159,6 +162,11 @@ class VM:
         entry: str = "main",
     ) -> RunResult:
         """Execute the program on ``data`` and return the run result."""
+        # Observability hook: one flag check each when telemetry is off.
+        tracer = obs_tracing.active()
+        registry = obs_metrics.REGISTRY if obs_metrics.REGISTRY.enabled else None
+        started = time.perf_counter() if (tracer or registry) else 0.0
+
         if field_map is None:
             field_map = RawFormat().field_map(data)
         self.globals = {}
@@ -191,6 +199,19 @@ class VM:
             self.result.exit_code = 1
         self.result.steps = self._steps
         self.result.fields_read = frozenset(self._stream.fields_read)
+        if registry is not None:
+            registry.inc("vm.runs")
+            registry.inc("vm.instructions_retired", self._steps)
+            registry.observe("vm.run_seconds", time.perf_counter() - started)
+        if tracer is not None:
+            tracer.record(
+                "vm-run",
+                "vm",
+                time.perf_counter() - started,
+                entry=entry,
+                steps=self._steps,
+                status=self.result.status.name,
+            )
         return self.result
 
     # -- frames and errors -------------------------------------------------------------

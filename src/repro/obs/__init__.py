@@ -1,0 +1,97 @@
+"""``repro.obs`` — the unified telemetry layer.
+
+One observability surface over the whole pipeline, in four parts:
+
+* :mod:`~repro.obs.tracing` — hierarchical spans (transfer > donor attempt >
+  stage > solver query), fed by the typed event stream plus instrumentation
+  hooks in the solver engine, the equivalence checker, and the VM;
+  exportable as JSONL or Chrome ``trace_event`` JSON (``codephage transfer
+  --trace`` live, ``codephage trace <job-id>`` from a run store).
+* :mod:`~repro.obs.metrics` — a process-wide counters/gauges/histograms
+  registry, disabled by default (near-zero overhead), aggregated across
+  campaign workers through the run store.
+* :mod:`~repro.obs.bundle` / :mod:`~repro.obs.schema` — versioned,
+  validator-backed repair evidence bundles (``codephage bundle <job-id>``).
+* :mod:`~repro.obs.ledger` — the committed perf-trajectory ledger
+  (``benchmarks/trajectory.json``) that ``tools/check_perf.py`` appends
+  benchmark summaries to and gates CI against.
+
+See ``docs/OBSERVABILITY.md`` for the span model, metric names, bundle
+schema versions, and the ledger workflow.
+"""
+
+from .bundle import (
+    BundleError,
+    build_bundle,
+    bundle_from_report,
+    bundle_from_store,
+    load_bundle,
+    write_bundle,
+)
+from .ledger import (
+    DEFAULT_LEDGER,
+    GATED_COUNTERS,
+    LedgerError,
+    Regression,
+    append_entry,
+    baseline_entry,
+    check_results,
+    compare_entries,
+    entry_from_summaries,
+    load_ledger,
+    load_summaries,
+    make_summary,
+)
+from .metrics import REGISTRY, MetricsEventObserver, MetricsRegistry
+from .schema import (
+    BUNDLE_SCHEMA,
+    LATEST_SCHEMA_VERSION,
+    SCHEMA_VERSIONS,
+    SchemaError,
+    ensure_valid_bundle,
+    validate_bundle,
+)
+from .tracing import (
+    SpanRecord,
+    TraceObserver,
+    Tracer,
+    spans_from_events,
+    trace_session,
+    tracer_from_events,
+)
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "BundleError",
+    "DEFAULT_LEDGER",
+    "GATED_COUNTERS",
+    "LATEST_SCHEMA_VERSION",
+    "LedgerError",
+    "MetricsEventObserver",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Regression",
+    "SCHEMA_VERSIONS",
+    "SchemaError",
+    "SpanRecord",
+    "TraceObserver",
+    "Tracer",
+    "append_entry",
+    "baseline_entry",
+    "build_bundle",
+    "bundle_from_report",
+    "bundle_from_store",
+    "check_results",
+    "compare_entries",
+    "ensure_valid_bundle",
+    "entry_from_summaries",
+    "load_bundle",
+    "load_ledger",
+    "load_summaries",
+    "make_summary",
+    "spans_from_events",
+    "trace_session",
+    "tracer_from_events",
+    "validate_bundle",
+    "write_bundle",
+]

@@ -1,0 +1,234 @@
+"""The perf-trajectory ledger: benchmark summaries tracked across runs.
+
+The benchmarks each emit one *benchmark summary* JSON into ``results/``
+(``benchmarks/conftest.write_benchmark_summary`` — shared schema: name,
+wall-ms breakdown, counters).  The ledger (committed at
+``benchmarks/trajectory.json``) is an append-only list of entries, one per
+recorded benchmark run, each folding in every summary present at record
+time.  ``tools/check_perf.py`` appends entries (``--append``) and gates CI:
+the current ``results/`` summaries are compared against the ledger's latest
+entry, and a run fails on a regression of more than ``--max-regression``
+(default 25%) in any benchmark's total wall time or in a gated counter —
+most importantly ``validation_share``, the PR 4 headline number, which is a
+ratio and therefore comparable across machines.
+
+This keeps perf wins from silently eroding: the 85% -> 62% validation-share
+drop is no longer a one-off claim in a PR description but a committed data
+point every CI run is measured against.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+#: Schema tags.
+SUMMARY_SCHEMA = "benchmark-summary"
+TRAJECTORY_SCHEMA = "perf-trajectory"
+SUMMARY_SCHEMA_VERSION = 1
+TRAJECTORY_SCHEMA_VERSION = 1
+
+#: Counters gated by the regression check (ratios / shares: smaller is
+#: better, machine-independent).  Wall-ms totals are always gated.
+GATED_COUNTERS = ("validation_share",)
+
+#: The committed ledger location, relative to the repository root.
+DEFAULT_LEDGER = "benchmarks/trajectory.json"
+
+
+class LedgerError(RuntimeError):
+    """Raised on malformed ledgers or summaries."""
+
+
+@dataclass
+class Regression:
+    """One gated metric that got worse than the allowance."""
+
+    benchmark: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark}.{self.metric}: {self.baseline:.4g} -> "
+            f"{self.current:.4g} ({self.ratio - 1.0:+.1%})"
+        )
+
+
+# -- summaries --------------------------------------------------------------------------
+
+
+def make_summary(
+    name: str,
+    wall_ms: dict[str, float],
+    counters: Optional[dict[str, float]] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """One benchmark summary in the shared schema.
+
+    ``wall_ms`` is the wall-time breakdown in milliseconds; a ``total`` key
+    is computed from the parts when not given.
+    """
+    wall_ms = {key: round(float(value), 3) for key, value in wall_ms.items()}
+    if "total" not in wall_ms:
+        wall_ms["total"] = round(sum(wall_ms.values()), 3)
+    summary = {
+        "schema": SUMMARY_SCHEMA,
+        "schema_version": SUMMARY_SCHEMA_VERSION,
+        "name": name,
+        "wall_ms": wall_ms,
+        "counters": dict(counters or {}),
+    }
+    if extra:
+        summary["extra"] = extra
+    return summary
+
+
+def is_summary(payload: dict) -> bool:
+    return (
+        isinstance(payload, dict)
+        and payload.get("schema") == SUMMARY_SCHEMA
+        and isinstance(payload.get("name"), str)
+        and isinstance(payload.get("wall_ms"), dict)
+    )
+
+
+def load_summaries(results_dir: str | Path) -> dict[str, dict]:
+    """Every benchmark summary under ``results_dir``, keyed by name.
+
+    Non-summary JSON files (raw results databases, legacy shapes) are
+    skipped silently — the ledger only ingests the shared schema.
+    """
+    summaries: dict[str, dict] = {}
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        return summaries
+    for path in sorted(directory.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if is_summary(payload):
+            summaries[payload["name"]] = payload
+    return summaries
+
+
+# -- the ledger -------------------------------------------------------------------------
+
+
+def empty_ledger() -> dict:
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "schema_version": TRAJECTORY_SCHEMA_VERSION,
+        "entries": [],
+    }
+
+
+def load_ledger(path: str | Path) -> dict:
+    """Load a trajectory ledger (an absent file is an empty ledger)."""
+    path = Path(path)
+    if not path.exists():
+        return empty_ledger()
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise LedgerError(f"ledger {path} is not valid JSON: {exc}") from None
+    if payload.get("schema") != TRAJECTORY_SCHEMA:
+        raise LedgerError(f"ledger {path} has schema {payload.get('schema')!r}")
+    payload.setdefault("entries", [])
+    return payload
+
+
+def entry_from_summaries(
+    summaries: dict[str, dict], source: str = "local", label: str = ""
+) -> dict:
+    """One ledger entry folding in every summary (wall-ms + counters only)."""
+    if not summaries:
+        raise LedgerError("no benchmark summaries to record")
+    return {
+        "source": source,
+        "label": label,
+        "benchmarks": {
+            name: {
+                "wall_ms": dict(summary.get("wall_ms") or {}),
+                "counters": dict(summary.get("counters") or {}),
+            }
+            for name, summary in sorted(summaries.items())
+        },
+    }
+
+
+def append_entry(path: str | Path, entry: dict) -> dict:
+    """Append ``entry`` to the ledger at ``path`` (created if absent)."""
+    path = Path(path)
+    ledger = load_ledger(path)
+    ledger["entries"].append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(ledger, indent=2, sort_keys=True) + "\n")
+    return ledger
+
+
+def baseline_entry(ledger: dict) -> Optional[dict]:
+    """The entry current results are compared against: the latest one."""
+    entries = ledger.get("entries") or []
+    return entries[-1] if entries else None
+
+
+# -- regression gating ------------------------------------------------------------------
+
+
+def compare_entries(
+    baseline: dict, current: dict, max_regression: float = 0.25
+) -> list[Regression]:
+    """Gated metrics of ``current`` that regressed past the allowance.
+
+    Only benchmarks present in *both* entries are compared (a benchmark that
+    was not rerun cannot regress); within a benchmark, the ``total`` wall
+    time and every :data:`GATED_COUNTERS` counter present on both sides are
+    gated.  ``max_regression`` is relative: 0.25 fails anything more than
+    25% worse than baseline.
+    """
+    regressions: list[Regression] = []
+    base_benchmarks = baseline.get("benchmarks") or {}
+    current_benchmarks = current.get("benchmarks") or {}
+    for name in sorted(set(base_benchmarks) & set(current_benchmarks)):
+        base, cur = base_benchmarks[name], current_benchmarks[name]
+        pairs: list[tuple[str, float, float]] = []
+        base_total = (base.get("wall_ms") or {}).get("total")
+        cur_total = (cur.get("wall_ms") or {}).get("total")
+        if base_total and cur_total is not None:
+            pairs.append(("wall_ms.total", float(base_total), float(cur_total)))
+        for counter in GATED_COUNTERS:
+            base_value = (base.get("counters") or {}).get(counter)
+            cur_value = (cur.get("counters") or {}).get(counter)
+            if base_value and cur_value is not None:
+                pairs.append((f"counters.{counter}", float(base_value), float(cur_value)))
+        for metric, base_value, cur_value in pairs:
+            if cur_value > base_value * (1.0 + max_regression):
+                regressions.append(Regression(name, metric, base_value, cur_value))
+    return regressions
+
+
+def check_results(
+    ledger_path: str | Path,
+    results_dir: str | Path,
+    max_regression: float = 0.25,
+) -> tuple[list[Regression], dict[str, dict]]:
+    """Compare current ``results/`` summaries against the committed ledger.
+
+    Returns ``(regressions, summaries)``.  An empty ledger yields no
+    regressions (there is nothing to gate against yet).
+    """
+    summaries = load_summaries(results_dir)
+    baseline = baseline_entry(load_ledger(ledger_path))
+    if baseline is None or not summaries:
+        return [], summaries
+    current = entry_from_summaries(summaries, source="check")
+    return compare_entries(baseline, current, max_regression), summaries

@@ -1,0 +1,179 @@
+"""Schema-version registry and validator for repair evidence bundles.
+
+Every bundle carries ``{"schema": "repair-evidence-bundle", "schema_version":
+N}``; :data:`SCHEMA_VERSIONS` maps each published version to a declarative
+spec, and :func:`validate_bundle` checks a payload against the spec for the
+version *it claims* — a reader can therefore accept any version it knows and
+reject the rest with a precise error, and a writer bumping the format must
+register the new version here (and keep the old spec so archived bundles
+stay checkable).
+
+Specs are nested dicts: a key maps to a type (or tuple of types), to a
+nested dict (a required sub-object), or to a single-element list (a required
+list whose items each match the element spec).  ``Optional(spec)`` marks a
+key that may be absent (but must match when present).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+#: The ``schema`` tag every bundle carries.
+BUNDLE_SCHEMA = "repair-evidence-bundle"
+
+#: The version :mod:`repro.obs.bundle` currently writes.
+LATEST_SCHEMA_VERSION = 1
+
+
+class SchemaError(ValueError):
+    """A bundle failed validation (message lists every violation)."""
+
+
+class Optional_:
+    """Marks a spec key as optional; the value must still match its spec."""
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+
+
+Spec = Union[type, tuple, dict, list, Optional_]
+
+_NUMBER = (int, float)
+
+#: Version 1: the initial bundle layout (PR 6).
+_V1: dict = {
+    "schema": str,
+    "schema_version": int,
+    "job": {
+        "job_id": str,
+        "case_id": str,
+        "donor": str,
+        "strategy": str,
+        "variant": str,
+        "overrides": dict,
+    },
+    "repair": {
+        "recipient": str,
+        "target": str,
+        "donor": str,
+        "success": bool,
+        "failure_reason": str,
+        "generation_time_s": _NUMBER,
+        "used_checks": int,
+    },
+    "patch": {
+        "preview": str,
+        "check_size": str,
+        "insertion_points": str,
+    },
+    "provenance": {
+        "donor": str,
+        "validated_checks": [
+            {
+                "function": str,
+                "line": int,
+                "excised_size": int,
+                "translated_size": int,
+                "round": int,
+            }
+        ],
+    },
+    "obligations": {
+        "relevant_branches": int,
+        "flipped_branches": str,
+        "rejected": dict,          # rejection kind -> count
+    },
+    "solver": {
+        "backend": str,
+        "queries": int,
+        "cache_hits": int,
+        "persistent_cache_hits": int,
+        "expensive_queries": int,
+        "batch_hits": int,
+        "backends": dict,          # backend name -> counter dict
+        "budgets": dict,           # budget overrides in force, if any
+    },
+    "timings": {
+        "stage_seconds": dict,     # stage name -> wall seconds
+        "attempt_elapsed_s": _NUMBER,
+    },
+    "events": [dict],
+    "source": Optional_(str),      # store path the bundle was exported from
+}
+
+#: Every published bundle schema version.
+SCHEMA_VERSIONS: dict[int, dict] = {1: _V1}
+
+
+def _check(payload, spec: Spec, path: str, errors: list[str]) -> None:
+    if isinstance(spec, Optional_):
+        _check(payload, spec.spec, path, errors)
+        return
+    if isinstance(spec, dict):
+        if not isinstance(payload, dict):
+            errors.append(f"{path}: expected object, got {type(payload).__name__}")
+            return
+        for key, sub in spec.items():
+            if key not in payload:
+                if isinstance(sub, Optional_):
+                    continue
+                errors.append(f"{path}.{key}: required key missing")
+                continue
+            _check(payload[key], sub, f"{path}.{key}", errors)
+        return
+    if isinstance(spec, list):
+        if not isinstance(payload, list):
+            errors.append(f"{path}: expected array, got {type(payload).__name__}")
+            return
+        for index, item in enumerate(payload):
+            _check(item, spec[0], f"{path}[{index}]", errors)
+        return
+    # A type (or tuple of types).  bool is an int subclass: reject a bool
+    # where a number is expected unless bool itself is allowed.
+    allowed = spec if isinstance(spec, tuple) else (spec,)
+    if isinstance(payload, bool) and bool not in allowed:
+        errors.append(f"{path}: expected {_spec_name(allowed)}, got bool")
+    elif not isinstance(payload, allowed):
+        errors.append(
+            f"{path}: expected {_spec_name(allowed)}, got {type(payload).__name__}"
+        )
+
+
+def _spec_name(allowed: tuple) -> str:
+    return "|".join(t.__name__ for t in allowed)
+
+
+def validate_bundle(payload: dict) -> list[str]:
+    """Every violation in ``payload`` against the schema version it claims.
+
+    Returns an empty list for a valid bundle.  The schema tag and a known
+    version are themselves part of validation.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"bundle: expected object, got {type(payload).__name__}"]
+    if payload.get("schema") != BUNDLE_SCHEMA:
+        errors.append(
+            f"bundle.schema: expected {BUNDLE_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    version = payload.get("schema_version")
+    spec = SCHEMA_VERSIONS.get(version)
+    if spec is None:
+        errors.append(
+            f"bundle.schema_version: unknown version {version!r} "
+            f"(known: {sorted(SCHEMA_VERSIONS)})"
+        )
+        return errors
+    _check(payload, spec, "bundle", errors)
+    return errors
+
+
+def ensure_valid_bundle(payload: dict) -> dict:
+    """Validate and return ``payload``; raises :class:`SchemaError` with every
+    violation listed otherwise."""
+    errors = validate_bundle(payload)
+    if errors:
+        raise SchemaError(
+            "invalid evidence bundle:\n  " + "\n  ".join(errors)
+        )
+    return payload

@@ -1,0 +1,362 @@
+"""Hierarchical tracing spans over the transfer pipeline.
+
+A :class:`Tracer` records :class:`SpanRecord`\\ s — named, categorised
+intervals with parent links — and exports them as JSONL (one span per line)
+or as Chrome ``trace_event`` JSON (load it in ``chrome://tracing`` or
+Perfetto).  Two sources feed a tracer:
+
+* the typed :class:`~repro.core.events.PipelineEvent` stream, folded into
+  spans by :class:`TraceObserver` (``transfer > donor attempt > stage``);
+* direct instrumentation hooks in the solver engine, the equivalence
+  checker, and the VM, which call :func:`begin_span`/:func:`end_span` or
+  :func:`record_span` against the *active* tracer — because those hooks run
+  synchronously inside a stage, their spans nest under the stage span that
+  is open at that moment.
+
+The active tracer is a module-level stack (:func:`activate` /
+:func:`deactivate`); when it is empty every hook is a single ``is None``
+check, so tracing costs nothing until someone opts in (``codephage transfer
+--trace``, or a :class:`Tracer` activated around a session).
+
+Campaign jobs are traced *post hoc*: workers persist their event stream to
+the run store (``events/<job-id>.jsonl``) and :func:`spans_from_events`
+reconstructs the span tree from the stored stream — stage durations come
+from ``StageFinished.elapsed_s``, and start times are reconstructed by
+accumulation, so the timeline is exact in durations and approximate in
+gaps.  Solver-query spans only exist in live traces; the stored stream does
+not carry them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: a named interval in the trace tree."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    start_s: float
+    duration_s: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start_s": round(self.start_s, 6),
+            "duration_s": round(self.duration_s, 6),
+            "attrs": self.attrs,
+        }
+
+
+@dataclass
+class _OpenSpan:
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    start_s: float
+    attrs: dict
+
+
+class Tracer:
+    """Collects spans; hierarchy comes from the stack of open spans."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._stack: list[_OpenSpan] = []
+        self._next_id = 1
+        self.spans: list[SpanRecord] = []
+
+    # -- clock -------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since the tracer was created."""
+        return time.perf_counter() - self._epoch
+
+    # -- span lifecycle ----------------------------------------------------------
+
+    def begin(self, name: str, category: str, **attrs) -> int:
+        """Open a span under the currently open span; returns its id."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1].span_id if self._stack else None
+        self._stack.append(
+            _OpenSpan(span_id, parent, name, category, self.now(), dict(attrs))
+        )
+        return span_id
+
+    def end(self, span_id: Optional[int] = None, **attrs) -> Optional[SpanRecord]:
+        """Close the top open span (or pop down to and including ``span_id``).
+
+        Closing down to an id also closes any spans opened above it that
+        were never explicitly ended — an observer that loses an end event
+        cannot corrupt the stack for its ancestors.
+        """
+        if not self._stack:
+            return None
+        closed: Optional[SpanRecord] = None
+        while self._stack:
+            open_span = self._stack.pop()
+            if span_id is None or open_span.span_id == span_id:
+                open_span.attrs.update(attrs)
+            record = SpanRecord(
+                span_id=open_span.span_id,
+                parent_id=open_span.parent_id,
+                name=open_span.name,
+                category=open_span.category,
+                start_s=open_span.start_s,
+                duration_s=max(0.0, self.now() - open_span.start_s),
+                attrs=open_span.attrs,
+            )
+            self.spans.append(record)
+            closed = record
+            if span_id is None or open_span.span_id == span_id:
+                break
+        return closed
+
+    def record(
+        self,
+        name: str,
+        category: str,
+        duration_s: float,
+        start_s: Optional[float] = None,
+        **attrs,
+    ) -> SpanRecord:
+        """Record a completed leaf span under the currently open span."""
+        span_id = self._next_id
+        self._next_id += 1
+        start = self.now() - duration_s if start_s is None else start_s
+        record = SpanRecord(
+            span_id=span_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            category=category,
+            start_s=max(0.0, start),
+            duration_s=duration_s,
+            attrs=dict(attrs),
+        )
+        self.spans.append(record)
+        return record
+
+    def finish(self) -> None:
+        """Close every span still open (end of trace)."""
+        while self._stack:
+            self.end()
+
+    # -- export ------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        ordered = sorted(self.spans, key=lambda span: (span.start_s, span.span_id))
+        return "".join(
+            json.dumps(span.to_dict(), separators=(",", ":")) + "\n"
+            for span in ordered
+        )
+
+    def to_chrome(self) -> dict:
+        """The spans as Chrome ``trace_event`` JSON (complete 'X' events)."""
+        events = []
+        for span in sorted(self.spans, key=lambda span: (span.start_s, span.span_id)):
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": round(span.start_s * 1e6, 3),
+                    "dur": round(span.duration_s * 1e6, 3),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {
+                        **span.attrs,
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                    },
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: str | Path, chrome: bool = False) -> Path:
+        """Write the trace to ``path`` (JSONL, or Chrome JSON with ``chrome``)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if chrome:
+            path.write_text(json.dumps(self.to_chrome(), indent=2) + "\n")
+        else:
+            path.write_text(self.to_jsonl())
+        return path
+
+
+# -- the active tracer ------------------------------------------------------------------
+
+_ACTIVE: list[Tracer] = []
+
+
+def activate(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` the target of the module-level span hooks."""
+    _ACTIVE.append(tracer)
+    return tracer
+
+
+def deactivate(tracer: Optional[Tracer] = None) -> None:
+    """Pop the active tracer (``tracer``, if given, must be it)."""
+    if not _ACTIVE:
+        return
+    if tracer is None or _ACTIVE[-1] is tracer:
+        _ACTIVE.pop()
+
+
+def active() -> Optional[Tracer]:
+    """The tracer instrumentation hooks should record into, if any."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def record_span(name: str, category: str, duration_s: float, **attrs) -> None:
+    """Leaf-span hook: records into the active tracer, no-op without one."""
+    tracer = _ACTIVE[-1] if _ACTIVE else None
+    if tracer is not None:
+        tracer.record(name, category, duration_s, **attrs)
+
+
+class trace_session:
+    """Context manager: activate a tracer for the duration of a block.
+
+    ::
+
+        tracer = Tracer()
+        session = RepairSession(observers=[TraceObserver(tracer)])
+        with trace_session(tracer):
+            session.run(request)     # solver/VM hooks now feed the tracer
+        tracer.write("out.jsonl")
+    """
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+
+    def __enter__(self) -> Tracer:
+        return activate(self.tracer)
+
+    def __exit__(self, *exc_info) -> None:
+        self.tracer.finish()
+        deactivate(self.tracer)
+
+
+# -- event-stream folding ---------------------------------------------------------------
+
+
+class TraceObserver:
+    """Folds the pipeline event stream into spans on a tracer.
+
+    Subscribe one to an :class:`~repro.core.events.EventBus` (or pass it as
+    a session observer).  Stage spans bracket ``StageStarted`` /
+    ``StageFinished``; a donor-attempt span opens at ``DonorAttempted`` and
+    closes at the next donor (or when the trace finishes); point decisions
+    (``PatchValidated``, ``CandidateRejected``, ``ResidualErrorFound``)
+    become zero-length marker spans.
+
+    Events are dispatched by type name (the serialization tag), keeping this
+    module import-free of :mod:`repro.core` — the solver engine imports the
+    tracing hooks, and the core package imports the solver.
+    """
+
+    def __init__(self, tracer: Tracer, root: str = "transfer") -> None:
+        self.tracer = tracer
+        self.root = root
+        self._root_id: Optional[int] = None
+        self._donor_id: Optional[int] = None
+        self._stage_ids: list[int] = []
+
+    def __call__(self, event) -> None:
+        tracer = self.tracer
+        if self._root_id is None:
+            self._root_id = tracer.begin(self.root, "transfer")
+        name = type(event).__name__
+        if name == "StageStarted":
+            self._stage_ids.append(
+                tracer.begin(
+                    event.stage,
+                    "stage",
+                    round=event.round_index,
+                    detail=event.detail,
+                )
+            )
+        elif name == "StageFinished":
+            if self._stage_ids:
+                tracer.end(self._stage_ids.pop())
+        elif name == "DonorAttempted":
+            if self._donor_id is not None:
+                tracer.end(self._donor_id)
+            self._donor_id = tracer.begin(
+                f"donor {event.donor}",
+                "donor-attempt",
+                donor=event.donor,
+                index=event.index,
+                total=event.total,
+            )
+            self._stage_ids.clear()
+        elif name == "PatchValidated":
+            tracer.record(
+                f"patch validated {event.function}:{event.line}",
+                "decision",
+                0.0,
+                donor=event.donor,
+                excised_size=event.excised_size,
+                translated_size=event.translated_size,
+                round=event.round_index,
+            )
+        elif name == "CandidateRejected":
+            tracer.record(
+                f"rejected {event.kind} {event.function}:{event.line}",
+                "decision",
+                0.0,
+                reason=event.reason,
+            )
+        elif name == "ResidualErrorFound":
+            tracer.record(
+                f"{event.count} residual error(s)",
+                "decision",
+                0.0,
+                round=event.round_index,
+            )
+
+
+def spans_from_events(events: Iterable, root: str = "transfer") -> list[SpanRecord]:
+    """Reconstruct the span tree from a (stored) event stream.
+
+    Accepts :class:`~repro.core.events.PipelineEvent` objects or their
+    serialized dicts.  Start times are rebuilt by accumulating stage
+    durations onto a virtual clock: durations are exact (they come from
+    ``StageFinished.elapsed_s``), the gaps between stages are not
+    represented, and solver-query spans are absent — they exist only in
+    live traces.
+    """
+    from ..core.events import event_from_dict  # local: core imports the solver
+
+    tracer = Tracer()
+    observer = TraceObserver(tracer, root=root)
+    state = {"clock": 0.0}
+    tracer.now = lambda: state["clock"]  # type: ignore[method-assign] - virtual timeline
+    for item in events:
+        event = event_from_dict(item) if isinstance(item, dict) else item
+        if type(event).__name__ == "StageFinished":
+            state["clock"] += event.elapsed_s
+        observer(event)
+    tracer.finish()
+    return tracer.spans
+
+
+def tracer_from_events(events: Sequence, root: str = "transfer") -> Tracer:
+    """A tracer pre-loaded with :func:`spans_from_events` output (for export)."""
+    tracer = Tracer()
+    tracer.spans = spans_from_events(events, root=root)
+    return tracer

@@ -62,18 +62,33 @@ def _load_corpus(manifest_path: str | Path) -> ScenarioCorpus:
 
 
 def matrix_job_runner(payload: dict, cache_path: Optional[str], manifest_path: str) -> dict:
-    """Run one generated transfer; executed inside a worker process."""
+    """Run one generated transfer; executed inside a worker process.
+
+    Same telemetry contract as ``campaign.scheduler.default_job_runner``:
+    the result payload carries the serialized event stream (persisted to the
+    store's ``events/`` directory for ``codephage trace``/``bundle``) and a
+    per-job metrics snapshot from a registry reset/enabled around the run.
+    """
     from ..api.facade import RepairSession
+    from ..core.events import events_as_dicts
+    from ..obs import metrics as obs_metrics
 
     corpus = _load_corpus(manifest_path)
     job = JobSpec.from_dict(payload)
     pair = corpus.pair(job.case_id)
+    obs_metrics.REGISTRY.reset()
+    obs_metrics.REGISTRY.enable()
     start = time.perf_counter()
     with scoped_registration(pair.recipient, pair.donor):
         session = RepairSession(options=job.build_options(cache_path))
         report = session.run_case(pair, donor=pair.donor)
     record = TransferRecord.from_outcome(report.outcome)
-    return {"record": asdict(record), "elapsed_s": time.perf_counter() - start}
+    return {
+        "record": asdict(record),
+        "elapsed_s": time.perf_counter() - start,
+        "events": events_as_dicts(report.events),
+        "metrics": obs_metrics.REGISTRY.snapshot(),
+    }
 
 
 def corpus_plan(corpus: ScenarioCorpus, **plan_kwargs) -> CampaignPlan:

@@ -27,9 +27,12 @@ and a fresh backend instance (statistics still accrue to the same counters).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..symbolic.expr import Expr, InputField
 from .backends import BackendStatistics, SolverBackend, make_backend
 from .bitblast import BitBlaster, BlastError
@@ -128,11 +131,42 @@ class ValidationEngine:
         expressions; width clashes against earlier queries are handled by an
         internal one-shot fallback.
         """
+        # Observability hook: one flag check each when telemetry is off.
+        tracer = obs_tracing.active()
+        registry = obs_metrics.REGISTRY if obs_metrics.REGISTRY.enabled else None
+
         if self.use_batch:
             cached = self.batch.get("cnf", condition.digest)
             if cached is not None:
+                if registry is not None:
+                    registry.inc("solver.cnf_queries")
+                    registry.inc("solver.cnf_batch_hits")
+                if tracer is not None:
+                    tracer.record(
+                        "solver-query",
+                        "solver",
+                        0.0,
+                        cached=True,
+                        status=cached.status.name,
+                        backend=cached.backend,
+                    )
                 return cached
+        started = time.perf_counter() if (tracer or registry) else 0.0
         outcome = self._solve(condition, conflict_limit or self.conflict_limit)
+        if registry is not None:
+            registry.inc("solver.cnf_queries")
+            registry.inc("solver.cnf_conflicts", outcome.conflicts)
+            registry.observe("solver.cnf_seconds", time.perf_counter() - started)
+        if tracer is not None:
+            tracer.record(
+                "solver-query",
+                "solver",
+                time.perf_counter() - started,
+                cached=False,
+                status=outcome.status.name,
+                conflicts=outcome.conflicts,
+                backend=outcome.backend,
+            )
         if self.use_batch and outcome.status is not Status.UNKNOWN:
             self.batch.put("cnf", condition.digest, outcome)
         return outcome

@@ -30,9 +30,12 @@ from __future__ import annotations
 import enum
 import itertools
 import random
+import time
 from dataclasses import dataclass, field as dataclass_field
 from typing import Optional
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..symbolic import builder
 from ..symbolic.evaluate import evaluate
 from ..symbolic.expr import Binary, Expr, InputField, Kind, Unary
@@ -238,6 +241,36 @@ class EquivalenceChecker:
 
     def equivalent(self, left: Expr, right: Expr) -> EquivalenceResult:
         """Decide whether ``left`` and ``right`` always evaluate equally."""
+        tracer = obs_tracing.active()
+        registry = obs_metrics.REGISTRY if obs_metrics.REGISTRY.enabled else None
+        if tracer is None and registry is None:
+            return self._equivalent(left, right)
+        # Cache hits are inferred from the statistics deltas so the telemetry
+        # wrapper never has to reach into the decision ladder.
+        base_hits = self.statistics.cache_hits + self.statistics.persistent_cache_hits
+        started = time.perf_counter()
+        result = self._equivalent(left, right)
+        elapsed = time.perf_counter() - started
+        cached = (
+            self.statistics.cache_hits + self.statistics.persistent_cache_hits
+        ) > base_hits
+        if registry is not None:
+            registry.inc("solver.queries")
+            if cached:
+                registry.inc("solver.cache_hits")
+            registry.observe("solver.query_seconds", elapsed)
+        if tracer is not None:
+            tracer.record(
+                "solver-equivalence",
+                "solver",
+                elapsed,
+                verdict=result.verdict.name,
+                method=result.method,
+                cached=cached,
+            )
+        return result
+
+    def _equivalent(self, left: Expr, right: Expr) -> EquivalenceResult:
         self.statistics.queries += 1
         left_simplified = simplify(left, self.simplify_options)
         right_simplified = simplify(right, self.simplify_options)
@@ -298,6 +331,35 @@ class EquivalenceChecker:
         budget exhaustion stays retryable — matching
         :meth:`ValidationEngine.check_sat`'s treatment of UNKNOWN.
         """
+        tracer = obs_tracing.active()
+        registry = obs_metrics.REGISTRY if obs_metrics.REGISTRY.enabled else None
+        if tracer is None and registry is None:
+            return self._satisfiable(condition)
+        base_batch = self.query_batch.hits
+        base_persistent = self.statistics.persistent_cache_hits
+        started = time.perf_counter()
+        answer = self._satisfiable(condition)
+        elapsed = time.perf_counter() - started
+        cached = (
+            self.query_batch.hits > base_batch
+            or self.statistics.persistent_cache_hits > base_persistent
+        )
+        if registry is not None:
+            registry.inc("solver.queries")
+            if cached:
+                registry.inc("solver.cache_hits")
+            registry.observe("solver.query_seconds", elapsed)
+        if tracer is not None:
+            tracer.record(
+                "solver-satisfiable",
+                "solver",
+                elapsed,
+                satisfiable=answer[0],
+                cached=cached,
+            )
+        return answer
+
+    def _satisfiable(self, condition: Expr) -> tuple[bool, Optional[dict[str, int]]]:
         self.statistics.satisfiability_queries += 1
         condition = simplify(condition, self.simplify_options)
 

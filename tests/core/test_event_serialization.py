@@ -1,0 +1,123 @@
+"""Exhaustiveness guarantees for the typed event stream.
+
+Two invariants the telemetry layer depends on:
+
+* every :class:`PipelineEvent` subclass round-trips through the JSONL
+  serializer (so persisted campaign event streams lose nothing), and
+* every stage a real transfer executes emits a balanced
+  ``StageStarted``/``StageFinished`` pair (so trace reconstruction can
+  bracket spans).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import api
+from repro.core import events as events_module
+from repro.core.events import (
+    EVENT_TYPES,
+    PipelineEvent,
+    StageFinished,
+    StageStarted,
+    event_from_dict,
+    event_to_dict,
+    events_from_jsonl,
+    events_to_jsonl,
+)
+from repro.experiments import ERROR_CASES
+
+#: One fully-populated sample per event type; the exhaustiveness test below
+#: fails if a new event class is added without a sample here.
+SAMPLE_EVENTS = [
+    events_module.StageStarted(stage="excision", round_index=1),
+    events_module.StageFinished(stage="excision", elapsed_s=0.125, round_index=1),
+    events_module.DonorAttempted(donor="feh", index=1, total=3),
+    events_module.CandidateRejected(kind="check", function="f", line=7, reason="no parse"),
+    events_module.PatchValidated(
+        donor="feh", function="f", line=7, excised_size=5, translated_size=4
+    ),
+    events_module.ResidualErrorFound(count=2, round_index=0),
+]
+
+
+def _subclasses(cls):
+    found = set()
+    for sub in cls.__subclasses__():
+        found.add(sub)
+        found |= _subclasses(sub)
+    return found
+
+
+class TestRegistryExhaustiveness:
+    def test_every_event_class_is_registered(self):
+        assert set(EVENT_TYPES.values()) == _subclasses(PipelineEvent)
+
+    def test_every_event_class_has_a_sample(self):
+        assert {type(event) for event in SAMPLE_EVENTS} == set(EVENT_TYPES.values())
+
+    def test_unregistered_events_are_rejected(self):
+        @dataclasses.dataclass(frozen=True)
+        class Rogue:
+            pass
+
+        with pytest.raises(ValueError):
+            event_to_dict(Rogue())
+        with pytest.raises(ValueError):
+            event_from_dict({"event": "Rogue"})
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "event", SAMPLE_EVENTS, ids=[type(e).__name__ for e in SAMPLE_EVENTS]
+    )
+    def test_dict_roundtrip_preserves_every_field(self, event):
+        payload = event_to_dict(event)
+        assert payload["event"] == type(event).__name__
+        restored = event_from_dict(payload)
+        assert restored == event
+        assert type(restored) is type(event)
+
+    def test_jsonl_roundtrip_preserves_order_and_values(self):
+        text = events_to_jsonl(SAMPLE_EVENTS)
+        assert len(text.splitlines()) == len(SAMPLE_EVENTS)
+        assert events_from_jsonl(text) == SAMPLE_EVENTS
+
+    def test_jsonl_skips_blank_lines(self):
+        text = "\n" + events_to_jsonl(SAMPLE_EVENTS[:1]) + "\n\n"
+        assert events_from_jsonl(text) == SAMPLE_EVENTS[:1]
+
+
+class TestStagePairing:
+    @pytest.fixture(scope="class")
+    def transfer_events(self):
+        case = ERROR_CASES["cwebp-jpegdec"]
+        report = api.repair(
+            api.RepairRequest(
+                recipient=case.application(),
+                target=case.target(),
+                seed=case.seed_input(),
+                error_input=case.error_input(),
+                format_name="jpeg",
+                donor="feh",
+            )
+        )
+        return report.events
+
+    def test_every_stage_emits_balanced_started_finished_pairs(self, transfer_events):
+        open_stages: list[str] = []
+        pairs = 0
+        for event in transfer_events:
+            if isinstance(event, StageStarted):
+                open_stages.append(event.stage)
+            elif isinstance(event, StageFinished):
+                assert open_stages and open_stages[-1] == event.stage, (
+                    f"StageFinished({event.stage}) without a matching StageStarted"
+                )
+                open_stages.pop()
+                pairs += 1
+        assert not open_stages, f"stages left open: {open_stages}"
+        assert pairs >= 5  # a real transfer runs the full candidate graph
+
+    def test_the_whole_stream_survives_jsonl(self, transfer_events):
+        assert events_from_jsonl(events_to_jsonl(transfer_events)) == list(transfer_events)

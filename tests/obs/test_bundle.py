@@ -1,0 +1,131 @@
+"""Evidence bundle tests: schema registry, validator, builders."""
+
+import pytest
+
+from repro import api
+from repro.experiments import ERROR_CASES
+from repro.obs.bundle import (
+    BundleError,
+    build_bundle,
+    bundle_from_report,
+    bundle_from_store,
+    load_bundle,
+    write_bundle,
+)
+from repro.obs.schema import (
+    BUNDLE_SCHEMA,
+    LATEST_SCHEMA_VERSION,
+    SCHEMA_VERSIONS,
+    SchemaError,
+    ensure_valid_bundle,
+    validate_bundle,
+)
+
+
+@pytest.fixture(scope="module")
+def transfer_report():
+    case = ERROR_CASES["cwebp-jpegdec"]
+    return api.repair(
+        api.RepairRequest(
+            recipient=case.application(),
+            target=case.target(),
+            seed=case.seed_input(),
+            error_input=case.error_input(),
+            format_name="jpeg",
+            donor="feh",
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def bundle(transfer_report):
+    return bundle_from_report(transfer_report)
+
+
+class TestSchemaRegistry:
+    def test_latest_version_is_registered(self):
+        assert LATEST_SCHEMA_VERSION in SCHEMA_VERSIONS
+
+    def test_unknown_version_is_rejected(self, bundle):
+        broken = dict(bundle, schema_version=LATEST_SCHEMA_VERSION + 1)
+        errors = validate_bundle(broken)
+        assert any("schema_version" in error for error in errors)
+
+    def test_wrong_schema_tag_is_rejected(self, bundle):
+        errors = validate_bundle(dict(bundle, schema="something-else"))
+        assert errors
+
+    def test_missing_section_is_reported_by_path(self, bundle):
+        broken = {key: value for key, value in bundle.items() if key != "solver"}
+        errors = validate_bundle(broken)
+        assert any("solver" in error for error in errors)
+
+    def test_type_violations_are_reported(self, bundle):
+        broken = dict(bundle, repair=dict(bundle["repair"], success="yes"))
+        errors = validate_bundle(broken)
+        assert any("repair.success" in error for error in errors)
+
+    def test_ensure_valid_raises_schema_error(self, bundle):
+        with pytest.raises(SchemaError):
+            ensure_valid_bundle(dict(bundle, events="not-a-list"))
+
+
+class TestBundleFromReport:
+    def test_validates_against_the_latest_schema(self, bundle):
+        assert bundle["schema"] == BUNDLE_SCHEMA
+        assert bundle["schema_version"] == LATEST_SCHEMA_VERSION
+        assert validate_bundle(bundle) == []
+
+    def test_carries_the_repair_verdict_and_provenance(self, bundle, transfer_report):
+        assert bundle["repair"]["success"] is transfer_report.success
+        assert bundle["repair"]["donor"] == "feh-2.9.3"
+        assert bundle["provenance"]["validated_checks"], "no validated check recorded"
+        check = bundle["provenance"]["validated_checks"][0]
+        assert check["excised_size"] > 0
+
+    def test_embeds_the_full_event_stream(self, bundle, transfer_report):
+        assert len(bundle["events"]) == len(transfer_report.events)
+        assert all("event" in event for event in bundle["events"])
+
+    def test_solver_accounting_matches_the_metrics(self, bundle, transfer_report):
+        assert bundle["solver"]["queries"] == transfer_report.metrics.solver_queries
+        assert bundle["solver"]["backend"] == "cdcl"
+
+    def test_roundtrips_through_disk(self, bundle, tmp_path):
+        path = write_bundle(bundle, tmp_path / "bundle.json")
+        assert load_bundle(path) == bundle
+
+
+class TestBuildBundle:
+    def test_budget_overrides_are_surfaced(self):
+        job = {
+            "job_id": "abc",
+            "case_id": "c",
+            "donor": "d",
+            "strategy": "guard",
+            "variant": "default",
+            "overrides": {"backend": "dpll", "sat_conflict_budget": 100, "other": 1},
+        }
+        record = {"success": True}
+        bundle = build_bundle(job=job, record=record)
+        assert bundle["solver"]["backend"] == "dpll"
+        assert bundle["solver"]["budgets"] == {"sat_conflict_budget": 100}
+
+    def test_rejections_are_counted_by_kind(self):
+        events = [
+            {"event": "CandidateRejected", "kind": "check", "function": "f", "line": 1, "reason": "r"},
+            {"event": "CandidateRejected", "kind": "check", "function": "g", "line": 2, "reason": "r"},
+            {"event": "CandidateRejected", "kind": "patch", "function": "g", "line": 2, "reason": "r"},
+        ]
+        bundle = build_bundle(job={}, record={}, events=events)
+        assert bundle["obligations"]["rejected"] == {"check": 2, "patch": 1}
+
+
+class TestBundleFromStore:
+    def test_missing_job_raises(self, tmp_path):
+        from repro.campaign import CampaignPlan, RunStore
+
+        store = RunStore(tmp_path / "store")
+        store.initialise(CampaignPlan(name="empty", jobs=()))
+        with pytest.raises(BundleError):
+            bundle_from_store(store, "nope")

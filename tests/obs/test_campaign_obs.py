@@ -1,0 +1,179 @@
+"""Campaign telemetry: worker payloads, store persistence, trace/bundle CLI."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import cli
+from repro.campaign import CampaignScheduler, RunStore, SchedulerOptions, expand_plan
+from repro.core.reporting import TransferRecord
+from repro.obs import metrics as obs_metrics
+from repro.obs.schema import ensure_valid_bundle
+
+
+def _stub_record(job) -> TransferRecord:
+    return TransferRecord(
+        recipient=job["case_id"],
+        target="t",
+        donor=job["donor"],
+        success=True,
+        generation_time_s=0.1,
+        relevant_branches=1,
+        flipped_branches="1",
+        used_checks=1,
+        insertion_points="-",
+        check_size="1",
+    )
+
+
+def stub_runner(payload: dict, cache_path) -> dict:
+    """Module-level (picklable) runner emitting a canned telemetry payload."""
+    return {
+        "record": dataclasses.asdict(_stub_record(payload)),
+        "elapsed_s": 0.01,
+        "events": [
+            {"event": "StageStarted", "stage": "excision", "round_index": 0},
+            {"event": "StageFinished", "stage": "excision", "elapsed_s": 0.01, "round_index": 0},
+        ],
+        "metrics": {
+            "counters": {"solver.queries": 7, "vm.instructions_retired": 100},
+            "gauges": {},
+            "histograms": {},
+        },
+    }
+
+
+class TestWorkerPayloadPlumbing:
+    @pytest.fixture
+    def campaign(self, tmp_path):
+        plan = expand_plan(cases=["cwebp-jpegdec"], name="obs-stub")
+        store = RunStore(tmp_path / "run")
+        store.initialise(plan)
+        scheduler = CampaignScheduler(
+            plan, store, SchedulerOptions(jobs=2, start_method="fork"), runner=stub_runner
+        )
+        return plan, store, scheduler.run()
+
+    def test_events_are_persisted_per_job(self, campaign):
+        plan, store, report = campaign
+        assert report.completed == len(plan)
+        for job_id in plan.job_ids():
+            events = store.load_event_dicts(job_id)
+            assert [event["event"] for event in events] == ["StageStarted", "StageFinished"]
+
+    def test_worker_metrics_are_merged_into_the_report(self, campaign):
+        plan, _, report = campaign
+        counters = report.metrics.get("counters") or {}
+        assert counters["solver.queries"] == 7 * len(plan)
+        assert counters["vm.instructions_retired"] == 100 * len(plan)
+        # Scheduler-side gauges ride along with the worker counters.
+        gauges = report.metrics.get("gauges") or {}
+        assert 0.0 <= gauges["campaign.worker_utilization"] <= 1.0
+        assert "telemetry:" in report.summary()
+        assert "workers:" in report.summary()
+
+
+class TestStoreEventsDirectory:
+    def test_roundtrip_and_overwrite(self, tmp_path):
+        plan = expand_plan(cases=["cwebp-jpegdec"], name="events")
+        store = RunStore(tmp_path / "run")
+        store.initialise(plan)
+        job_id = plan.job_ids()[0]
+        store.write_events(job_id, [{"event": "A"}, {"event": "B"}])
+        store.write_events(job_id, [{"event": "C"}])  # latest attempt wins
+        assert store.load_event_dicts(job_id) == [{"event": "C"}]
+
+    def test_missing_and_torn_lines_are_tolerated(self, tmp_path):
+        plan = expand_plan(cases=["cwebp-jpegdec"], name="events")
+        store = RunStore(tmp_path / "run")
+        store.initialise(plan)
+        assert store.load_event_dicts("absent") == []
+        path = store.events_path("torn")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"event": "A"}\n\n{truncat')
+        assert store.load_event_dicts("torn") == [{"event": "A"}]
+
+    def test_fresh_initialise_clears_events(self, tmp_path):
+        plan = expand_plan(cases=["cwebp-jpegdec"], name="events")
+        store = RunStore(tmp_path / "run")
+        store.initialise(plan)
+        store.write_events(plan.job_ids()[0], [{"event": "A"}])
+        store.initialise(plan, fresh=True)
+        assert store.load_event_dicts(plan.job_ids()[0]) == []
+
+
+class TestTraceAndBundleCli:
+    @pytest.fixture(scope="class")
+    def real_campaign(self, tmp_path_factory):
+        """One real single-job campaign backing the post-hoc CLI commands."""
+        plan = expand_plan(cases=["cwebp-jpegdec"], donors=["feh"], name="obs-cli")
+        store = RunStore(tmp_path_factory.mktemp("obs-cli") / "run")
+        store.initialise(plan)
+        report = CampaignScheduler(
+            plan, store, SchedulerOptions(jobs=1, start_method="fork")
+        ).run()
+        assert report.completed == 1 and not report.failed
+        return store, plan.job_ids()[0]
+
+    def test_trace_command_reconstructs_spans(self, real_campaign, tmp_path, capsys):
+        store, job_id = real_campaign
+        out = tmp_path / "trace.jsonl"
+        assert cli.main(
+            ["trace", job_id, "--store", str(store.directory), "--out", str(out)]
+        ) == 0
+        spans = [json.loads(line) for line in out.read_text().splitlines()]
+        names = {span["name"] for span in spans}
+        assert "transfer" in names and "validation" in names
+
+    def test_trace_command_chrome_export(self, real_campaign, tmp_path):
+        store, job_id = real_campaign
+        out = tmp_path / "trace.json"
+        assert cli.main(
+            ["trace", job_id, "--store", str(store.directory), "--out", str(out), "--chrome"]
+        ) == 0
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_bundle_command_exports_a_valid_bundle(self, real_campaign, tmp_path):
+        store, job_id = real_campaign
+        out = tmp_path / "bundle.json"
+        assert cli.main(
+            ["bundle", job_id, "--store", str(store.directory), "--out", str(out)]
+        ) == 0
+        bundle = json.loads(out.read_text())
+        ensure_valid_bundle(bundle)
+        assert bundle["repair"]["success"] is True
+        assert bundle["events"]
+
+    def test_unknown_job_id_fails_cleanly(self, real_campaign, tmp_path, capsys):
+        store, _ = real_campaign
+        assert cli.main(["trace", "feedface0000", "--store", str(store.directory)]) != 0
+
+
+class TestProgressMetricsLine:
+    def test_none_while_disabled(self):
+        from repro.api.progress import ProgressPrinter
+
+        obs_metrics.REGISTRY.disable()
+        assert ProgressPrinter().metrics_line() is None
+
+    def test_formats_live_counters_when_enabled(self):
+        from repro.api.progress import ProgressPrinter
+
+        registry = obs_metrics.REGISTRY
+        registry.reset()
+        registry.enable()
+        try:
+            registry.inc("pipeline.donor_attempts", 2)
+            registry.inc("solver.queries", 10)
+            registry.inc("solver.cache_hits", 5)
+            registry.inc("vm.instructions_retired", 123)
+            line = ProgressPrinter().metrics_line()
+        finally:
+            registry.reset()
+            registry.disable()
+        assert "2 donor attempt(s)" in line
+        assert "10 solver queries (50% cache hits)" in line
+        assert "123 VM instructions" in line

@@ -1,0 +1,172 @@
+"""Perf-trajectory ledger tests: summaries, entries, gating, check_perf CLI."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.ledger import (
+    GATED_COUNTERS,
+    LedgerError,
+    append_entry,
+    baseline_entry,
+    check_results,
+    compare_entries,
+    empty_ledger,
+    entry_from_summaries,
+    is_summary,
+    load_ledger,
+    load_summaries,
+    make_summary,
+)
+
+TOOLS_DIR = Path(__file__).resolve().parents[2] / "tools"
+
+
+def _write_summary(results_dir, name, total_ms, counters=None):
+    results_dir.mkdir(exist_ok=True)
+    summary = make_summary(name, {"total": total_ms}, counters=counters)
+    (results_dir / f"{name}.json").write_text(json.dumps(summary))
+    return summary
+
+
+class TestSummaries:
+    def test_total_is_computed_from_the_parts(self):
+        summary = make_summary("b", {"parse": 10.0, "solve": 30.0})
+        assert summary["wall_ms"]["total"] == 40.0
+
+    def test_explicit_total_is_kept(self):
+        summary = make_summary("b", {"parse": 10.0, "total": 99.0})
+        assert summary["wall_ms"]["total"] == 99.0
+
+    def test_is_summary_rejects_legacy_shapes(self):
+        assert not is_summary({"stages": {"validation": 1.0}})
+        assert is_summary(make_summary("b", {"total": 1.0}))
+
+    def test_load_summaries_skips_non_summary_json(self, tmp_path):
+        _write_summary(tmp_path, "good", 5.0)
+        (tmp_path / "legacy.json").write_text('{"rows": []}')
+        (tmp_path / "torn.json").write_text("{not json")
+        summaries = load_summaries(tmp_path)
+        assert set(summaries) == {"good"}
+
+    def test_missing_results_dir_is_empty(self, tmp_path):
+        assert load_summaries(tmp_path / "nope") == {}
+
+
+class TestLedgerFile:
+    def test_absent_file_is_an_empty_ledger(self, tmp_path):
+        ledger = load_ledger(tmp_path / "trajectory.json")
+        assert ledger == empty_ledger()
+        assert baseline_entry(ledger) is None
+
+    def test_append_creates_and_accumulates(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        summaries = {"b": make_summary("b", {"total": 10.0})}
+        append_entry(path, entry_from_summaries(summaries, label="first"))
+        ledger = append_entry(path, entry_from_summaries(summaries, label="second"))
+        assert [entry["label"] for entry in ledger["entries"]] == ["first", "second"]
+        assert baseline_entry(load_ledger(path))["label"] == "second"
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other"}')
+        with pytest.raises(LedgerError):
+            load_ledger(path)
+
+    def test_entry_requires_summaries(self):
+        with pytest.raises(LedgerError):
+            entry_from_summaries({})
+
+
+class TestGating:
+    def _entry(self, total_ms, share=None):
+        counters = {"validation_share": share} if share is not None else {}
+        return entry_from_summaries(
+            {"bench": make_summary("bench", {"total": total_ms}, counters=counters)}
+        )
+
+    def test_within_allowance_passes(self):
+        assert compare_entries(self._entry(100.0), self._entry(124.0)) == []
+
+    def test_wall_time_regression_is_caught(self):
+        regressions = compare_entries(self._entry(100.0), self._entry(130.0))
+        assert len(regressions) == 1
+        regression = regressions[0]
+        assert regression.metric == "wall_ms.total"
+        assert regression.ratio == pytest.approx(1.3)
+        assert "+30" in regression.describe()
+
+    def test_gated_counter_regression_is_caught(self):
+        assert "validation_share" in GATED_COUNTERS
+        regressions = compare_entries(
+            self._entry(100.0, share=0.6), self._entry(100.0, share=0.9)
+        )
+        assert [r.metric for r in regressions] == ["counters.validation_share"]
+
+    def test_improvements_never_fail(self):
+        assert compare_entries(self._entry(100.0, share=0.8), self._entry(50.0, share=0.4)) == []
+
+    def test_unshared_benchmarks_are_ignored(self):
+        baseline = entry_from_summaries({"a": make_summary("a", {"total": 1.0})})
+        current = entry_from_summaries({"b": make_summary("b", {"total": 1000.0})})
+        assert compare_entries(baseline, current) == []
+
+    def test_check_results_end_to_end(self, tmp_path):
+        results = tmp_path / "results"
+        ledger_path = tmp_path / "trajectory.json"
+        _write_summary(results, "bench", 100.0)
+        append_entry(ledger_path, entry_from_summaries(load_summaries(results)))
+        # No change: passes.
+        regressions, summaries = check_results(ledger_path, results)
+        assert regressions == [] and set(summaries) == {"bench"}
+        # 2x slower: gated.
+        _write_summary(results, "bench", 200.0)
+        regressions, _ = check_results(ledger_path, results)
+        assert [r.metric for r in regressions] == ["wall_ms.total"]
+
+
+class TestCheckPerfCli:
+    @pytest.fixture
+    def check_perf(self):
+        sys.path.insert(0, str(TOOLS_DIR))
+        try:
+            import check_perf
+
+            yield check_perf
+        finally:
+            sys.path.remove(str(TOOLS_DIR))
+
+    def test_append_then_gate_cycle(self, check_perf, tmp_path, capsys):
+        results = tmp_path / "results"
+        ledger_path = tmp_path / "trajectory.json"
+        _write_summary(results, "bench", 100.0)
+        base_args = ["--ledger", str(ledger_path), "--results", str(results)]
+
+        # Empty ledger: nothing to gate against, passes with a note.
+        assert check_perf.main(base_args) == 0
+        assert "nothing to gate against" in capsys.readouterr().out
+
+        assert check_perf.main(base_args + ["--append", "--label", "seed"]) == 0
+        assert check_perf.main(base_args) == 0
+        assert "OK" in capsys.readouterr().out
+
+        _write_summary(results, "bench", 400.0)
+        assert check_perf.main(base_args) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+        # A generous allowance lets the same results pass.
+        assert check_perf.main(base_args + ["--max-regression", "4.0"]) == 0
+
+    def test_append_with_no_summaries_errors(self, check_perf, tmp_path):
+        args = [
+            "--ledger", str(tmp_path / "t.json"),
+            "--results", str(tmp_path / "empty"),
+            "--append",
+        ]
+        assert check_perf.main(args) == 2
+
+    def test_committed_ledger_has_a_baseline(self, check_perf):
+        ledger = load_ledger(TOOLS_DIR.parent / "benchmarks" / "trajectory.json")
+        assert baseline_entry(ledger) is not None

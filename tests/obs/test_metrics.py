@@ -1,0 +1,129 @@
+"""Metrics registry unit tests: switch semantics, merging, event folding."""
+
+import pytest
+
+from repro.core.events import (
+    CandidateRejected,
+    DonorAttempted,
+    PatchValidated,
+    ResidualErrorFound,
+    StageFinished,
+)
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    Histogram,
+    MetricsEventObserver,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.enable()
+    return registry
+
+
+class TestSwitch:
+    def test_disabled_by_default_and_recording_is_a_no_op(self):
+        registry = MetricsRegistry()
+        assert not registry.enabled
+        registry.inc("a")
+        registry.set_gauge("b", 3)
+        registry.gauge_max("c", 9)
+        registry.observe("d", 0.5)
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_reset_keeps_the_switch(self, registry):
+        registry.inc("a", 2)
+        registry.reset()
+        assert registry.enabled
+        assert registry.counter("a") == 0
+
+
+class TestRecording:
+    def test_counters_accumulate(self, registry):
+        registry.inc("queries")
+        registry.inc("queries", 4)
+        assert registry.counter("queries") == 5
+
+    def test_gauges_keep_last_and_max(self, registry):
+        registry.set_gauge("depth", 7)
+        registry.set_gauge("depth", 2)
+        assert registry.gauge("depth") == 2
+        registry.gauge_max("peak", 3)
+        registry.gauge_max("peak", 1)
+        assert registry.gauge("peak") == 3
+
+    def test_histograms_bucket_and_track_extremes(self, registry):
+        registry.observe("seconds", 0.0002)
+        registry.observe("seconds", 2.0)
+        histogram = registry.histogram("seconds")
+        assert histogram.count == 2
+        assert histogram.minimum == 0.0002
+        assert histogram.maximum == 2.0
+        assert sum(histogram.buckets) == 2
+
+    def test_overflow_bucket_catches_large_observations(self):
+        histogram = Histogram()
+        histogram.observe(max(DEFAULT_BOUNDS) * 10)
+        assert histogram.buckets[-1] == 1
+
+
+class TestMerging:
+    def test_merge_snapshot_adds_counters_and_keeps_peak_gauges(self, registry):
+        registry.inc("n", 1)
+        registry.set_gauge("g", 5)
+        other = MetricsRegistry()
+        other.enable()
+        other.inc("n", 2)
+        other.set_gauge("g", 3)
+        registry.merge_snapshot(other.snapshot())
+        assert registry.counter("n") == 3
+        assert registry.gauge("g") == 5
+
+    def test_merge_works_while_disabled(self):
+        registry = MetricsRegistry()
+        registry.merge_snapshot({"counters": {"n": 4}})
+        assert registry.counter("n") == 4
+
+    def test_merge_histograms_bucketwise(self, registry):
+        registry.observe("h", 0.001)
+        other = MetricsRegistry()
+        other.enable()
+        other.observe("h", 10.0)
+        registry.merge_snapshot(other.snapshot())
+        histogram = registry.histogram("h")
+        assert histogram.count == 2
+        assert histogram.maximum == 10.0
+
+    def test_merge_snapshots_helper_folds_plain_dicts(self):
+        target = {}
+        merge_snapshots(target, {"counters": {"a": 1}, "gauges": {"g": 2}})
+        merge_snapshots(target, {"counters": {"a": 2}, "gauges": {"g": 1}})
+        assert target["counters"]["a"] == 3
+        assert target["gauges"]["g"] == 2
+
+
+class TestEventObserver:
+    def test_folds_the_event_taxonomy_into_counters(self, registry):
+        observer = MetricsEventObserver(registry)
+        observer(StageFinished(stage="validation", elapsed_s=0.5))
+        observer(DonorAttempted(donor="feh", index=0, total=2))
+        observer(CandidateRejected(kind="check", function="f", line=3, reason="r"))
+        observer(PatchValidated(donor="feh", function="f", line=3, excised_size=4, translated_size=3))
+        observer(ResidualErrorFound(count=2, round_index=0))
+        assert registry.counter("pipeline.stage.validation.runs") == 1
+        assert registry.counter("pipeline.stage.validation.seconds") == 0.5
+        assert registry.counter("pipeline.donor_attempts") == 1
+        assert registry.counter("pipeline.rejected.check") == 1
+        assert registry.counter("pipeline.patches_validated") == 1
+        assert registry.counter("pipeline.residual_errors") == 2
+        assert registry.histogram("pipeline.stage_seconds").count == 1
+
+    def test_observer_is_a_no_op_while_disabled(self):
+        registry = MetricsRegistry()
+        observer = MetricsEventObserver(registry)
+        observer(StageFinished(stage="validation", elapsed_s=0.5))
+        assert registry.snapshot()["counters"] == {}

@@ -19,6 +19,7 @@ def test_default_documents_cover_all_docs():
     assert REPO_ROOT / "docs" / "ARCHITECTURE.md" in documents
     assert REPO_ROOT / "docs" / "SOLVER.md" in documents
     assert REPO_ROOT / "docs" / "SCENARIOS.md" in documents
+    assert REPO_ROOT / "docs" / "OBSERVABILITY.md" in documents
     assert REPO_ROOT / "README.md" in documents
 
 
@@ -40,6 +41,12 @@ def test_scenarios_doc_references_exist():
     assert check_docs.stale_references(document) == []
 
 
+def test_observability_doc_references_exist():
+    document = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+    assert document.exists(), "docs/OBSERVABILITY.md is part of the repo contract"
+    assert check_docs.stale_references(document) == []
+
+
 def test_readme_references_exist():
     assert check_docs.stale_references(REPO_ROOT / "README.md") == []
 
@@ -54,6 +61,7 @@ def test_readme_links_architecture_and_solver_docs():
     assert "docs/ARCHITECTURE.md" in readme
     assert "docs/SOLVER.md" in readme
     assert "docs/SCENARIOS.md" in readme
+    assert "docs/OBSERVABILITY.md" in readme
 
 
 def test_checker_flags_missing_paths(tmp_path):

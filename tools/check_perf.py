@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Gate CI on the committed perf-trajectory ledger.
+
+The benchmarks write shared-schema summaries into ``results/``
+(``benchmarks/conftest.write_benchmark_summary``); the committed ledger
+``benchmarks/trajectory.json`` records those summaries over time
+(:mod:`repro.obs.ledger`).  This tool has two modes:
+
+* **check** (default): compare the current ``results/`` summaries against
+  the ledger's latest entry and exit non-zero on any regression of more
+  than ``--max-regression`` (default 25%) in a benchmark's total wall time
+  or in a gated counter (``validation_share``).  An empty ledger or an
+  empty ``results/`` directory passes with a note — there is nothing to
+  gate against yet.
+* **--append**: fold the current summaries into a new ledger entry (used to
+  record a fresh baseline; commit the updated ``benchmarks/trajectory.json``
+  afterwards).
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python tools/check_perf.py                # gate
+    PYTHONPATH=src python tools/check_perf.py --append --label "PR 6 baseline"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import ledger  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--ledger",
+        default=str(REPO_ROOT / ledger.DEFAULT_LEDGER),
+        help="trajectory ledger path (default: benchmarks/trajectory.json)",
+    )
+    parser.add_argument(
+        "--results",
+        default=str(REPO_ROOT / "results"),
+        help="directory holding the benchmark summary JSONs",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="relative allowance before a gated metric fails (default 0.25)",
+    )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="record the current summaries as a new ledger entry instead of gating",
+    )
+    parser.add_argument(
+        "--source", default="local", help="entry source tag for --append (e.g. ci)"
+    )
+    parser.add_argument("--label", default="", help="entry label for --append")
+    args = parser.parse_args(argv)
+
+    summaries = ledger.load_summaries(args.results)
+
+    if args.append:
+        if not summaries:
+            print(f"check_perf: no benchmark summaries under {args.results}", file=sys.stderr)
+            return 2
+        entry = ledger.entry_from_summaries(summaries, source=args.source, label=args.label)
+        updated = ledger.append_entry(args.ledger, entry)
+        print(
+            f"check_perf: appended entry #{len(updated['entries'])} "
+            f"({', '.join(sorted(summaries))}) to {args.ledger}"
+        )
+        return 0
+
+    if not summaries:
+        print(
+            f"check_perf: no benchmark summaries under {args.results}; "
+            "run the benchmarks first — nothing to gate"
+        )
+        return 0
+    baseline = ledger.baseline_entry(ledger.load_ledger(args.ledger))
+    if baseline is None:
+        print(f"check_perf: ledger {args.ledger} is empty; nothing to gate against")
+        return 0
+
+    current = ledger.entry_from_summaries(summaries, source="check")
+    regressions = ledger.compare_entries(baseline, current, args.max_regression)
+    shared = sorted(set(baseline.get("benchmarks") or {}) & set(summaries))
+    print(
+        f"check_perf: gating {len(shared)} benchmark(s) "
+        f"({', '.join(shared) or 'none'}) at {args.max_regression:.0%} allowance "
+        f"against {args.ledger}"
+    )
+    for name in shared:
+        base = baseline["benchmarks"][name]
+        cur = current["benchmarks"][name]
+        base_ms = (base.get("wall_ms") or {}).get("total", 0.0)
+        cur_ms = (cur.get("wall_ms") or {}).get("total", 0.0)
+        delta = (cur_ms / base_ms - 1.0) if base_ms else 0.0
+        print(f"  {name}: {base_ms:.1f}ms -> {cur_ms:.1f}ms ({delta:+.1%})")
+    if regressions:
+        print("check_perf: FAIL — perf trajectory regressions:", file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression.describe()}", file=sys.stderr)
+        return 1
+    print("check_perf: OK — no gated metric regressed past the allowance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
