@@ -44,6 +44,7 @@ from ..core.stages import (
     TransferEngine,
     get_policy,
 )
+from ..lang.vm import default_execution_tier, set_default_execution_tier
 from .facade import RepairReport, RepairRequest, RepairSession, repair
 from .progress import ProgressPrinter
 
@@ -76,6 +77,8 @@ __all__ = [
     "TransferEngine",
     "TransferMetrics",
     "TransferOutcome",
+    "default_execution_tier",
     "get_policy",
     "repair",
+    "set_default_execution_tier",
 ]

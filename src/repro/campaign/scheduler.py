@@ -245,6 +245,15 @@ class CampaignReport:
                 f"{int(counters.get('vm.instructions_retired', 0))} VM instructions "
                 "retired"
             )
+        if counters.get("vm.runs"):
+            compiles = int(counters.get("vm.compiles", 0))
+            cache_hits = int(counters.get("vm.compile_cache_hits", 0))
+            lines.append(
+                f"execution tiers: {int(counters.get('vm.runs_compiled', 0))} "
+                f"compiled / {int(counters.get('vm.runs_interpreted', 0))} "
+                f"interpreted runs, compile cache {cache_hits} hits / "
+                f"{compiles} compiles"
+            )
         if "campaign.worker_utilization" in gauges:
             lines.append(
                 f"workers: {gauges['campaign.worker_utilization']:.0%} utilized, "

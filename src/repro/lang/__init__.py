@@ -74,7 +74,28 @@ from .types import (
     integer_type,
     promote,
 )
-from .vm import VM, Frame, VMConfig, VMError, run_program
+from .vm import (
+    VM,
+    Frame,
+    VMConfig,
+    VMError,
+    default_execution_tier,
+    run_program,
+    set_default_execution_tier,
+)
+
+# Imported eagerly (not just for the re-exports): the compiled tier is the
+# default execution path, and lazy first-use import would bill the module's
+# (sizeable) bytecode compilation to whichever pipeline stage ran first —
+# with PYTHONDONTWRITEBYTECODE set there is no .pyc cache to absorb it.
+from .compile import (
+    clear_compile_cache,
+    compile_cache_info,
+    program_digest,
+    run_compiled,
+)
+from .compile import compile_program as compile_bytecode
+from .memory import ArenaBuffer
 
 __all__ = [
     "AllocationRecord",
@@ -121,8 +142,13 @@ __all__ = [
     "apply_patch",
     "assignable",
     "ast",
+    "ArenaBuffer",
     "check_program",
+    "clear_compile_cache",
+    "compile_bytecode",
+    "compile_cache_info",
     "compile_program",
+    "default_execution_tier",
     "instantiate",
     "integer_type",
     "make_value",
@@ -135,7 +161,10 @@ __all__ = [
     "render_patch_preview",
     "render_program",
     "render_statement",
+    "program_digest",
+    "run_compiled",
     "run_program",
+    "set_default_execution_tier",
     "tokenize",
     "I8",
     "I16",

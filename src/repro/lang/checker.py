@@ -12,6 +12,8 @@ paper's "CP recompiles the patched recipient application".
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -464,8 +466,26 @@ def check_program(unit: ast.TranslationUnit, name: str = "") -> Program:
     return Checker(unit, name=name).check()
 
 
+#: Content-addressed program cache.  Campaign workers and validation rounds
+#: repeatedly compile byte-identical sources (the same candidate patch is
+#: revalidated, the same recipient re-registered); keying on the full source
+#: text makes the cache self-invalidating — a rewritten program is a new key.
+#: Only successful compiles are cached; failures re-raise on every call.
+_PROGRAM_CACHE: "OrderedDict[tuple[str, str], Program]" = OrderedDict()
+_PROGRAM_CACHE_CAPACITY = 64
+
+
 def compile_program(source: str, name: str = "<program>") -> Program:
     """Parse and check MicroC source text (the reproduction's "compiler")."""
-    from .parser import parse_program
+    key = (name, source)
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        from .parser import parse_program
 
-    return check_program(parse_program(source, name=name), name=name)
+        program = check_program(parse_program(source, name=name), name=name)
+        _PROGRAM_CACHE[key] = program
+        if len(_PROGRAM_CACHE) > _PROGRAM_CACHE_CAPACITY:
+            _PROGRAM_CACHE.popitem(last=False)
+    else:
+        _PROGRAM_CACHE.move_to_end(key)
+    return program

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import re
 from typing import Iterator
 
 from .types import INTEGER_TYPE_NAMES
@@ -40,14 +40,33 @@ _SINGLE_CHAR_OPERATORS = set("+-*/%<>=!&|^~.")
 _PUNCTUATION = set("(){};,")
 
 
-@dataclass(frozen=True)
 class Token:
-    """One lexical token."""
+    """One lexical token.
 
-    kind: TokenKind
-    text: str
-    line: int
-    value: int = 0
+    A plain ``__slots__`` class rather than a dataclass: token construction
+    is the lexer's hottest allocation and the frozen-dataclass ``__init__``
+    (one ``object.__setattr__`` per field) doubled its cost.
+    """
+
+    __slots__ = ("kind", "text", "line", "value")
+
+    def __init__(self, kind: TokenKind, text: str, line: int, value: int = 0) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"Token({self.kind!r}, {self.text!r}, line={self.line}, value={self.value})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Token)
+            and self.kind is other.kind
+            and self.text == other.text
+            and self.line == other.line
+            and self.value == other.value
+        )
 
     def is_op(self, text: str) -> bool:
         return self.kind is TokenKind.OPERATOR and self.text == text
@@ -59,96 +78,71 @@ class Token:
         return self.kind is TokenKind.KEYWORD and self.text == text
 
 
+#: Master scanner: one alternation tried at each position.  Alternatives are
+#: ordered so block comments win over the ``/`` operator and multi-character
+#: operators over their single-character prefixes.
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>[ \t\r]+)
+    | (?P<nl>\n)
+    | (?P<lcomment>//[^\n]*)
+    | (?P<bcomment>/\*.*?\*/)
+    | (?P<hex>0[xX][0-9a-fA-F]+)
+    | (?P<num>[0-9]+[uUlL]*)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<op><<|>>|<=|>=|==|!=|&&|\|\||->|[+\-*/%<>=!&|^~.])
+    | (?P<punct>[(){};,\[\]])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
 def tokenize(source: str) -> list[Token]:
     """Tokenise MicroC source text."""
-    return list(_tokens(source))
+    tokens: list[Token] = []
+    append = tokens.append
+    line = 1
+    position = 0
+    length = len(source)
+    scan = _TOKEN_RE.match
+    while position < length:
+        match = scan(source, position)
+        if match is None:
+            if source.startswith("/*", position):
+                raise LexError("unterminated block comment", line)
+            raise LexError(f"unexpected character {source[position]!r}", line)
+        kind = match.lastgroup
+        text = match.group()
+        position = match.end()
+        if kind == "ws":
+            continue
+        if kind == "ident":
+            if text in KEYWORDS:
+                append(Token(TokenKind.KEYWORD, text, line))
+            elif text in INTEGER_TYPE_NAMES:
+                append(Token(TokenKind.TYPE_NAME, text, line))
+            else:
+                append(Token(TokenKind.IDENT, text, line))
+        elif kind == "op":
+            if text == "/" and position < length and source[position] == "*":
+                raise LexError("unterminated block comment", line)
+            append(Token(TokenKind.OPERATOR, text, line))
+        elif kind == "punct":
+            append(Token(TokenKind.PUNCT, text, line))
+        elif kind == "num":
+            digits = text.rstrip("uUlL")
+            append(Token(TokenKind.NUMBER, digits, line, int(digits, 10)))
+        elif kind == "hex":
+            append(Token(TokenKind.NUMBER, text, line, int(text, 16)))
+        elif kind == "nl":
+            line += 1
+        elif kind == "bcomment":
+            line += text.count("\n")
+        # lcomment: skipped outright
+    append(Token(TokenKind.END, "", line))
+    return tokens
 
 
 def _tokens(source: str) -> Iterator[Token]:
-    position = 0
-    line = 1
-    length = len(source)
-
-    while position < length:
-        char = source[position]
-
-        if char == "\n":
-            line += 1
-            position += 1
-            continue
-        if char in " \t\r":
-            position += 1
-            continue
-
-        # Comments.
-        if source.startswith("//", position):
-            end = source.find("\n", position)
-            position = length if end == -1 else end
-            continue
-        if source.startswith("/*", position):
-            end = source.find("*/", position + 2)
-            if end == -1:
-                raise LexError("unterminated block comment", line)
-            line += source.count("\n", position, end)
-            position = end + 2
-            continue
-
-        # Numbers.
-        if char.isdigit():
-            start = position
-            if source.startswith(("0x", "0X"), position):
-                position += 2
-                while position < length and source[position] in "0123456789abcdefABCDEF":
-                    position += 1
-                text = source[start:position]
-                yield Token(TokenKind.NUMBER, text, line, int(text, 16))
-            else:
-                while position < length and source[position].isdigit():
-                    position += 1
-                text = source[start:position]
-                # Allow C-style suffixes (U, L, UL, ULL ...) in transcribed code.
-                while position < length and source[position] in "uUlL":
-                    position += 1
-                yield Token(TokenKind.NUMBER, text, line, int(text, 10))
-            continue
-
-        # Identifiers, keywords, and type names.
-        if char.isalpha() or char == "_":
-            start = position
-            while position < length and (source[position].isalnum() or source[position] == "_"):
-                position += 1
-            text = source[start:position]
-            if text in KEYWORDS:
-                yield Token(TokenKind.KEYWORD, text, line)
-            elif text in INTEGER_TYPE_NAMES:
-                yield Token(TokenKind.TYPE_NAME, text, line)
-            else:
-                yield Token(TokenKind.IDENT, text, line)
-            continue
-
-        # Operators.
-        matched = False
-        for operator in _MULTI_CHAR_OPERATORS:
-            if source.startswith(operator, position):
-                yield Token(TokenKind.OPERATOR, operator, line)
-                position += len(operator)
-                matched = True
-                break
-        if matched:
-            continue
-        if char in _SINGLE_CHAR_OPERATORS:
-            yield Token(TokenKind.OPERATOR, char, line)
-            position += 1
-            continue
-        if char in _PUNCTUATION:
-            yield Token(TokenKind.PUNCT, char, line)
-            position += 1
-            continue
-        if char == "[" or char == "]":
-            yield Token(TokenKind.PUNCT, char, line)
-            position += 1
-            continue
-
-        raise LexError(f"unexpected character {char!r}", line)
-
-    yield Token(TokenKind.END, "", line)
+    """Iterate tokens (compatibility shim over :func:`tokenize`)."""
+    yield from tokenize(source)

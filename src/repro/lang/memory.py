@@ -94,6 +94,35 @@ def make_value(
     )
 
 
+def fast_value(
+    value: int, width: int, signed: bool, symbolic: Optional[Expr], true_value: int
+) -> TaintedValue:
+    """Construct a :class:`TaintedValue` without dataclass ``__init__`` cost.
+
+    The compiled execution tier (:mod:`repro.lang.bytecode`) builds tens of
+    thousands of scalar values per run; going through the frozen dataclass
+    constructor (``__init__`` + ``__post_init__`` + ``object.__setattr__``)
+    dominates its profile.  Callers must uphold the constructor's invariants
+    themselves: ``value`` is already masked to ``width`` and ``true_value``
+    is the intended infinite-precision value (never ``None``).
+    """
+    tv = _TV_NEW(TaintedValue)
+    d = tv.__dict__
+    d["value"] = value
+    d["width"] = width
+    d["signed"] = signed
+    d["symbolic"] = symbolic
+    d["true_value"] = true_value
+    return tv
+
+
+_TV_NEW = TaintedValue.__new__
+
+#: Interned untainted byte values: the compiled tier's arena loads and
+#: untracked input reads produce these instead of allocating.
+U8_CONSTANTS = tuple(TaintedValue(value, 8) for value in range(256))
+
+
 _object_counter = itertools.count(1)
 
 
@@ -123,6 +152,59 @@ class Buffer:
     def load(self, index: int) -> TaintedValue:
         self.check_index(index, "read")
         return self.contents.get(index, TaintedValue(0, 8))
+
+
+#: Allocations at or below this size get a real ``bytearray`` arena; larger
+#: ones (``malloc64`` can legally request terabytes under the default heap
+#: budget) stay sparse so the host never materialises the allocation.
+ARENA_LIMIT = 1 << 20
+
+
+@dataclass
+class ArenaBuffer(Buffer):
+    """A buffer whose concrete bytes live in a flat ``bytearray`` arena.
+
+    Used by the compiled execution tier.  Plain concrete bytes are stored
+    directly in ``data``; the inherited ``contents`` dict is demoted to a
+    *shadow* map holding only the values that carry state a byte cannot —
+    a symbolic expression or a ``true_value`` that differs from the wrapped
+    byte.  Loads therefore reconstruct values bit-for-bit equal to what a
+    dict-backed :class:`Buffer` would return (``tests/lang`` holds the
+    parity proof), while sequential byte traffic touches no dicts and
+    allocates nothing.
+    """
+
+    data: Optional[bytearray] = None
+
+    def __post_init__(self) -> None:
+        if self.data is None and 0 <= self.size <= ARENA_LIMIT:
+            self.data = bytearray(self.size)
+
+    def store(self, index: int, value: TaintedValue) -> None:
+        data = self.data
+        if data is None:
+            Buffer.store(self, index, value)
+            return
+        if index < 0 or index >= self.size:
+            self.check_index(index, "write")
+        if value.symbolic is None and value.true_value == value.value:
+            data[index] = value.value
+            if self.contents:
+                self.contents.pop(index, None)
+        else:
+            self.contents[index] = value
+
+    def load(self, index: int) -> TaintedValue:
+        data = self.data
+        if data is None:
+            return Buffer.load(self, index)
+        if index < 0 or index >= self.size:
+            self.check_index(index, "read")
+        if self.contents:
+            shadowed = self.contents.get(index)
+            if shadowed is not None:
+                return shadowed
+        return U8_CONSTANTS[data[index]]
 
 
 @dataclass

@@ -15,6 +15,7 @@ the MicroC checker again.
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -26,6 +27,30 @@ from .printer import render_statement
 
 class PatchError(Exception):
     """Raised when a patch cannot be constructed or applied."""
+
+
+#: Parsed-unit cache for :func:`apply_patch`, keyed by (name, source).  A
+#: campaign attempts many candidate patches against the same recipient;
+#: re-parsing the unpatched source per attempt dominated the patcher's cost.
+#: ``apply_patch`` mutates the cached unit only by inserting one statement,
+#: which it removes again after rendering, so cached units stay pristine.
+#: Content-addressed by the full source string: a rewritten recipient is a
+#: different key, so no invalidation hook is needed.
+_UNIT_CACHE: "OrderedDict[tuple[str, str], ast.TranslationUnit]" = OrderedDict()
+_UNIT_CACHE_CAPACITY = 32
+
+
+def _parsed_unit(source: str, name: str) -> ast.TranslationUnit:
+    key = (name, source)
+    unit = _UNIT_CACHE.get(key)
+    if unit is None:
+        unit = parse_program(source, name=name)
+        _UNIT_CACHE[key] = unit
+        if len(_UNIT_CACHE) > _UNIT_CACHE_CAPACITY:
+            _UNIT_CACHE.popitem(last=False)
+    else:
+        _UNIT_CACHE.move_to_end(key)
+    return unit
 
 
 class PatchAction(enum.Enum):
@@ -156,7 +181,7 @@ def apply_patch(source: str, patch: SourcePatch, program_name: str = "") -> Patc
     Raises :class:`PatchError` if the insertion point does not exist or the
     patched program fails to recompile (CP's first validation step).
     """
-    unit = parse_program(source, name=program_name or "<patched>")
+    unit = _parsed_unit(source, program_name or "<patched>")
     block, index, function_name = _find_parent_block(unit, patch.insertion_statement_id)
     insertion_line = block.statements[index].line
 
@@ -166,7 +191,11 @@ def apply_patch(source: str, patch: SourcePatch, program_name: str = "") -> Patc
 
     from .printer import render_program
 
-    new_source = render_program(unit)
+    try:
+        new_source = render_program(unit)
+    finally:
+        # Restore the cached unit to its unpatched shape.
+        del block.statements[index + 1]
     try:
         program = compile_program(new_source, name=(program_name or "patched"))
     except Exception as error:  # compilation failure -> validation failure
@@ -183,7 +212,7 @@ def apply_patch(source: str, patch: SourcePatch, program_name: str = "") -> Patc
 
 def render_patch_preview(source: str, patch: SourcePatch) -> str:
     """A short human-readable preview of the patch in context (for reports)."""
-    unit = parse_program(source)
+    unit = _parsed_unit(source, "<preview>")
     block, index, function_name = _find_parent_block(unit, patch.insertion_statement_id)
     anchor = render_statement(block.statements[index]).strip()
     return (

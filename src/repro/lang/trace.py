@@ -144,6 +144,83 @@ class RunResult:
         return (self.status, self.exit_code, tuple(self.output))
 
 
+# ---------------------------------------------------------------------------
+# Batched record materialisation (compiled execution tier)
+# ---------------------------------------------------------------------------
+#
+# The compiled tier (repro.lang.bytecode) does not build record dataclasses
+# or simplify branch conditions while the dispatch loop is hot; it appends
+# raw tuples and materialises them here once, after the run.  The sequence
+# counters in the interpreter increment exactly once per appended record, so
+# the enumeration index reproduces them.
+
+
+def materialize_branches(raw: list, simplify_options) -> list[BranchRecord]:
+    """Build :class:`BranchRecord` objects from ``(marker, taken, value,
+    symbolic)`` tuples, where ``marker`` is ``(function, branch_id, line)``."""
+    from ..symbolic import builder
+    from ..symbolic.simplify import simplify
+
+    records = []
+    for sequence, (marker, taken, condition_value, symbolic) in enumerate(raw):
+        if symbolic is not None:
+            symbolic = simplify(builder.is_nonzero(symbolic), simplify_options)
+        records.append(
+            BranchRecord(
+                branch_id=marker[1],
+                function=marker[0],
+                line=marker[2],
+                taken=taken,
+                condition_value=condition_value,
+                symbolic=symbolic,
+                sequence=sequence,
+            )
+        )
+    return records
+
+
+def materialize_allocations(raw: list) -> list[AllocationRecord]:
+    """Build :class:`AllocationRecord` objects from raw allocation tuples."""
+    return [
+        AllocationRecord(
+            site_id=site_id,
+            statement_id=statement_id,
+            function=function,
+            line=line,
+            size=size,
+            true_size=true_size,
+            symbolic=symbolic,
+            overflowed=overflowed,
+            sequence=sequence,
+        )
+        for sequence, (
+            site_id,
+            statement_id,
+            function,
+            line,
+            size,
+            true_size,
+            symbolic,
+            overflowed,
+        ) in enumerate(raw)
+    ]
+
+
+def materialize_divisions(raw: list) -> list[DivisionRecord]:
+    """Build :class:`DivisionRecord` objects from raw division tuples."""
+    return [
+        DivisionRecord(
+            site_id=site_id,
+            function=function,
+            line=line,
+            divisor=divisor,
+            symbolic=symbolic,
+            sequence=sequence,
+        )
+        for sequence, (site_id, function, line, divisor, symbolic) in enumerate(raw)
+    ]
+
+
 class Hooks(Protocol):
     """Instrumentation callbacks; all methods are optional no-ops by default."""
 

@@ -75,6 +75,23 @@ class _ErrorSignal(Exception):
         self.report = report
 
 
+# Process-wide default for VMConfig.use_compiled, so one switch (the CLI's
+# --no-compile flag) reaches every config constructed afterwards, including in
+# fork-started campaign workers which inherit the flag with the address space.
+_COMPILED_TIER_DEFAULT = True
+
+
+def set_default_execution_tier(compiled: bool) -> None:
+    """Select the default execution tier for newly created :class:`VMConfig`\\ s."""
+    global _COMPILED_TIER_DEFAULT
+    _COMPILED_TIER_DEFAULT = bool(compiled)
+
+
+def default_execution_tier() -> bool:
+    """Whether new configs default to the compiled tier."""
+    return _COMPILED_TIER_DEFAULT
+
+
 @dataclass
 class VMConfig:
     """Execution configuration."""
@@ -89,6 +106,12 @@ class VMConfig:
     #: allocation can request, so only ``malloc64`` callers (and pathological
     #: allocation loops) can reach it; 0 disables the budget.
     max_heap_bytes: int = 1 << 40
+    #: Execute via the bytecode tier (repro.lang.compile) when possible.
+    #: Hooked runs always take the interpreter: the insertion-point analysis
+    #: reads live frames, which compiled code does not materialise.
+    use_compiled: bool = dataclass_field(
+        default_factory=lambda: _COMPILED_TIER_DEFAULT
+    )
 
 
 @dataclass
@@ -151,6 +174,9 @@ class VM:
         self._invocations = 0
         self._heap_allocated = 0
         self._frames: list[Frame] = []
+        #: Buffers allocated by the most recent run, in allocation order
+        #: (either tier); the differential harness snapshots heap state here.
+        self.heap: list[Buffer] = []
 
     # -- public API -----------------------------------------------------------------
 
@@ -162,6 +188,11 @@ class VM:
         entry: str = "main",
     ) -> RunResult:
         """Execute the program on ``data`` and return the run result."""
+        if self.config.use_compiled and (hooks is None or isinstance(hooks, NullHooks)):
+            from .compile import run_compiled
+
+            return run_compiled(self, data, field_map=field_map, entry=entry)
+
         # Observability hook: one flag check each when telemetry is off.
         tracer = obs_tracing.active()
         registry = obs_metrics.REGISTRY if obs_metrics.REGISTRY.enabled else None
@@ -185,6 +216,7 @@ class VM:
         self._division_sequence = 0
         self._invocations = 0
         self._frames = []
+        self.heap = []
 
         try:
             value = self._call_function(entry, [])
@@ -201,6 +233,7 @@ class VM:
         self.result.fields_read = frozenset(self._stream.fields_read)
         if registry is not None:
             registry.inc("vm.runs")
+            registry.inc("vm.runs_interpreted")
             registry.inc("vm.instructions_retired", self._steps)
             registry.observe("vm.run_seconds", time.perf_counter() - started)
         if tracer is not None:
@@ -211,6 +244,7 @@ class VM:
                 entry=entry,
                 steps=self._steps,
                 status=self.result.status.name,
+                tier="interpreter",
             )
         return self.result
 
@@ -943,6 +977,7 @@ class VM:
             function=frame.function,
             overflowed_size=overflowed,
         )
+        self.heap.append(buffer)
         return Pointer(target=buffer, pointee_type=U8)
 
     def _buffer_of(self, value: Value) -> Buffer:

@@ -190,6 +190,20 @@ _CLEAR_CALLBACKS: list[Callable[[], None]] = []
 
 _intern_counter = 0
 
+#: Per-class field-name tuples: ``dataclasses.fields()`` re-derives its list
+#: on every call, and ``_intern_key`` runs on *every* node construction — the
+#: hottest path of symbolic tracking — so the names are computed once per
+#: class here.
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+
+def _field_names(cls: type) -> tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in dataclass_fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
 
 def register_clear_callback(callback: Callable[[], None]) -> None:
     """Register a memo-flush hook invoked by :func:`clear_intern_table`."""
@@ -224,12 +238,36 @@ class _InternMeta(type):
     """
 
     def __call__(cls, *args, **kwargs):
+        # Fast path: when every field is supplied, the structural key can be
+        # assembled straight from the arguments, so an intern hit skips the
+        # candidate construction entirely.  ``Constant`` masks its value in
+        # ``__post_init__``; the same mask is applied to keep keys canonical.
+        names = _field_names(cls)
+        key = None
+        if len(args) + len(kwargs) == len(names):
+            try:
+                if not kwargs:
+                    key = (cls,) + args
+                elif not args:
+                    key = (cls, *map(kwargs.__getitem__, names))
+                else:
+                    key = (cls,) + args + tuple(
+                        map(kwargs.__getitem__, names[len(args):])
+                    )
+                if cls._masks_value:
+                    key = (cls, key[1], key[2] & ((1 << key[1]) - 1))
+                canonical = _INTERN_TABLE.get(key)
+                if canonical is not None:
+                    return canonical
+            except (KeyError, TypeError, ValueError):
+                key = None
         instance = super().__call__(*args, **kwargs)
-        key = instance._intern_key()
-        canonical = _INTERN_TABLE.get(key)
-        if canonical is not None:
-            return canonical
-        instance._finalize()
+        if key is None:
+            key = instance._intern_key()
+            canonical = _INTERN_TABLE.get(key)
+            if canonical is not None:
+                return canonical
+        instance._finalize(key)
         _INTERN_TABLE[key] = instance
         return instance
 
@@ -240,6 +278,10 @@ class Expr(metaclass=_InternMeta):
 
     width: int
 
+    #: Whether ``__post_init__`` masks the ``value`` field (``Constant``
+    #: only); consulted by the metaclass intern fast path.
+    _masks_value = False
+
     def __post_init__(self) -> None:
         if self.width <= 0:
             raise ExprError(f"expression width must be positive, got {self.width}")
@@ -249,19 +291,20 @@ class Expr(metaclass=_InternMeta):
     def _intern_key(self) -> tuple:
         """Structural identity key; children contribute by object identity."""
         return (type(self),) + tuple(
-            getattr(self, f.name) for f in dataclass_fields(type(self))
+            getattr(self, name) for name in _field_names(type(self))
         )
 
-    def _finalize(self) -> None:
+    def _finalize(self, key: tuple) -> None:
         """Precompute hash and tree metrics; runs once, at interning time.
 
         Children are already canonical (construction is bottom-up), so their
         precomputed metrics are available and this is O(arity) per node.
+        ``key`` is the structural key the metaclass already assembled.
         """
         global _intern_counter
         _intern_counter += 1
         kids = self.children()
-        object.__setattr__(self, "_hash", hash(self._intern_key()))
+        object.__setattr__(self, "_hash", hash(key))
         object.__setattr__(self, "intern_id", _intern_counter)
         object.__setattr__(self, "size", 1 + sum(k.size for k in kids))
         object.__setattr__(
@@ -291,7 +334,7 @@ class Expr(metaclass=_InternMeta):
         """Pickle/deepcopy through the constructor so copies re-intern."""
         return (
             type(self),
-            tuple(getattr(self, f.name) for f in dataclass_fields(type(self))),
+            tuple(getattr(self, name) for name in _field_names(type(self))),
         )
 
     @property
@@ -311,10 +354,10 @@ class Expr(metaclass=_InternMeta):
 
     def _digest_payload(self) -> str:
         parts = [type(self).__name__, str(self.width)]
-        for f in dataclass_fields(type(self)):
-            if f.name == "width":
+        for name in _field_names(type(self)):
+            if name == "width":
                 continue
-            value = getattr(self, f.name)
+            value = getattr(self, name)
             if isinstance(value, Expr):
                 parts.append(value.digest)
             elif isinstance(value, tuple):
@@ -360,10 +403,21 @@ class Expr(metaclass=_InternMeta):
             stack.extend(reversed(node.children()))
 
     def fields(self) -> frozenset[str]:
-        """Paths of every input field referenced by this expression."""
-        return frozenset(
-            node.path for node in self.walk_unique() if isinstance(node, InputField)
-        )
+        """Paths of every input field referenced by this expression.
+
+        Cached on the node: interning makes the same expression object recur
+        across branch records and insertion snapshots, so the DAG walk runs
+        once per distinct node.
+        """
+        cached = self.__dict__.get("_fields")
+        if cached is None:
+            cached = frozenset(
+                node.path
+                for node in self.walk_unique()
+                if isinstance(node, InputField)
+            )
+            object.__setattr__(self, "_fields", cached)
+        return cached
 
     def op_count(self) -> int:
         """Number of operator nodes (the paper's "check size" metric).
@@ -394,6 +448,8 @@ class Constant(Expr):
     """A literal bitvector constant of the given width."""
 
     value: int = 0
+
+    _masks_value = True
 
     def __post_init__(self) -> None:
         super().__post_init__()

@@ -1,0 +1,138 @@
+"""Edge-case tests for ``VMConfig.max_heap_bytes``.
+
+The budget is a strict ceiling on *cumulative wrapped allocation size*: an
+allocation that lands the total exactly on the budget succeeds, one byte
+more raises ``RESOURCE_EXHAUSTED``, and a budget of 0 disables the check.
+Both execution tiers account identically — including for sparse buffers
+above ``ARENA_LIMIT``, where the compiled tier's arena backing switches to
+the interpreter's dict representation but the budget still counts the full
+requested size, not the bytes materialised by the host.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import ErrorKind, RunStatus, VMConfig, VM, compile_program
+from repro.lang.memory import ARENA_LIMIT
+
+TIERS = [pytest.param(False, id="interpreter"), pytest.param(True, id="compiled")]
+
+
+def _run(source: str, *, max_heap_bytes: int, compiled: bool):
+    program = compile_program(source)
+    config = VMConfig(max_heap_bytes=max_heap_bytes, use_compiled=compiled)
+    vm = VM(program, config=config)
+    return vm.run(b""), vm
+
+
+@pytest.mark.parametrize("compiled", TIERS)
+class TestBudgetBoundary:
+    def test_allocation_exactly_at_budget_succeeds(self, compiled):
+        result, _ = _run(
+            "int main() { u8* p = malloc(4096); emit(1); return 0; }",
+            max_heap_bytes=4096,
+            compiled=compiled,
+        )
+        assert result.status is RunStatus.OK
+        assert result.output == [1]
+
+    def test_one_byte_over_budget_is_resource_exhausted(self, compiled):
+        result, _ = _run(
+            "int main() { u8* p = malloc(4097); emit(1); return 0; }",
+            max_heap_bytes=4096,
+            compiled=compiled,
+        )
+        assert result.status is RunStatus.ERROR
+        assert result.error.kind is ErrorKind.RESOURCE_EXHAUSTED
+        assert result.output == []  # the failing allocation never completes
+
+    def test_budget_is_cumulative_across_allocations(self, compiled):
+        source = """
+        int main() {
+            u8* a = malloc(3000);
+            u8* b = malloc(1096);
+            emit(1);
+            u8* c = malloc(1);
+            emit(2);
+            return 0;
+        }
+        """
+        result, vm = _run(source, max_heap_bytes=4096, compiled=compiled)
+        assert result.status is RunStatus.ERROR
+        assert result.error.kind is ErrorKind.RESOURCE_EXHAUSTED
+        assert result.output == [1]  # first two allocations fill it exactly
+        assert len(vm.heap) == 2
+
+    def test_zero_budget_disables_the_check(self, compiled):
+        result, _ = _run(
+            f"int main() {{ u8* p = malloc64({1 << 33}); emit(1); return 0; }}",
+            max_heap_bytes=0,
+            compiled=compiled,
+        )
+        assert result.status is RunStatus.OK
+
+    def test_failed_allocation_still_recorded_in_trace(self, compiled):
+        result, _ = _run(
+            "int main() { u8* p = malloc(100); return 0; }",
+            max_heap_bytes=10,
+            compiled=compiled,
+        )
+        assert result.status is RunStatus.ERROR
+        assert [record.size for record in result.allocations] == [100]
+
+
+@pytest.mark.parametrize("compiled", TIERS)
+class TestArenaDictParity:
+    """Budget accounting must not depend on the storage representation."""
+
+    def test_sparse_buffer_counts_requested_size(self, compiled):
+        # Above ARENA_LIMIT the compiled tier keeps the buffer sparse (no
+        # bytearray), exactly like the interpreter's dict-backed Buffer —
+        # but the *requested* size is what the budget charges in both.
+        size = ARENA_LIMIT + 1
+        result, vm = _run(
+            f"int main() {{ u8* p = malloc({size}); emit(1); return 0; }}",
+            max_heap_bytes=size,
+            compiled=compiled,
+        )
+        assert result.status is RunStatus.OK
+        (buffer,) = vm.heap
+        assert buffer.size == size
+        assert getattr(buffer, "data", None) is None  # stayed sparse
+
+        result, _ = _run(
+            f"int main() {{ u8* p = malloc({size}); return 0; }}",
+            max_heap_bytes=size - 1,
+            compiled=compiled,
+        )
+        assert result.status is RunStatus.ERROR
+        assert result.error.kind is ErrorKind.RESOURCE_EXHAUSTED
+
+    def test_sparse_buffer_store_load_round_trip(self, compiled):
+        size = ARENA_LIMIT + 16
+        source = f"""
+        int main() {{
+            u8* p = malloc({size});
+            store8(p, {size - 1}, 170);
+            emit(load8(p, {size - 1}));
+            emit(load8(p, 0));
+            return 0;
+        }}
+        """
+        result, _ = _run(source, max_heap_bytes=0, compiled=compiled)
+        assert result.status is RunStatus.OK
+        assert result.output == [170, 0]
+
+
+def test_tier_parity_on_exhaustion_report():
+    """Both tiers produce the same verdict and message for the same breach."""
+    source = "int main() { u8* a = malloc(64); u8* b = malloc(65); return 0; }"
+    results = {}
+    for compiled in (False, True):
+        result, _ = _run(source, max_heap_bytes=128, compiled=compiled)
+        results[compiled] = result
+    assert results[False].status is results[True].status is RunStatus.ERROR
+    assert results[False].error.kind is results[True].error.kind
+    assert results[False].error.message == results[True].error.message
+    assert results[False].error.line == results[True].error.line

@@ -1,0 +1,216 @@
+"""Differential proof that the compiled tier matches the interpreter.
+
+The compiled bytecode tier (``repro.lang.compile``) is only allowed to be
+the default execution path because this harness shows it is observationally
+identical to the tree-walking interpreter: same outputs, same heap state,
+same symbolic trace records, same error verdicts, same step counts — on a
+property-based corpus of generated MicroC programs spanning all six
+:class:`ErrorKind` defect templates, plus every hand-written application in
+the Figure 8 corpus.
+
+Programs are generated with :func:`repro.scenarios.generate.synthesize_pair`,
+which is RNG-driven (field choice, reader style, defect plan, thresholds),
+so every (kind, format, index) triple is a distinct random program.  Each
+generated program runs on both its benign seed input and its error input,
+on both tiers, with symbolic tracking on; the two runs must agree bit for
+bit.  The corpus size is itself asserted (≥ 200 generated programs across
+the ErrorKind mix) so CI enforces the coverage floor, not just the parity.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.apps.registry import scoped_registration
+from repro.experiments import ERROR_CASES
+from repro.formats.registry import get_format
+from repro.lang.memory import Buffer, TaintedValue
+from repro.lang.trace import ErrorKind, RunResult
+from repro.lang.vm import VM, VMConfig
+from repro.scenarios.generate import ScenarioError, ScenarioPair, synthesize_pair
+
+FORMATS = ("dcp", "gif", "jp2", "jpeg", "png", "swf", "tiff")
+#: Random programs per (kind, format) cell; the RNG seed below makes the
+#: corpus deterministic, so a parity failure is reproducible by triple.
+INDICES_PER_FORMAT = 6
+CORPUS_SEED = 7
+#: Acceptance floor: the whole ErrorKind mix must exercise at least this
+#: many distinct generated programs (each pair contributes two).
+MINIMUM_GENERATED_PROGRAMS = 200
+
+#: Full-scan threshold for heap canonicalisation; above it only explicitly
+#: touched cells are compared (huge ``malloc64`` buffers stay sparse).
+_SCAN_LIMIT = 8192
+
+
+# --- canonicalisation --------------------------------------------------------
+
+
+def _canonical_value(value: TaintedValue) -> tuple:
+    return (value.value, value.width, value.signed, value.true_value,
+            repr(value.symbolic))
+
+
+_DEFAULT_CELL = _canonical_value(TaintedValue(0, 8))
+
+
+def _canonical_buffer(buffer: Buffer) -> dict:
+    """Project a heap buffer to tier-independent plain data.
+
+    ``object_id`` is excluded (a process-global counter), and cells are read
+    through ``load`` so the arena-backed and dict-backed representations are
+    compared by observable value, not storage layout.
+    """
+    if buffer.size <= _SCAN_LIMIT:
+        indices = range(buffer.size)
+    else:
+        touched = set(buffer.contents)
+        data = getattr(buffer, "data", None)
+        if data is not None:
+            touched.update(i for i, byte in enumerate(data) if byte)
+        indices = sorted(touched)
+    cells = {}
+    for index in indices:
+        cell = _canonical_value(buffer.load(index))
+        if cell != _DEFAULT_CELL:
+            cells[index] = cell
+    return {
+        "size": buffer.size,
+        "site_id": buffer.site_id,
+        "function": buffer.function,
+        "overflowed_size": buffer.overflowed_size,
+        "cells": cells,
+    }
+
+
+def _canonical_result(result: RunResult, vm: VM) -> dict:
+    error = None
+    if result.error is not None:
+        error = (
+            result.error.kind.value,
+            result.error.message,
+            result.error.function,
+            result.error.statement_id,
+            result.error.line,
+        )
+    return {
+        "status": result.status.value,
+        "exit_code": result.exit_code,
+        "error": error,
+        "output": list(result.output),
+        "steps": result.steps,
+        "fields_read": sorted(result.fields_read),
+        "branches": [
+            (r.branch_id, r.function, r.line, r.taken, r.condition_value,
+             repr(r.symbolic), r.sequence)
+            for r in result.branches
+        ],
+        "allocations": [
+            (r.site_id, r.statement_id, r.function, r.line, r.size,
+             r.true_size, repr(r.symbolic), r.overflowed, r.sequence)
+            for r in result.allocations
+        ],
+        "divisions": [
+            (r.site_id, r.function, r.line, r.divisor, repr(r.symbolic),
+             r.sequence)
+            for r in result.divisions
+        ],
+        "heap": [_canonical_buffer(buffer) for buffer in vm.heap],
+    }
+
+
+def _run_tier(program, data: bytes, field_map, *, compiled: bool,
+              track_symbolic: bool = True) -> dict:
+    config = VMConfig(track_symbolic=track_symbolic, use_compiled=compiled)
+    vm = VM(program, config=config)
+    result = vm.run(data, field_map=field_map)
+    return _canonical_result(result, vm)
+
+
+def _assert_tier_parity(program, data: bytes, field_map, context: str,
+                        track_symbolic: bool = True) -> None:
+    interpreted = _run_tier(program, data, field_map, compiled=False,
+                            track_symbolic=track_symbolic)
+    compiled = _run_tier(program, data, field_map, compiled=True,
+                         track_symbolic=track_symbolic)
+    for key in interpreted:
+        assert compiled[key] == interpreted[key], (
+            f"tier divergence in {key!r} for {context}:\n"
+            f"  interpreter: {interpreted[key]!r}\n"
+            f"  compiled:    {compiled[key]!r}"
+        )
+
+
+# --- generated corpus --------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=None)
+def _pairs_for(kind: ErrorKind) -> tuple[ScenarioPair, ...]:
+    pairs = []
+    for format_name in FORMATS:
+        for index in range(INDICES_PER_FORMAT):
+            try:
+                pairs.append(
+                    synthesize_pair(kind, format_name, index=index,
+                                    seed=CORPUS_SEED)
+                )
+            except ScenarioError:
+                break  # format has no suitable fields for this template
+    return tuple(pairs)
+
+
+@pytest.mark.parametrize("kind", list(ErrorKind), ids=lambda k: k.value)
+def test_generated_corpus_has_no_tier_divergence(kind: ErrorKind) -> None:
+    """Every generated program agrees across tiers on every input."""
+    pairs = _pairs_for(kind)
+    assert pairs, f"no generated programs for {kind.value}"
+    for pair in pairs:
+        spec = get_format(pair.format_name)
+        seed_input = pair.seed_input()
+        field_map = spec.field_map(seed_input)
+        inputs = {"seed": seed_input, "error": pair.error_input()}
+        with scoped_registration(pair.recipient, pair.donor):
+            for role, application in (("recipient", pair.recipient),
+                                      ("donor", pair.donor)):
+                program = application.program()
+                for input_name, data in inputs.items():
+                    _assert_tier_parity(
+                        program, data, field_map,
+                        f"{pair.case_id} {role} on {input_name} input",
+                    )
+
+
+def test_error_kind_mix_meets_program_floor() -> None:
+    """The differential mix covers ≥ 200 generated programs, all six kinds."""
+    programs = 0
+    for kind in ErrorKind:
+        pairs = _pairs_for(kind)
+        assert pairs, f"ErrorKind mix is missing {kind.value}"
+        programs += 2 * len(pairs)  # each pair is a recipient and a donor
+    assert programs >= MINIMUM_GENERATED_PROGRAMS, (
+        f"differential corpus ran {programs} generated programs, "
+        f"need >= {MINIMUM_GENERATED_PROGRAMS}"
+    )
+
+
+# --- hand-written corpus -----------------------------------------------------
+
+
+@pytest.mark.parametrize("case_id", sorted(ERROR_CASES))
+def test_handwritten_corpus_has_no_tier_divergence(case_id: str) -> None:
+    """The Figure 8 applications agree across tiers on seed and error inputs."""
+    case = ERROR_CASES[case_id]
+    program = case.application().program()
+    spec = get_format(case.format_name)
+    seed_input = case.seed_input()
+    field_map = spec.field_map(seed_input)
+    for input_name, data in (("seed", seed_input), ("error", case.error_input())):
+        for track_symbolic in (True, False):
+            _assert_tier_parity(
+                program, data, field_map,
+                f"{case_id} on {input_name} input "
+                f"(track_symbolic={track_symbolic})",
+                track_symbolic=track_symbolic,
+            )

@@ -39,7 +39,15 @@ def stub_runner(payload: dict, cache_path) -> dict:
             {"event": "StageFinished", "stage": "excision", "elapsed_s": 0.01, "round_index": 0},
         ],
         "metrics": {
-            "counters": {"solver.queries": 7, "vm.instructions_retired": 100},
+            "counters": {
+                "solver.queries": 7,
+                "vm.instructions_retired": 100,
+                "vm.runs": 5,
+                "vm.runs_compiled": 4,
+                "vm.runs_interpreted": 1,
+                "vm.compiles": 2,
+                "vm.compile_cache_hits": 3,
+            },
             "gauges": {},
             "histograms": {},
         },
@@ -74,6 +82,16 @@ class TestWorkerPayloadPlumbing:
         assert 0.0 <= gauges["campaign.worker_utilization"] <= 1.0
         assert "telemetry:" in report.summary()
         assert "workers:" in report.summary()
+
+    def test_execution_tier_counters_surface_in_the_report(self, campaign):
+        plan, _, report = campaign
+        counters = report.metrics.get("counters") or {}
+        assert counters["vm.runs_compiled"] == 4 * len(plan)
+        assert counters["vm.runs_interpreted"] == 1 * len(plan)
+        assert counters["vm.compile_cache_hits"] == 3 * len(plan)
+        summary = report.summary()
+        assert "execution tiers:" in summary
+        assert f"{4 * len(plan)} compiled / {1 * len(plan)} interpreted" in summary
 
 
 class TestStoreEventsDirectory:

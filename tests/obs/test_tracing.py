@@ -195,6 +195,32 @@ class TestRealTransferCoverage:
 
     def test_vm_runs_are_traced(self, traced_transfer):
         tracer, _ = traced_transfer
-        vm_spans = [span for span in tracer.spans if span.category == "vm"]
+        vm_spans = [
+            span
+            for span in tracer.spans
+            if span.category == "vm" and span.name == "vm-run"
+        ]
         assert vm_spans
         assert all(span.attrs["steps"] > 0 for span in vm_spans)
+
+    def test_vm_spans_carry_the_execution_tier(self, traced_transfer):
+        tracer, _ = traced_transfer
+        vm_spans = [span for span in tracer.spans if span.name == "vm-run"]
+        tiers = {span.attrs.get("tier") for span in vm_spans}
+        assert tiers <= {"compiled", "interpreter"}
+        assert None not in tiers
+        # The compiled tier is the default, so it must dominate the trace.
+        assert "compiled" in tiers
+
+    def test_interpreter_runs_are_labeled_as_such(self):
+        from repro.lang import VM, VMConfig, compile_program
+
+        program = compile_program("int main() { emit(1); return 0; }")
+        tracer = Tracer()
+        with trace_session(tracer):
+            VM(program, config=VMConfig(use_compiled=False)).run(b"")
+            VM(program, config=VMConfig(use_compiled=True)).run(b"")
+        tiers = [
+            span.attrs["tier"] for span in tracer.spans if span.name == "vm-run"
+        ]
+        assert tiers == ["interpreter", "compiled"]
