@@ -1,0 +1,129 @@
+"""E8 — distributed campaign scaling: 1/2/4-node throughput curve.
+
+Runs one generated scenario-matrix corpus through the coordinator/worker
+subsystem (:mod:`repro.dist`) at three fleet sizes and reports the
+throughput curve plus the control-plane telemetry (steals, hops,
+utilization).
+
+**What is measured — and what is emulated.**  This harness runs on a
+single host (CI containers here expose one CPU), so N worker-node
+processes cannot deliver N× of real *compute*.  Each emulated node
+therefore executes jobs through a fixed per-job *service latency*
+(:data:`SERVICE_TIME_S` of sleep, standing in for the node's own CPU
+doing the transfer), which makes the bench measure exactly the thing the
+dist subsystem owns: whether the coordinator's ring placement, claim
+protocol, and work-stealing actually keep N nodes busy in parallel.  A
+protocol that serialises nodes, starves claims, or loses jobs shows up
+directly as a collapsed speedup.  The absolute job cost is emulated; the
+concurrency, message traffic, placement, and store writes are all real.
+
+Emits ``results/distributed_scaling.json`` on the shared summary schema;
+the per-fleet wall times are service-time-bound and therefore stable
+enough for the 25% trajectory gate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict
+
+from repro.campaign import RunStore
+from repro.core.reporting import TransferRecord
+from repro.dist import DistOptions, DistributedCoordinator
+from repro.scenarios import corpus_plan, generate_corpus
+
+from conftest import write_benchmark_summary
+
+SEED = 7
+PAIRS_PER_CLASS = 4          # x 6 error classes = 24 generated transfers
+SERVICE_TIME_S = 0.08        # emulated per-job node compute
+FLEETS = (1, 2, 4)
+REQUIRED_4_NODE_SPEEDUP = 3.0
+
+
+def emulated_node_runner(payload: dict, cache_spec) -> dict:
+    """One emulated node executing one transfer: fixed service latency."""
+    time.sleep(SERVICE_TIME_S)
+    record = TransferRecord(
+        recipient=payload["case_id"],
+        target=f"{payload['case_id']}.c:1",
+        donor=payload["donor"],
+        success=True,
+        generation_time_s=SERVICE_TIME_S,
+        relevant_branches=1,
+        flipped_branches="1",
+        used_checks=1,
+        insertion_points="1 - 0 - 0 = 1",
+        check_size="2 -> 1",
+    )
+    return {"record": asdict(record), "elapsed_s": SERVICE_TIME_S}
+
+
+def _run_fleet(tmp_path_factory, plan, nodes: int) -> dict:
+    store = RunStore(tmp_path_factory.mktemp(f"dist-{nodes}n") / "run")
+    store.initialise(plan)
+    start = time.perf_counter()
+    report = DistributedCoordinator(
+        plan,
+        store,
+        DistOptions(nodes=nodes, start_method="fork", poll_interval_s=0.005),
+        runner=emulated_node_runner,
+    ).run()
+    elapsed = time.perf_counter() - start
+    assert report.completed == len(plan), (nodes, report.failed)
+    counters = report.metrics.get("counters") or {}
+    gauges = report.metrics.get("gauges") or {}
+    return {
+        "nodes": nodes,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_jobs_per_s": round(len(plan) / elapsed, 2),
+        "steals": int(counters.get("dist.steals", 0)),
+        "utilization": gauges.get("campaign.worker_utilization", 0.0),
+    }
+
+
+def test_bench_distributed_scaling(tmp_path_factory):
+    corpus = generate_corpus(seed=SEED, pairs_per_class=PAIRS_PER_CLASS)
+    plan = corpus_plan(corpus)
+    assert len(plan) == 24
+
+    curve = [_run_fleet(tmp_path_factory, plan, nodes) for nodes in FLEETS]
+    by_nodes = {point["nodes"]: point for point in curve}
+    speedup_2 = by_nodes[1]["elapsed_s"] / by_nodes[2]["elapsed_s"]
+    speedup_4 = by_nodes[1]["elapsed_s"] / by_nodes[4]["elapsed_s"]
+
+    print(f"\ndistributed scaling ({len(plan)} jobs, {SERVICE_TIME_S * 1000:.0f}ms service time):")
+    for point in curve:
+        print(
+            f"  {point['nodes']} node(s): {point['elapsed_s']:.2f}s, "
+            f"{point['throughput_jobs_per_s']:.1f} jobs/s, "
+            f"{point['steals']} steals, {point['utilization']:.0%} utilized"
+        )
+    print(f"  speedup: 2 nodes {speedup_2:.2f}x, 4 nodes {speedup_4:.2f}x")
+
+    write_benchmark_summary(
+        "distributed_scaling",
+        wall_ms={
+            f"nodes_{point['nodes']}": point["elapsed_s"] * 1000.0
+            for point in curve
+        },
+        counters={
+            "jobs": len(plan),
+            "speedup_2_nodes": round(speedup_2, 3),
+            "speedup_4_nodes": round(speedup_4, 3),
+            "steals_total": sum(point["steals"] for point in curve),
+        },
+        extra={
+            "seed": SEED,
+            "pairs_per_class": PAIRS_PER_CLASS,
+            "service_time_s": SERVICE_TIME_S,
+            "curve": curve,
+        },
+    )
+
+    # The acceptance bar: 4 emulated nodes must clear 3x one node.
+    assert speedup_4 >= REQUIRED_4_NODE_SPEEDUP, (
+        f"4-node speedup {speedup_4:.2f}x under {REQUIRED_4_NODE_SPEEDUP}x "
+        f"(curve: {curve})"
+    )
+    assert speedup_2 >= 1.6, f"2-node speedup collapsed: {speedup_2:.2f}x"

@@ -13,10 +13,19 @@ into a first-class *campaign*:
   interrupted campaign resumes where it left off;
 * :mod:`repro.campaign.cache` — a persistent, cross-process solver query
   cache that extends the paper's §3.3 query-caching optimisation from one
-  transfer to the whole campaign.
+  transfer to the whole campaign, and its partitioned key-space variant
+  for distributed runs;
+* :mod:`repro.campaign.execution` — the attempt/retry/outbox machinery
+  shared with the coordinator/worker-node engine in :mod:`repro.dist`.
 """
 
-from .cache import PersistentSolverCache, query_key
+from .cache import (
+    PersistentSolverCache,
+    ShardedSolverCache,
+    open_solver_cache,
+    query_key,
+    sharded_cache_spec,
+)
 from .plan import (
     CampaignPlan,
     JobSpec,
@@ -51,6 +60,7 @@ __all__ = [
     "PlanError",
     "RunStore",
     "SchedulerOptions",
+    "ShardedSolverCache",
     "StoreError",
     "STATUS_CRASHED",
     "STATUS_DONE",
@@ -60,5 +70,7 @@ __all__ = [
     "expand_plan",
     "figure8_plan",
     "matrix_plan",
+    "open_solver_cache",
     "query_key",
+    "sharded_cache_spec",
 ]

@@ -55,6 +55,7 @@ try:  # pragma: no cover - always available on the Linux CI substrate
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
+from ..obs import metrics as obs_metrics
 from ..symbolic.expr import Expr
 
 
@@ -153,3 +154,158 @@ class PersistentSolverCache:
 
     def __contains__(self, key: str) -> bool:
         return key in self._entries
+
+
+# -- partitioned key-space ---------------------------------------------------------------
+
+
+class ShardedSolverCache:
+    """A partitioned verdict key-space: one JSONL shard per ring partition.
+
+    Distributed campaigns split the cache into ``partitions`` shard files
+    (``shard-XXX-of-YYY.jsonl``) under one directory; a key's home shard
+    is fixed by consistent hashing over partition labels
+    (:func:`repro.dist.ring.shard_of`), so every node finds the lines
+    every other node writes.  Each shard file is a plain
+    :class:`PersistentSolverCache` — same locking, healing, and
+    incremental-sharing rules.
+
+    Locality: a node opens the space with its own ring partition as
+    ``local_partition``.  A process-wide *overlay* dict caches every key
+    this process has seen regardless of home shard, so a warm node mostly
+    answers from memory; only overlay misses touch shard files, and a
+    touch on a non-local shard is counted as a **hop**
+    (``dist.cache_hops``) in the metrics registry, alongside
+    ``dist.cache_local_hits`` / ``dist.cache_remote_hits`` /
+    ``dist.cache_misses``.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        partitions: int,
+        local_partition: Optional[int] = None,
+    ) -> None:
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        self.directory = Path(directory)
+        self.partitions = partitions
+        self.local_partition = local_partition
+        self._shards: dict[int, PersistentSolverCache] = {}
+        self._overlay: dict[str, dict] = {}
+
+    def shard_index(self, key: str) -> int:
+        """The home partition of ``key`` (stable across nodes and runs)."""
+        from ..dist.ring import shard_of  # lazy: campaign <-> dist layering
+
+        return shard_of(key, self.partitions)
+
+    def shard_path(self, index: int) -> Path:
+        return self.directory / (
+            f"shard-{index:03d}-of-{self.partitions:03d}.jsonl"
+        )
+
+    def _shard(self, index: int) -> PersistentSolverCache:
+        shard = self._shards.get(index)
+        if shard is None:
+            shard = PersistentSolverCache(self.shard_path(index))
+            self._shards[index] = shard
+        return shard
+
+    def _count_touch(self, index: int) -> None:
+        if self.local_partition is not None and index != self.local_partition:
+            obs_metrics.inc("dist.cache_hops")
+
+    def get(self, key: str) -> Optional[dict]:
+        payload = self._overlay.get(key)
+        if payload is not None:
+            obs_metrics.inc("dist.cache_local_hits")
+            return payload
+        index = self.shard_index(key)
+        self._count_touch(index)
+        payload = self._shard(index).get(key)
+        if payload is not None:
+            self._overlay[key] = payload
+            if self.local_partition is None or index == self.local_partition:
+                obs_metrics.inc("dist.cache_local_hits")
+            else:
+                obs_metrics.inc("dist.cache_remote_hits")
+        else:
+            obs_metrics.inc("dist.cache_misses")
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        if key in self._overlay:
+            return
+        self._overlay[key] = payload
+        index = self.shard_index(key)
+        self._count_touch(index)
+        self._shard(index).put(key, payload)
+
+    def refresh(self) -> None:
+        for shard in self._shards.values():
+            shard.refresh()
+
+    def __len__(self) -> int:
+        keys = set(self._overlay)
+        for shard in self._shards.values():
+            keys.update(shard._entries)
+        return len(keys)
+
+    def __contains__(self, key: str) -> bool:
+        # Metric-free: membership probes must not skew hop accounting.
+        if key in self._overlay:
+            return True
+        return key in self._shard(self.shard_index(key))
+
+
+#: Spec separator for sharded cache paths: ``<dir>::shards=<P>::local=<k>``.
+_SPEC_SEP = "::"
+
+#: Sharded spaces memoized per spec so a long-lived node keeps one warm
+#: overlay across every job it executes (plain paths are not memoized —
+#: the flat cache is cheap to reopen and tests rely on fresh instances).
+_OPEN_SHARDED: dict[str, ShardedSolverCache] = {}
+
+
+def sharded_cache_spec(
+    directory: str | Path, partitions: int, local_partition: Optional[int] = None
+) -> str:
+    """Build the string spec a coordinator hands to a node's runner."""
+    spec = f"{directory}{_SPEC_SEP}shards={partitions}"
+    if local_partition is not None:
+        spec += f"{_SPEC_SEP}local={local_partition}"
+    return spec
+
+
+def open_solver_cache(spec: str | Path):
+    """Open a cache from a path-or-spec string.
+
+    A plain path opens the classic single-file
+    :class:`PersistentSolverCache`.  A ``::shards=``-tagged spec (built
+    by :func:`sharded_cache_spec`) opens a :class:`ShardedSolverCache`,
+    memoized per spec so every checker in one node process shares one
+    overlay.  Keeping the spec a string keeps it trivially picklable
+    through worker process boundaries.
+    """
+    text = str(spec)
+    if _SPEC_SEP not in text:
+        return PersistentSolverCache(text)
+    cached = _OPEN_SHARDED.get(text)
+    if cached is not None:
+        return cached
+    parts = text.split(_SPEC_SEP)
+    directory = parts[0]
+    partitions = 1
+    local: Optional[int] = None
+    for part in parts[1:]:
+        name, _, value = part.partition("=")
+        if name == "shards":
+            partitions = int(value)
+        elif name == "local":
+            local = int(value)
+        else:
+            raise ValueError(f"unknown cache spec field {part!r} in {text!r}")
+    opened = ShardedSolverCache(directory, partitions, local_partition=local)
+    _OPEN_SHARDED[text] = opened
+    return opened

@@ -1,0 +1,185 @@
+"""Shared attempt/retry/outbox machinery for campaign execution engines.
+
+Two engines schedule campaign jobs: the single-host multiprocess
+:class:`~repro.campaign.scheduler.CampaignScheduler` (one process per job
+attempt) and the coordinator/worker-node :mod:`repro.dist` subsystem
+(long-lived emulated nodes claiming jobs off a consistent-hash ring).  Both
+share the same ground rules, and this module is where those rules live:
+
+* **Result transport** — the *payload* (the transfer record, arbitrarily
+  large) is written to a per-attempt file in the store's ``outbox/``
+  directory via atomic rename, and only a small fixed-size *doorbell*
+  message travels over a queue.  A worker killed mid-send can therefore
+  never leave a torn pickle frame that poisons the queue, and the outbox
+  file — not the doorbell — is the ground truth for a worker that exited
+  cleanly.
+* **Attempt budgets** — a job gets ``1 + retries`` attempts per engine run
+  (:class:`AttemptLedger`); crashes, timeouts, runner exceptions, and
+  unreadable payloads all consume an attempt, and *every* attempt is
+  appended to the store so a resumed run sees the full history.
+* **Accounting** — completed records fold their solver/stage counters into
+  the shared :class:`~repro.campaign.scheduler.CampaignReport`
+  (:func:`account_completed`), and per-class rates count skipped
+  (already-done) jobs from their stored records so a resumed campaign
+  reports the same rates as an uninterrupted one (:func:`account_skipped`,
+  :class:`ClassAccountant`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Mapping, Optional
+
+#: Scratch directory (relative to the run-store directory) holding
+#: per-attempt result payload files.
+OUTBOX_DIR = "outbox"
+
+
+# -- outbox payload transport ------------------------------------------------------------
+
+
+def outbox_path(store) -> Path:
+    """The store's outbox scratch directory (not created)."""
+    return store.directory / OUTBOX_DIR
+
+
+def reset_outbox(store) -> Path:
+    """Wipe and recreate the outbox.
+
+    Payload files surviving from a killed run are unreadable-by-design
+    remnants whose doorbell never fired; their jobs re-run anyway.
+    """
+    outbox = outbox_path(store)
+    shutil.rmtree(outbox, ignore_errors=True)
+    outbox.mkdir(parents=True, exist_ok=True)
+    return outbox
+
+
+def remove_outbox(store) -> None:
+    shutil.rmtree(outbox_path(store), ignore_errors=True)
+
+
+def outbox_file(outbox: Path, job_id: str, attempt: int) -> Path:
+    return Path(outbox) / f"{job_id}.{attempt}.json"
+
+
+def write_payload(outbox: Path, job_id: str, attempt: int, result: Mapping) -> Path:
+    """Atomically publish one attempt's result payload (write + rename)."""
+    target = outbox_file(outbox, job_id, attempt)
+    scratch = target.with_suffix(".tmp")
+    scratch.write_text(json.dumps(result))
+    os.replace(scratch, target)  # atomic: readers never see a torn payload
+    return target
+
+
+def read_payload(outbox: Path, job_id: str, attempt: int) -> dict:
+    """Load one attempt's payload; raises ``OSError``/``JSONDecodeError``."""
+    return json.loads(outbox_file(outbox, job_id, attempt).read_text())
+
+
+def discard_payload(outbox: Path, job_id: str, attempt: int) -> None:
+    outbox_file(outbox, job_id, attempt).unlink(missing_ok=True)
+
+
+def payload_exists(outbox: Path, job_id: str, attempt: int) -> bool:
+    return outbox_file(outbox, job_id, attempt).exists()
+
+
+# -- attempt budgets ---------------------------------------------------------------------
+
+
+class AttemptLedger:
+    """Per-run attempt counters: a job gets ``1 + retries`` attempts."""
+
+    def __init__(self, retries: int) -> None:
+        self.budget = 1 + max(0, retries)
+        self._attempts: dict[str, int] = {}
+
+    def begin(self, job_id: str) -> int:
+        """Start the next attempt for ``job_id``; returns its 1-based number."""
+        attempt = self._attempts.get(job_id, 0) + 1
+        self._attempts[job_id] = attempt
+        return attempt
+
+    def count(self, job_id: str) -> int:
+        return self._attempts.get(job_id, 0)
+
+    def exhausted(self, job_id: str) -> bool:
+        """True when the job has no attempts left in this run's budget."""
+        return self._attempts.get(job_id, 0) >= self.budget
+
+
+# -- report accounting -------------------------------------------------------------------
+
+
+class ClassAccountant:
+    """Folds settled jobs into a report's per-class transfer stats.
+
+    ``job_class`` maps a job to its reporting class (the scenario matrix
+    passes each case's :class:`~repro.lang.trace.ErrorKind`): either a
+    callable over :class:`~repro.campaign.plan.JobSpec` or a mapping keyed
+    by case id.  ``None`` disables class accounting entirely.
+    """
+
+    def __init__(self, job_class: Optional[object]) -> None:
+        if job_class is None or callable(job_class):
+            self._job_class = job_class
+        else:
+            self._job_class = lambda job: job_class.get(job.case_id)
+
+    @property
+    def enabled(self) -> bool:
+        return self._job_class is not None
+
+    def account(self, report, job, completed: bool, success: bool = False) -> None:
+        """Fold one settled (or skipped-as-done) job into the class stats."""
+        if self._job_class is None:
+            return
+        name = self._job_class(job)
+        if name is None:
+            return
+        counters = report.class_stats.setdefault(
+            name, {"jobs": 0, "completed": 0, "validated": 0, "failed": 0}
+        )
+        counters["jobs"] += 1
+        if completed:
+            counters["completed"] += 1
+            if success:
+                counters["validated"] += 1
+        else:
+            counters["failed"] += 1
+
+
+def account_completed(report, result) -> None:
+    """Fold one completed attempt's record into the report aggregates."""
+    from ..solver.backends import merge_snapshots
+
+    record = result.record or {}
+    report.solver_queries += record.get("solver_queries", 0)
+    report.solver_cache_hits += record.get("solver_cache_hits", 0)
+    report.persistent_cache_hits += record.get("solver_persistent_hits", 0)
+    report.expensive_queries += record.get("solver_expensive_queries", 0)
+    report.batch_hits += record.get("solver_batch_hits", 0)
+    merge_snapshots(report.backend_stats, record.get("solver_backend_stats") or {})
+    for stage, elapsed in (record.get("stage_timings") or {}).items():
+        report.stage_timings[stage] = report.stage_timings.get(stage, 0.0) + elapsed
+
+
+def account_skipped(report, plan, stored: Mapping, accountant: ClassAccountant) -> None:
+    """Count already-completed jobs toward the per-class rates.
+
+    Skipped jobs contribute their stored record's verdict, so a resumed
+    campaign reports the same per-class rates as an uninterrupted one.
+    """
+    if not accountant.enabled:
+        return
+    for job in plan.jobs:
+        result = stored.get(job.job_id)
+        if result is not None and result.completed:
+            record = result.record or {}
+            accountant.account(
+                report, job, completed=True, success=bool(record.get("success"))
+            )

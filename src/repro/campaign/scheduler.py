@@ -64,16 +64,25 @@ from __future__ import annotations
 
 import json
 import multiprocessing
-import os
 import queue as queue_module
-import shutil
 import time
 from collections import deque
 from dataclasses import asdict, dataclass, field
-from pathlib import Path
 from typing import Callable, Optional
 
 from ..obs import metrics as obs_metrics
+from .execution import (
+    AttemptLedger,
+    ClassAccountant,
+    account_completed,
+    account_skipped,
+    discard_payload,
+    payload_exists,
+    read_payload,
+    remove_outbox,
+    reset_outbox,
+    write_payload,
+)
 from .plan import CampaignPlan, JobSpec
 from .store import (
     STATUS_CRASHED,
@@ -118,10 +127,6 @@ def default_job_runner(payload: dict, cache_path: Optional[str]) -> dict:
     }
 
 
-def _outbox_file(outbox: Path, job_id: str, attempt: int) -> Path:
-    return outbox / f"{job_id}.{attempt}.json"
-
-
 def _worker_main(
     runner: Runner,
     payload: dict,
@@ -133,10 +138,7 @@ def _worker_main(
     job_id = payload.get("job_id", "")
     try:
         result = runner(payload, cache_path)
-        target = _outbox_file(Path(outbox), job_id, attempt)
-        scratch = target.with_suffix(".tmp")
-        scratch.write_text(json.dumps(result))
-        os.replace(scratch, target)  # atomic: readers never see a torn payload
+        write_payload(outbox, job_id, attempt, result)
         message = {
             "job_id": job_id,
             "attempt": attempt,
@@ -259,6 +261,16 @@ class CampaignReport:
                 f"workers: {gauges['campaign.worker_utilization']:.0%} utilized, "
                 f"peak queue depth {int(gauges.get('campaign.queue_depth_peak', 0))}"
             )
+        if "dist.nodes" in gauges:
+            lines.append(
+                f"distributed: {int(gauges['dist.nodes'])} nodes, "
+                f"{int(counters.get('dist.steals', 0))} steals, "
+                f"{int(counters.get('dist.jobs_reassigned', 0))} jobs re-rung "
+                f"after {int(counters.get('dist.node_failures', 0))} node "
+                f"failures, cache {int(counters.get('dist.cache_local_hits', 0))} "
+                f"local / {int(counters.get('dist.cache_remote_hits', 0))} remote "
+                f"hits, {int(counters.get('dist.cache_hops', 0))} hops"
+            )
         if self.stage_timings:
             breakdown = ", ".join(
                 f"{stage} {elapsed:.2f}s"
@@ -316,10 +328,7 @@ class CampaignScheduler:
         # job_class maps a job to its reporting class (the scenario matrix
         # passes each case's ErrorKind): either a callable over JobSpec or a
         # mapping keyed by case id.  Runs in the parent process only.
-        if job_class is None or callable(job_class):
-            self._job_class = job_class
-        else:
-            self._job_class = lambda job: job_class.get(job.case_id)
+        self._accountant = ClassAccountant(job_class)
 
     # -- public API ------------------------------------------------------------------
 
@@ -339,23 +348,15 @@ class CampaignScheduler:
             skipped=len(self.plan.jobs) - len(pending),
             cache_enabled=self.options.use_persistent_cache,
         )
-        if self._job_class is not None and report.skipped:
+        if report.skipped:
             # Skipped jobs still count toward per-class rates: take their
             # verdict from the stored record so a resumed run reports the
             # same rates as an uninterrupted one.
-            for job in self.plan.jobs:
-                if job.job_id in completed_before:
-                    record = stored[job.job_id].record or {}
-                    self._class_account(
-                        report, job, completed=True,
-                        success=bool(record.get("success")),
-                    )
+            account_skipped(report, self.plan, stored, self._accountant)
         cache_path = (
             str(self.store.cache_path) if self.options.use_persistent_cache else None
         )
-        outbox = self.store.directory / "outbox"
-        shutil.rmtree(outbox, ignore_errors=True)  # leftovers from a killed run
-        outbox.mkdir(parents=True, exist_ok=True)
+        outbox = reset_outbox(self.store)  # leftovers from a killed run
 
         method = self.options.start_method
         if method is None:
@@ -367,7 +368,7 @@ class CampaignScheduler:
         ctx = multiprocessing.get_context(method)
         results: multiprocessing.Queue = ctx.Queue()
         running: dict[str, _Running] = {}
-        attempts: dict[str, int] = {}
+        ledger = AttemptLedger(self.options.retries)
         slots = max(1, self.options.jobs)
         # Control-plane telemetry: peak depth/occupancy and total worker-busy
         # seconds (for the utilization gauge folded into report.metrics).
@@ -379,24 +380,28 @@ class CampaignScheduler:
             busy["s"] += time.perf_counter() - entry.started_at
             self.store.append(result)
             if result.completed:
-                self._account(report, result)
+                account_completed(report, result)
                 report.completed += 1
-                self._class_account(
+                self._accountant.account(
                     report, entry.job, completed=True,
                     success=bool((result.record or {}).get("success")),
                 )
+            elif not ledger.exhausted(entry.job.job_id):
+                # Retries go to the back of the queue: other jobs are not
+                # starved behind a flapping one.
+                pending.append(entry.job)
             else:
-                self._retry_or_fail(entry.job, attempts, pending, report)
+                report.failed.append(entry.job.job_id)
+                self._accountant.account(report, entry.job, completed=False)
             if on_result is not None:
                 on_result(entry.job, result)
 
         def settle(entry: _Running, ok: bool, elapsed_s: float, error: str) -> None:
             running.pop(entry.job.job_id, None)
             entry.process.join(timeout=5)
-            payload_file = _outbox_file(outbox, entry.job.job_id, entry.attempt)
             if ok:
                 try:
-                    payload = json.loads(payload_file.read_text())
+                    payload = read_payload(outbox, entry.job.job_id, entry.attempt)
                 except (OSError, json.JSONDecodeError) as exc:
                     finish(
                         entry,
@@ -409,7 +414,7 @@ class CampaignScheduler:
                     )
                     return
                 finally:
-                    payload_file.unlink(missing_ok=True)
+                    discard_payload(outbox, entry.job.job_id, entry.attempt)
                 events = payload.get("events") or []
                 if events:
                     self.store.write_events(entry.job.job_id, events)
@@ -427,7 +432,7 @@ class CampaignScheduler:
                     ),
                 )
             else:
-                payload_file.unlink(missing_ok=True)
+                discard_payload(outbox, entry.job.job_id, entry.attempt)
                 finish(
                     entry,
                     JobResult(
@@ -448,7 +453,7 @@ class CampaignScheduler:
                 job_id = message.get("job_id", "")
                 attempt = message.get("attempt")
                 if job_id and isinstance(attempt, int):
-                    _outbox_file(outbox, job_id, attempt).unlink(missing_ok=True)
+                    discard_payload(outbox, job_id, attempt)
                 return
             settle(
                 entry,
@@ -470,7 +475,7 @@ class CampaignScheduler:
         while pending or running:
             while pending and len(running) < slots:
                 job = pending.popleft()
-                attempts[job.job_id] = attempts.get(job.job_id, 0) + 1
+                attempt = ledger.begin(job.job_id)
                 process = ctx.Process(
                     target=_worker_main,
                     args=(
@@ -478,15 +483,13 @@ class CampaignScheduler:
                         job.to_dict(),
                         cache_path,
                         results,
-                        attempts[job.job_id],
+                        attempt,
                         str(outbox),
                     ),
                     daemon=True,
                 )
                 process.start()
-                running[job.job_id] = _Running(
-                    process, job, attempts[job.job_id], time.perf_counter()
-                )
+                running[job.job_id] = _Running(process, job, attempt, time.perf_counter())
 
             peak["queue"] = max(peak["queue"], len(pending))
             peak["workers"] = max(peak["workers"], len(running))
@@ -513,7 +516,7 @@ class CampaignScheduler:
                     entry.process.terminate()
                     entry.process.join(timeout=1)
                     running.pop(job_id, None)
-                    _outbox_file(outbox, job_id, entry.attempt).unlink(missing_ok=True)
+                    discard_payload(outbox, job_id, entry.attempt)
                     finish(
                         entry,
                         JobResult(
@@ -533,9 +536,8 @@ class CampaignScheduler:
                         continue
                     # Doorbell lost or late — the outbox file is the ground
                     # truth for a worker that exited cleanly.
-                    if (
-                        entry.process.exitcode == 0
-                        and _outbox_file(outbox, job_id, entry.attempt).exists()
+                    if entry.process.exitcode == 0 and payload_exists(
+                        outbox, job_id, entry.attempt
                     ):
                         settle(entry, ok=True, elapsed_s=0.0, error="")
                         continue
@@ -554,7 +556,7 @@ class CampaignScheduler:
                 time.sleep(self.options.poll_interval_s)
 
         results.close()
-        shutil.rmtree(outbox, ignore_errors=True)
+        remove_outbox(self.store)
         report.elapsed_s = time.perf_counter() - start
         utilization = (
             busy["s"] / (slots * report.elapsed_s) if report.elapsed_s > 0 else 0.0
@@ -570,52 +572,3 @@ class CampaignScheduler:
             },
         )
         return report
-
-    # -- helpers ---------------------------------------------------------------------
-
-    def _retry_or_fail(
-        self,
-        job: JobSpec,
-        attempts: dict[str, int],
-        pending: deque,
-        report: CampaignReport,
-    ) -> None:
-        if attempts.get(job.job_id, 0) < 1 + max(0, self.options.retries):
-            pending.append(job)
-        else:
-            report.failed.append(job.job_id)
-            self._class_account(report, job, completed=False)
-
-    def _class_account(
-        self, report: CampaignReport, job: JobSpec, completed: bool, success: bool = False
-    ) -> None:
-        """Fold one settled (or skipped-as-done) job into the per-class stats."""
-        if self._job_class is None:
-            return
-        name = self._job_class(job)
-        if name is None:
-            return
-        counters = report.class_stats.setdefault(
-            name, {"jobs": 0, "completed": 0, "validated": 0, "failed": 0}
-        )
-        counters["jobs"] += 1
-        if completed:
-            counters["completed"] += 1
-            if success:
-                counters["validated"] += 1
-        else:
-            counters["failed"] += 1
-
-    @staticmethod
-    def _account(report: CampaignReport, result: JobResult) -> None:
-        from ..solver.backends import merge_snapshots
-
-        record = result.record or {}
-        report.solver_queries += record.get("solver_queries", 0)
-        report.solver_cache_hits += record.get("solver_cache_hits", 0)
-        report.persistent_cache_hits += record.get("solver_persistent_hits", 0)
-        report.expensive_queries += record.get("solver_expensive_queries", 0)
-        report.batch_hits += record.get("solver_batch_hits", 0)
-        merge_snapshots(report.backend_stats, record.get("solver_backend_stats") or {})
-        for stage, elapsed in (record.get("stage_timings") or {}).items():
-            report.stage_timings[stage] = report.stage_timings.get(stage, 0.0) + elapsed

@@ -61,6 +61,7 @@ from __future__ import annotations
 
 import json
 import shutil
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Iterator, Optional
@@ -189,18 +190,29 @@ class RunStore:
             handle.write(line + "\n")
 
     def attempts(self) -> Iterator[JobResult]:
-        """Every recorded attempt, in append order (torn tail lines skipped)."""
+        """Every recorded attempt, in append order.
+
+        A torn line (the writer killed mid-append) is skipped with a
+        warning rather than raised: the interrupted attempt has no
+        completion record, so its job simply re-runs on resume.
+        """
         try:
             text = self.records_path.read_text()
         except FileNotFoundError:
             return
-        for line in text.splitlines():
+        for number, line in enumerate(text.splitlines(), start=1):
             if not line.strip():
                 continue
             try:
                 payload = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn write from an interrupted run
+                warnings.warn(
+                    f"skipping torn record at {self.records_path}:{number} "
+                    "(writer interrupted mid-append); the attempt will re-run",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
             yield JobResult.from_dict(payload)
 
     def results(self) -> dict[str, JobResult]:

@@ -5,10 +5,12 @@ Subcommands::
     codephage list                       # applications and formats in the database
     codephage transfer CASE [--donor D] [--progress] [--policy P] [--backend B]
                                          # run one transfer (e.g. cwebp-jpegdec)
-    codephage figure8 [--out FILE] [--jobs N] [--resume]
+    codephage figure8 [--out FILE] [--jobs N] [--nodes N] [--resume]
                                          # regenerate the Figure 8 table
     codephage campaign [--cases ...] [--donors ...] [--strategies ...] [--jobs N]
                                          # run an arbitrary transfer campaign
+                                         # (--nodes N: distributed over N
+                                         # emulated worker nodes, repro.dist)
     codephage matrix [--seed N] [--pairs N] [--classes ...] [--formats ...]
                                          # generate a scenario corpus and run the
                                          # N-pairs x error-class transfer matrix
@@ -197,6 +199,7 @@ def _run_campaign(
     no_cache: bool,
     out: str | None,
     title: str,
+    nodes: int = 0,
     store: RunStore | None = None,
     scheduler_kwargs=None,
     classify_record=None,
@@ -205,7 +208,10 @@ def _run_campaign(
 
     ``store`` may be passed pre-initialised (the matrix subcommand attaches
     to it earlier, before writing its corpus manifest); otherwise the plan
-    is initialised here.
+    is initialised here.  ``nodes > 0`` swaps the single-host scheduler for
+    the coordinator/worker-node engine (:mod:`repro.dist`): jobs are placed
+    on a consistent-hash ring over N emulated nodes and the solver cache
+    becomes a partitioned key-space.
     """
     if store is None:
         store = RunStore(store_dir)
@@ -227,18 +233,33 @@ def _run_campaign(
             print(f"[{result.status}] {job.describe()}: {result.error}")
 
     scheduler_kwargs = dict(scheduler_kwargs or {})
-    scheduler = CampaignScheduler(
-        plan,
-        store,
-        SchedulerOptions(
-            jobs=jobs,
-            timeout_s=timeout_s,
-            retries=retries,
-            use_persistent_cache=not no_cache,
-        ),
-        **scheduler_kwargs,
-    )
-    report = scheduler.run(on_result=on_result)
+    if nodes > 0:
+        from .dist import DistOptions, DistributedCoordinator
+
+        engine = DistributedCoordinator(
+            plan,
+            store,
+            DistOptions(
+                nodes=nodes,
+                timeout_s=timeout_s,
+                retries=retries,
+                use_persistent_cache=not no_cache,
+            ),
+            **scheduler_kwargs,
+        )
+    else:
+        engine = CampaignScheduler(
+            plan,
+            store,
+            SchedulerOptions(
+                jobs=jobs,
+                timeout_s=timeout_s,
+                retries=retries,
+                use_persistent_cache=not no_cache,
+            ),
+            **scheduler_kwargs,
+        )
+    report = engine.run(on_result=on_result)
 
     database = store.merge_into_database(plan)
     table = database.to_table(title=title)
@@ -280,6 +301,7 @@ def _cmd_figure8(args: argparse.Namespace) -> int:
         no_cache=args.no_cache,
         out=args.out,
         title="Figure 8 (reproduction)",
+        nodes=args.nodes,
     )
 
 
@@ -303,6 +325,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         no_cache=args.no_cache,
         out=args.out,
         title=f"Campaign ({len(plan)} transfers)",
+        nodes=args.nodes,
     )
 
 
@@ -348,6 +371,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         no_cache=args.no_cache,
         out=args.out,
         title=f"Scenario matrix (seed {args.seed}, {len(plan)} transfers)",
+        nodes=args.nodes,
         store=store,
         scheduler_kwargs=matrix_scheduler_kwargs(corpus, manifest_path),
         classify_record=lambda record: kind_of_recipient.get(record.recipient),
@@ -487,6 +511,14 @@ def main(argv: list[str] | None = None) -> int:
     def add_campaign_arguments(command: argparse.ArgumentParser, default_store: str) -> None:
         command.add_argument("--out", default=None, help="write the rendered table here")
         command.add_argument("--jobs", type=int, default=1, help="worker processes")
+        command.add_argument(
+            "--nodes",
+            type=int,
+            default=0,
+            help="run distributed: N emulated worker nodes claim jobs off a "
+            "consistent-hash ring with a partitioned solver cache "
+            "(0 = single-host scheduler; see docs/DISTRIBUTED.md)",
+        )
         command.add_argument("--store", default=default_store, help="run store directory")
         command.add_argument(
             "--timeout",

@@ -1,0 +1,22 @@
+"""Distributed campaign execution: coordinator/worker nodes over a hash ring.
+
+N long-lived processes emulate cluster nodes.  Jobs are assigned by
+consistent hashing of their content-addressed ids over a node ring
+(:mod:`repro.dist.ring`), idle nodes steal work from the most-loaded
+peer, and a single coordinator (:mod:`repro.dist.coordinator`) remains
+the only writer of the run store.  The persistent solver verdict cache
+becomes a partitioned key-space with one shard per ring partition and
+locality-aware routing (see :mod:`repro.campaign.cache`).
+"""
+
+from .coordinator import DistOptions, DistributedCoordinator, JobBoard
+from .ring import HashRing, shard_of, stable_hash
+
+__all__ = [
+    "DistOptions",
+    "DistributedCoordinator",
+    "HashRing",
+    "JobBoard",
+    "shard_of",
+    "stable_hash",
+]

@@ -1,0 +1,599 @@
+"""The campaign coordinator: places jobs on a node ring, settles results.
+
+The coordinator is the distributed counterpart of
+:class:`~repro.campaign.scheduler.CampaignScheduler` and shares its
+ground rules through :mod:`repro.campaign.execution`: attempt budgets
+(``1 + retries`` per run), outbox payload transport with doorbell
+queues, resume as skip-by-completed-id, and the invariant that exactly
+one process — the coordinator — ever writes ``records.jsonl``.
+
+Placement and stealing live in :class:`JobBoard`, a pure in-memory
+structure (unit-testable without processes): every pending job is
+queued under the ring owner of its content-addressed id, an idle node
+claims from its own partition first and otherwise *steals* from the
+most-loaded peer, and when a node dies its unclaimed jobs are re-rung
+onto the surviving members.
+
+Failure model
+-------------
+
+* A node process that **exits** (crash or kill) forfeits its current
+  attempt — unless its outbox payload already landed, in which case the
+  payload is the ground truth and the job completes.  The dead node is
+  removed from the ring, its queued jobs are re-rung, and the campaign
+  finishes on the surviving nodes; a node is only respawned when *no*
+  live node remains (each death consumes an attempt, so this is
+  bounded).  Completed jobs are never re-run and never duplicated: the
+  attempt ledger plus the single-writer store make settlement
+  idempotent.
+* A node whose attempt exceeds ``timeout_s`` is terminated (nodes are
+  long-lived, so the whole process must go) and replaced by a fresh
+  node on the same cache partition.
+* A full campaign restart resumes from the store exactly like the
+  single-host scheduler: completed job ids are skipped up front.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import queue as queue_module
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..campaign.cache import sharded_cache_spec
+from ..campaign.execution import (
+    AttemptLedger,
+    ClassAccountant,
+    account_completed,
+    account_skipped,
+    discard_payload,
+    payload_exists,
+    read_payload,
+    remove_outbox,
+    reset_outbox,
+)
+from ..campaign.plan import CampaignPlan, JobSpec
+from ..campaign.scheduler import CampaignReport, Runner, default_job_runner
+from ..campaign.store import (
+    STATUS_CRASHED,
+    STATUS_DONE,
+    STATUS_ERROR,
+    STATUS_TIMEOUT,
+    JobResult,
+    RunStore,
+)
+from ..obs import metrics as obs_metrics
+from ..obs.tracing import Tracer
+from . import protocol
+from .ring import HashRing
+from .worker import node_main
+
+#: Spans recorded by the coordinator (one per settled attempt, in the
+#: category of the node that ran it) land here inside the store.
+SPANS_FILE = "dist_spans.jsonl"
+
+
+@dataclass
+class DistOptions:
+    """Control-plane knobs for a distributed campaign run."""
+
+    nodes: int = 2
+    retries: int = 1                    # extra attempts after crash/timeout/error
+    timeout_s: Optional[float] = None   # per-attempt wall-clock limit
+    poll_interval_s: float = 0.01
+    start_method: Optional[str] = None  # default: fork when available
+    use_persistent_cache: bool = True
+    #: Cache shards; defaults to the node count so each node starts with
+    #: exactly one local partition.  Fixed for the life of the store.
+    cache_partitions: Optional[int] = None
+    vnodes: int = 64
+    wait_delay_s: float = 0.02          # backoff sent to nodes with nothing to claim
+
+
+class JobBoard:
+    """Ring-partitioned pending queues with work-stealing and re-ringing.
+
+    Pure data structure — no processes, no I/O — so placement policy is
+    testable in isolation.  Invariant: every pushed job sits in exactly
+    one queue (or ``orphans`` while the ring is empty) until claimed.
+    """
+
+    def __init__(
+        self, jobs, members, vnodes: int = 64
+    ) -> None:
+        self.ring = HashRing(members, vnodes=vnodes)
+        self.queues: dict[str, deque] = {member: deque() for member in members}
+        self.orphans: deque = deque()
+        self.steals = 0
+        self.steals_by_node: dict[str, int] = {}
+        self.reassigned = 0
+        for job in jobs:
+            self.push(job)
+
+    def push(self, job) -> None:
+        """Queue a job under the ring owner of its id."""
+        owner = self.ring.owner(job.job_id)
+        if owner is None:
+            self.orphans.append(job)
+        else:
+            self.queues[owner].append(job)
+
+    def depth(self, member: str) -> int:
+        queue = self.queues.get(member)
+        return len(queue) if queue is not None else 0
+
+    def pending(self) -> int:
+        return sum(len(queue) for queue in self.queues.values()) + len(self.orphans)
+
+    def claim(self, member: str):
+        """Take the next job for ``member``: own partition first, then steal.
+
+        Returns ``(job, stolen)``; ``(None, False)`` when nothing is
+        claimable anywhere.  Steals come from the *most-loaded* peer
+        (ties broken by name for determinism) — the straggler whose
+        backlog most needs the help.
+        """
+        own = self.queues.get(member)
+        if own:
+            return own.popleft(), False
+        if self.orphans:
+            return self.orphans.popleft(), False
+        victim = None
+        for peer, queue in sorted(self.queues.items()):
+            if peer == member or not queue:
+                continue
+            if victim is None or len(queue) > len(self.queues[victim]):
+                victim = peer
+        if victim is None:
+            return None, False
+        self.steals += 1
+        self.steals_by_node[member] = self.steals_by_node.get(member, 0) + 1
+        return self.queues[victim].popleft(), True
+
+    def requeue(self, job) -> None:
+        """Put a to-be-retried job back under its (current) ring owner."""
+        self.push(job)
+
+    def fail_node(self, member: str) -> int:
+        """Remove a dead member; re-ring its unclaimed jobs.  Returns moved count."""
+        self.ring.remove(member)
+        stranded = list(self.queues.pop(member, ()))
+        for job in stranded:
+            self.push(job)
+        self.reassigned += len(stranded)
+        return len(stranded)
+
+    def add_node(self, member: str) -> None:
+        """Admit a (replacement) member and re-home any orphaned jobs."""
+        self.ring.add(member)
+        self.queues.setdefault(member, deque())
+        orphans = list(self.orphans)
+        self.orphans.clear()
+        for job in orphans:
+            self.push(job)
+
+
+@dataclass
+class _Node:
+    """Coordinator-side view of one node process."""
+
+    node_id: str
+    process: multiprocessing.Process
+    inbox: object                       # per-node command queue
+    partition: int                      # home cache partition (stable on respawn)
+    job: Optional[JobSpec] = None       # current claimed job, if any
+    attempt: int = 0
+    started_at: float = 0.0
+    stolen: bool = False
+    jobs_completed: int = 0
+    steals_received: int = 0
+    busy_s: float = 0.0
+    queue_depth_peak: int = 0
+    cache_hops: int = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.job is not None
+
+
+class DistributedCoordinator:
+    """Runs a campaign plan over N emulated node processes."""
+
+    def __init__(
+        self,
+        plan: CampaignPlan,
+        store: RunStore,
+        options: Optional[DistOptions] = None,
+        runner: Runner = default_job_runner,
+        job_class: Optional[object] = None,
+    ) -> None:
+        self.plan = plan
+        self.store = store
+        self.options = options or DistOptions()
+        if self.options.nodes < 1:
+            raise ValueError("a distributed campaign needs at least one node")
+        self.runner = runner
+        self._accountant = ClassAccountant(job_class)
+
+    # -- cache placement -------------------------------------------------------------
+
+    def _cache_spec(self, partition: int) -> Optional[str]:
+        if not self.options.use_persistent_cache:
+            return None
+        partitions = self.options.cache_partitions or max(1, self.options.nodes)
+        return sharded_cache_spec(
+            self.store.directory / "cache_shards", partitions, partition
+        )
+
+    # -- main loop -------------------------------------------------------------------
+
+    def run(
+        self, on_result: Optional[Callable[[JobSpec, JobResult], None]] = None
+    ) -> CampaignReport:
+        """Run every pending job across the node fleet; returns this run's report."""
+        start = time.perf_counter()
+        options = self.options
+        stored = self.store.results()
+        completed_before = {
+            job_id for job_id, result in stored.items() if result.completed
+        }
+        pending = [
+            job for job in self.plan.jobs if job.job_id not in completed_before
+        ]
+        report = CampaignReport(
+            plan_name=self.plan.name,
+            total_jobs=len(self.plan.jobs),
+            skipped=len(self.plan.jobs) - len(pending),
+            cache_enabled=options.use_persistent_cache,
+        )
+        if report.skipped:
+            account_skipped(report, self.plan, stored, self._accountant)
+
+        outbox = reset_outbox(self.store)
+        ledger = AttemptLedger(options.retries)
+        tracer = Tracer()
+        jobs_by_id = {job.job_id: job for job in pending}
+        unsettled = set(jobs_by_id)
+
+        method = options.start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        ctx = multiprocessing.get_context(method)
+        control: multiprocessing.Queue = ctx.Queue()
+
+        node_ids = [f"node-{index}" for index in range(options.nodes)]
+        board = JobBoard(pending, node_ids, vnodes=options.vnodes)
+        nodes: dict[str, _Node] = {}
+        dead: set[str] = set()
+        counters = {"failures": 0, "timeout_kills": 0, "respawns": 0}
+        generation = [0]
+
+        def spawn(node_id: str, partition: int) -> _Node:
+            inbox = ctx.Queue()
+            process = ctx.Process(
+                target=node_main,
+                args=(
+                    node_id,
+                    self.runner,
+                    self._cache_spec(partition),
+                    inbox,
+                    control,
+                    str(outbox),
+                ),
+                daemon=True,
+            )
+            process.start()
+            node = _Node(node_id, process, inbox, partition)
+            nodes[node_id] = node
+            return node
+
+        for index, node_id in enumerate(node_ids):
+            partitions = options.cache_partitions or max(1, options.nodes)
+            spawn(node_id, index % partitions)
+
+        def respawn(partition: int) -> None:
+            """Admit a fresh replacement node on the given cache partition."""
+            generation[0] += 1
+            node_id = f"node-r{generation[0]}"
+            spawn(node_id, partition)
+            board.add_node(node_id)
+            counters["respawns"] += 1
+
+        def settle(node: _Node, result: JobResult, payload: Optional[dict]) -> None:
+            """Record one attempt; retry, fail, or complete its job."""
+            job = node.job
+            assert job is not None
+            elapsed = time.perf_counter() - node.started_at
+            node.busy_s += elapsed
+            tracer.record(
+                f"job:{job.job_id}",
+                category=f"node:{node.node_id}",
+                duration_s=elapsed,
+                attempt=result.attempt,
+                stolen=node.stolen,
+                status=result.status,
+            )
+            node.job = None
+            node.stolen = False
+            self.store.append(result)
+            if result.completed:
+                unsettled.discard(job.job_id)
+                node.jobs_completed += 1
+                account_completed(report, result)
+                report.completed += 1
+                self._accountant.account(
+                    report, job, completed=True,
+                    success=bool((result.record or {}).get("success")),
+                )
+                if payload:
+                    events = payload.get("events") or []
+                    if events:
+                        self.store.write_events(job.job_id, events)
+                    snapshot = payload.get("metrics")
+                    if snapshot:
+                        node.cache_hops += int(
+                            (snapshot.get("counters") or {}).get("dist.cache_hops", 0)
+                        )
+                        obs_metrics.merge_snapshots(report.metrics, snapshot)
+            elif not ledger.exhausted(job.job_id):
+                board.requeue(job)
+            else:
+                unsettled.discard(job.job_id)
+                report.failed.append(job.job_id)
+                self._accountant.account(report, job, completed=False)
+            if on_result is not None:
+                on_result(job, result)
+
+        def handle(message: dict) -> None:
+            kind = message.get("kind")
+            node_id = message.get("node_id", "")
+            node = nodes.get(node_id)
+            if node is None or node_id in dead:
+                # A doorbell from a node already written off: drop it (and
+                # any payload) rather than double-settling its job.
+                if kind == protocol.KIND_RESULT:
+                    job_id = message.get("job_id", "")
+                    attempt = message.get("attempt")
+                    if job_id and isinstance(attempt, int):
+                        discard_payload(outbox, job_id, attempt)
+                return
+            if kind == protocol.KIND_WORK_REQUEST:
+                if node.busy:
+                    # The node re-asked, so it never received (or lost) our
+                    # reply: re-send its current assignment.
+                    node.inbox.put(
+                        protocol.job_message(node.job.to_dict(), node.attempt)
+                    )
+                    return
+                job, stolen = board.claim(node_id)
+                if job is None:
+                    node.inbox.put(protocol.wait_message(options.wait_delay_s))
+                    return
+                node.job = job
+                node.attempt = ledger.begin(job.job_id)
+                node.started_at = time.perf_counter()
+                node.stolen = stolen
+                if stolen:
+                    node.steals_received += 1
+                node.inbox.put(protocol.job_message(job.to_dict(), node.attempt))
+                return
+            if kind != protocol.KIND_RESULT:
+                return
+            job_id = message.get("job_id", "")
+            attempt = message.get("attempt")
+            if (
+                node.job is None
+                or node.job.job_id != job_id
+                or attempt != node.attempt
+            ):
+                # Stale doorbell (e.g. from before a timeout write-off).
+                if job_id and isinstance(attempt, int):
+                    discard_payload(outbox, job_id, attempt)
+                return
+            if message.get("ok"):
+                try:
+                    payload = read_payload(outbox, job_id, attempt)
+                except (OSError, json.JSONDecodeError) as exc:
+                    settle(
+                        node,
+                        JobResult(
+                            job_id=job_id,
+                            status=STATUS_ERROR,
+                            attempt=attempt,
+                            error=f"result payload unreadable: {exc}",
+                        ),
+                        None,
+                    )
+                    return
+                finally:
+                    discard_payload(outbox, job_id, attempt)
+                settle(
+                    node,
+                    JobResult(
+                        job_id=job_id,
+                        status=STATUS_DONE,
+                        attempt=attempt,
+                        elapsed_s=message.get("elapsed_s", 0.0)
+                        or payload.get("elapsed_s", 0.0),
+                        record=payload.get("record"),
+                    ),
+                    payload,
+                )
+            else:
+                discard_payload(outbox, job_id, attempt)
+                settle(
+                    node,
+                    JobResult(
+                        job_id=job_id,
+                        status=STATUS_ERROR,
+                        attempt=attempt,
+                        error=message.get("error", ""),
+                    ),
+                    None,
+                )
+
+        def drain() -> None:
+            while True:
+                try:
+                    handle(control.get_nowait())
+                except queue_module.Empty:
+                    return
+
+        def write_off(node: _Node, status: str, error: str) -> None:
+            """A dead/killed node forfeits its current attempt (if any)."""
+            if node.job is None:
+                return
+            # The outbox payload, not the doorbell, is the ground truth: a
+            # node killed after publishing still completed its job.
+            if payload_exists(outbox, node.job.job_id, node.attempt):
+                try:
+                    payload = read_payload(outbox, node.job.job_id, node.attempt)
+                except (OSError, json.JSONDecodeError):
+                    payload = None
+                finally:
+                    discard_payload(outbox, node.job.job_id, node.attempt)
+                if payload is not None:
+                    settle(
+                        node,
+                        JobResult(
+                            job_id=node.job.job_id,
+                            status=STATUS_DONE,
+                            attempt=node.attempt,
+                            elapsed_s=payload.get("elapsed_s", 0.0),
+                            record=payload.get("record"),
+                        ),
+                        payload,
+                    )
+                    return
+            settle(
+                node,
+                JobResult(
+                    job_id=node.job.job_id,
+                    status=status,
+                    attempt=node.attempt,
+                    error=error,
+                ),
+                None,
+            )
+
+        try:
+            while unsettled:
+                try:
+                    handle(control.get(timeout=options.poll_interval_s))
+                except queue_module.Empty:
+                    pass
+                drain()
+
+                now = time.perf_counter()
+                for node_id, node in list(nodes.items()):
+                    if node_id in dead:
+                        continue
+                    node.queue_depth_peak = max(
+                        node.queue_depth_peak, board.depth(node_id)
+                    )
+                    timed_out = (
+                        options.timeout_s is not None
+                        and node.busy
+                        and now - node.started_at > options.timeout_s
+                    )
+                    if timed_out and node.process.is_alive():
+                        # A doorbell may have arrived at the deadline.
+                        drain()
+                        if not node.busy:
+                            continue
+                        # Nodes are long-lived: killing the attempt kills the
+                        # node, so replace it on the same cache partition.
+                        node.process.terminate()
+                        node.process.join(timeout=1)
+                        dead.add(node_id)
+                        board.fail_node(node_id)
+                        counters["timeout_kills"] += 1
+                        write_off(
+                            node,
+                            STATUS_TIMEOUT,
+                            f"timed out after {options.timeout_s}s",
+                        )
+                        if unsettled:
+                            respawn(node.partition)
+                    elif not node.process.is_alive():
+                        # Doorbells may still be queued from before the death.
+                        drain()
+                        if node_id in dead:
+                            continue
+                        dead.add(node_id)
+                        moved = board.fail_node(node_id)
+                        counters["failures"] += 1
+                        write_off(
+                            node,
+                            STATUS_CRASHED,
+                            f"node exited with code {node.process.exitcode}",
+                        )
+                        if moved:
+                            obs_metrics.inc("dist.jobs_reassigned", moved)
+                        # The campaign finishes on the survivors; only a
+                        # fully-dead fleet forces a replacement (bounded:
+                        # every death consumes at most one attempt).
+                        if unsettled and all(
+                            peer in dead for peer in nodes
+                        ):
+                            respawn(node.partition)
+        finally:
+            for node_id, node in nodes.items():
+                if node_id in dead:
+                    continue
+                try:
+                    node.inbox.put(protocol.shutdown_message())
+                except (OSError, ValueError):
+                    pass
+            for node_id, node in nodes.items():
+                node.process.join(timeout=2)
+                if node.process.is_alive():
+                    node.process.terminate()
+                    node.process.join(timeout=1)
+            control.close()
+            remove_outbox(self.store)
+
+        tracer.finish()
+        tracer.write(self.store.directory / SPANS_FILE)
+
+        report.elapsed_s = time.perf_counter() - start
+        busy_total = sum(node.busy_s for node in nodes.values())
+        capacity = options.nodes * report.elapsed_s
+        utilization = busy_total / capacity if capacity > 0 else 0.0
+        gauges = {
+            "dist.nodes": options.nodes,
+            "campaign.queue_depth_peak": max(
+                (node.queue_depth_peak for node in nodes.values()), default=0
+            ),
+            "campaign.worker_utilization": round(min(utilization, 1.0), 4),
+        }
+        for node in nodes.values():
+            prefix = f"dist.node.{node.node_id}"
+            node_capacity = report.elapsed_s or 1.0
+            gauges[f"{prefix}.queue_depth_peak"] = node.queue_depth_peak
+            gauges[f"{prefix}.jobs_completed"] = node.jobs_completed
+            gauges[f"{prefix}.steals_received"] = node.steals_received
+            gauges[f"{prefix}.cache_hops"] = node.cache_hops
+            gauges[f"{prefix}.utilization"] = round(
+                min(node.busy_s / node_capacity, 1.0), 4
+            )
+        obs_metrics.merge_snapshots(
+            report.metrics,
+            {
+                "counters": {
+                    "dist.steals": board.steals,
+                    "dist.jobs_reassigned": board.reassigned,
+                    "dist.node_failures": counters["failures"],
+                    "dist.timeout_kills": counters["timeout_kills"],
+                },
+                "gauges": gauges,
+            },
+        )
+        return report

@@ -1,0 +1,65 @@
+"""Coordinator <-> node wire messages.
+
+Every message is a small plain dict (picklable, well under ``PIPE_BUF``)
+so a node killed mid-send cannot leave a torn frame that poisons a
+queue — the same doorbell discipline as the single-host scheduler.
+Large result payloads never travel over a queue: nodes publish them to
+the store's outbox via atomic rename (:mod:`repro.campaign.execution`)
+and the doorbell only names the file.
+
+Coordinator -> node (per-node inbox):
+
+* ``JOB``      — one claimed job payload plus its attempt number.
+* ``WAIT``     — nothing claimable right now; back off ``delay_s``.
+* ``SHUTDOWN`` — drain and exit.
+
+Node -> coordinator (shared control queue):
+
+* ``WORK_REQUEST`` — the node is idle and wants a job.
+* ``RESULT``       — doorbell for a finished attempt (payload in outbox).
+"""
+
+from __future__ import annotations
+
+KIND_WORK_REQUEST = "work_request"
+KIND_RESULT = "result"
+KIND_JOB = "job"
+KIND_WAIT = "wait"
+KIND_SHUTDOWN = "shutdown"
+
+
+def work_request(node_id: str) -> dict:
+    return {"kind": KIND_WORK_REQUEST, "node_id": node_id}
+
+
+def result_message(
+    node_id: str,
+    job_id: str,
+    attempt: int,
+    ok: bool,
+    elapsed_s: float = 0.0,
+    error: str = "",
+) -> dict:
+    message = {
+        "kind": KIND_RESULT,
+        "node_id": node_id,
+        "job_id": job_id,
+        "attempt": attempt,
+        "ok": ok,
+        "elapsed_s": elapsed_s,
+    }
+    if error:
+        message["error"] = error[:300]
+    return message
+
+
+def job_message(payload: dict, attempt: int) -> dict:
+    return {"kind": KIND_JOB, "payload": payload, "attempt": attempt}
+
+
+def wait_message(delay_s: float) -> dict:
+    return {"kind": KIND_WAIT, "delay_s": delay_s}
+
+
+def shutdown_message() -> dict:
+    return {"kind": KIND_SHUTDOWN}

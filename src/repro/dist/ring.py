@@ -1,0 +1,103 @@
+"""Consistent-hash ring for job and cache-key placement.
+
+Both job ids (SHA-1 over the job's semantic fields, see
+:class:`~repro.campaign.plan.JobSpec`) and solver-cache keys (digest
+pairs, see :func:`~repro.campaign.cache.query_key`) are already
+content-addressed, so placement is just consistent hashing: hash the
+key onto a circle, walk clockwise to the first node point.  Each member
+contributes ``vnodes`` points so load stays balanced and removing a
+member only re-homes the keys it owned — the property the coordinator
+relies on when it re-rings a dead node's unclaimed jobs.
+
+Cache partitions use a *separate, fixed* ring over partition labels
+(:func:`shard_of`): partitions never leave the ring, so a cache key's
+home shard is stable across node failures and across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable, Optional
+
+__all__ = ["HashRing", "shard_of", "stable_hash"]
+
+
+def stable_hash(value: str) -> int:
+    """A process-independent 64-bit hash (first 8 bytes of SHA-1)."""
+    return int.from_bytes(hashlib.sha1(value.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    ``owner(key)`` is deterministic for a given member set: the ring
+    sorts ``vnodes`` points per member and binary-searches clockwise.
+    Adding or removing one member re-homes only the keys on that
+    member's arcs.
+    """
+
+    def __init__(self, members: Iterable[str] = (), vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._members: set[str] = set()
+        self._points: list[tuple[int, str]] = []  # sorted (hash, member)
+        for member in members:
+            self.add(member)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            return
+        self._members.add(member)
+        for index in range(self.vnodes):
+            self._points.append((stable_hash(f"{member}#{index}"), member))
+        self._points.sort()
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        self._points = [point for point in self._points if point[1] != member]
+
+    def owner(self, key: str) -> Optional[str]:
+        """The member owning ``key`` (first point clockwise), or ``None``."""
+        if not self._points:
+            return None
+        index = bisect_right(self._points, (stable_hash(key), "￿"))
+        if index == len(self._points):
+            index = 0  # wrap past twelve o'clock
+        return self._points[index][1]
+
+
+#: Memoized fixed rings over partition labels, keyed by partition count.
+_PARTITION_RINGS: dict[int, HashRing] = {}
+
+
+def shard_of(key: str, partitions: int) -> int:
+    """The home partition index for ``key`` among ``partitions`` shards.
+
+    Uses a fixed ring over partition labels so the mapping is stable
+    across processes, node failures, and runs — a cache line written by
+    any node is found by every node.
+    """
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    if partitions == 1:
+        return 0
+    ring = _PARTITION_RINGS.get(partitions)
+    if ring is None:
+        ring = HashRing((f"part-{index}" for index in range(partitions)), vnodes=64)
+        _PARTITION_RINGS[partitions] = ring
+    owner = ring.owner(key)
+    assert owner is not None
+    return int(owner.rsplit("-", 1)[1])

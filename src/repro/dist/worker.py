@@ -1,0 +1,87 @@
+"""Worker-node process: a long-lived loop claiming jobs from the coordinator.
+
+Unlike the single-host scheduler (one process per job attempt), a node
+is a long-lived process: it keeps requesting work until told to shut
+down, so per-node state — most importantly the locality overlay of its
+sharded solver cache — is warm across every job the node executes.
+
+The node is deliberately dumb: all placement, retry, steal, and failure
+policy lives in the coordinator.  A node only (1) asks for work,
+(2) runs the job through the injected runner, (3) publishes the payload
+to the outbox via atomic rename, and (4) rings the result doorbell.
+Runner exceptions are caught and reported as failed attempts — a node
+survives a failing job; only the coordinator ever decides a node is
+dead.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from typing import Optional
+
+from ..campaign.execution import write_payload
+from . import protocol
+
+#: A node waiting this long on an empty inbox assumes its doorbell or the
+#: coordinator's reply was lost and re-requests work (self-healing; the
+#: coordinator ignores duplicate requests from a busy node).
+_INBOX_TIMEOUT_S = 60.0
+
+
+def node_main(
+    node_id: str,
+    runner,
+    cache_spec: Optional[str],
+    inbox,
+    control,
+    outbox: str,
+) -> None:
+    """Entry point for one emulated node process.
+
+    ``runner`` is the same picklable ``(payload, cache_path) -> result``
+    callable the single-host scheduler uses; ``cache_spec`` is this
+    node's sharded cache spec (``path::shards=P::local=k``) so the
+    node's home shard matches its ring partition.
+    """
+    while True:
+        control.put(protocol.work_request(node_id))
+        try:
+            message = inbox.get(timeout=_INBOX_TIMEOUT_S)
+        except queue_module.Empty:
+            continue  # lost doorbell or reply: ask again
+        kind = message.get("kind")
+        if kind == protocol.KIND_SHUTDOWN:
+            return
+        if kind == protocol.KIND_WAIT:
+            time.sleep(message.get("delay_s", 0.01))
+            continue
+        if kind != protocol.KIND_JOB:
+            continue
+        payload = message["payload"]
+        attempt = message["attempt"]
+        job_id = payload.get("job_id", "")
+        start = time.perf_counter()
+        try:
+            result = runner(payload, cache_spec)
+            write_payload(outbox, job_id, attempt, result)
+            control.put(
+                protocol.result_message(
+                    node_id,
+                    job_id,
+                    attempt,
+                    ok=True,
+                    elapsed_s=result.get("elapsed_s", time.perf_counter() - start),
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - report, coordinator decides
+            control.put(
+                protocol.result_message(
+                    node_id,
+                    job_id,
+                    attempt,
+                    ok=False,
+                    elapsed_s=time.perf_counter() - start,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )

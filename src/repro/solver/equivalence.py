@@ -209,10 +209,12 @@ class EquivalenceChecker:
         self.persistent_cache = None
         if options.persistent_cache_path:
             # Imported lazily: the campaign package depends on the solver.
-            from ..campaign.cache import PersistentSolverCache, query_key
+            from ..campaign.cache import open_solver_cache, query_key
 
             self._query_key = query_key
-            self.persistent_cache = PersistentSolverCache(options.persistent_cache_path)
+            # The path may be a plain JSONL file or a sharded-key-space
+            # spec ("dir::shards=P::local=k") from a distributed node.
+            self.persistent_cache = open_solver_cache(options.persistent_cache_path)
             # Verdicts are only valid under the options that produced them
             # (sampling depth, SAT budgets, ...), so checkers with different
             # options must not share entries even when they share the file.

@@ -1,0 +1,120 @@
+"""Concurrent-append hammer for the persistent solver cache.
+
+N processes × M puts against one cache file (and against a sharded
+key-space): afterwards every line must parse — no interleaved bytes —
+and a fresh reader must recover every entry.  Also covers the
+``fcntl is None`` fallback path (non-POSIX platforms): appends stay
+intact there because each line is written in a single buffered write,
+and the O_APPEND file offset is shared.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+import repro.campaign.cache as cache_module
+from repro.campaign import PersistentSolverCache, ShardedSolverCache
+
+WRITERS = 4
+PUTS = 50
+
+
+def _hammer_flat(path: str, writer: int, puts: int) -> None:
+    cache = PersistentSolverCache(path)
+    for index in range(puts):
+        cache.put(
+            f"writer-{writer}-key-{index:04d}",
+            {"verdict": "equivalent", "writer": writer, "index": index},
+        )
+
+
+def _hammer_flat_without_fcntl(path: str, writer: int, puts: int) -> None:
+    cache_module.fcntl = None  # simulate a non-POSIX platform in this child
+    _hammer_flat(path, writer, puts)
+
+
+def _hammer_sharded(directory: str, writer: int, puts: int, partitions: int) -> None:
+    cache = ShardedSolverCache(directory, partitions, local_partition=writer % partitions)
+    for index in range(puts):
+        cache.put(
+            f"writer-{writer}-key-{index:04d}",
+            {"verdict": "equivalent", "writer": writer, "index": index},
+        )
+
+
+def _run_writers(target, args_for) -> None:
+    ctx = multiprocessing.get_context("fork")
+    processes = [
+        ctx.Process(target=target, args=args_for(writer)) for writer in range(WRITERS)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=60)
+        assert process.exitcode == 0
+
+
+def _assert_no_interleaved_bytes(path) -> set[str]:
+    keys = set()
+    for line in path.read_text().splitlines():
+        entry = json.loads(line)  # raises on any torn or interleaved write
+        keys.add(entry["k"])
+    return keys
+
+
+@pytest.mark.parametrize(
+    "target",
+    [_hammer_flat, _hammer_flat_without_fcntl],
+    ids=["flock", "fcntl-none-fallback"],
+)
+def test_concurrent_appends_do_not_interleave(tmp_path, target):
+    path = tmp_path / "cache.jsonl"
+    _run_writers(target, lambda writer: (str(path), writer, PUTS))
+
+    keys = _assert_no_interleaved_bytes(path)
+    expected = {
+        f"writer-{writer}-key-{index:04d}"
+        for writer in range(WRITERS)
+        for index in range(PUTS)
+    }
+    assert keys == expected
+
+    # Full recovery: a fresh instance (refresh() on construction) holds
+    # every entry, and an explicit refresh() after the fact is idempotent.
+    fresh = PersistentSolverCache(path)
+    assert len(fresh) == WRITERS * PUTS
+    fresh.refresh()
+    assert len(fresh) == WRITERS * PUTS
+    for key in expected:
+        assert fresh.get(key)["verdict"] == "equivalent"
+
+
+def test_concurrent_appends_across_shards(tmp_path):
+    partitions = 3
+    _run_writers(
+        _hammer_sharded,
+        lambda writer: (str(tmp_path), writer, PUTS, partitions),
+    )
+
+    shard_paths = sorted(tmp_path.glob("shard-*.jsonl"))
+    assert len(shard_paths) == partitions
+    keys: set[str] = set()
+    for path in shard_paths:
+        shard_keys = _assert_no_interleaved_bytes(path)
+        assert keys.isdisjoint(shard_keys)  # each key lives in one shard only
+        keys |= shard_keys
+    assert len(keys) == WRITERS * PUTS
+
+    fresh = ShardedSolverCache(tmp_path, partitions)
+    for writer in range(WRITERS):
+        for index in range(PUTS):
+            key = f"writer-{writer}-key-{index:04d}"
+            assert fresh.get(key) == {
+                "verdict": "equivalent",
+                "writer": writer,
+                "index": index,
+            }
+    assert len(fresh) == WRITERS * PUTS

@@ -248,6 +248,26 @@ def test_attempts_skip_torn_trailing_line(store, plan):
     store.append(JobResult(job_id=plan.jobs[0].job_id, status=STATUS_DONE, record={}))
     with open(store.records_path, "a") as handle:
         handle.write('{"job_id": "torn", "stat')  # interrupted mid-write
-    results = list(store.attempts())
+    with pytest.warns(RuntimeWarning, match="torn record"):
+        results = list(store.attempts())
     assert len(results) == 1
     assert store.completed_ids() == {plan.jobs[0].job_id}
+
+
+def test_attempts_warn_on_truncated_final_record(store, plan):
+    # A writer killed mid-append leaves a prefix of the last record: every
+    # complete attempt must survive, the torn one is skipped with a warning.
+    for job in plan.jobs:
+        store.append(JobResult(job_id=job.job_id, status=STATUS_DONE, record={}))
+    whole = store.records_path.read_text()
+    last_line_start = whole.rstrip("\n").rfind("\n") + 1
+    cut = last_line_start + (len(whole) - last_line_start) // 2
+    store.records_path.write_text(whole[:cut])
+
+    with pytest.warns(RuntimeWarning, match="will re-run"):
+        results = list(store.attempts())
+    assert [r.job_id for r in results] == [job.job_id for job in plan.jobs[:-1]]
+    # The truncated job is simply not completed: resume re-runs exactly it.
+    with pytest.warns(RuntimeWarning):
+        completed = store.completed_ids()
+    assert completed == {job.job_id for job in plan.jobs[:-1]}

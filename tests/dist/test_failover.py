@@ -1,0 +1,245 @@
+"""Failure model: killed nodes, killed coordinators, restart-resume.
+
+The invariant under test everywhere: completed jobs are never lost and
+never duplicated.  A job id appears with status ``done`` exactly once in
+``records.jsonl`` no matter which process died when.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import warnings
+from collections import Counter
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.campaign import STATUS_DONE, RunStore, matrix_plan
+from repro.core.reporting import TransferRecord
+from repro.dist import DistOptions, DistributedCoordinator
+
+
+def _fake_record(payload: dict) -> dict:
+    return asdict(
+        TransferRecord(
+            recipient=payload["case_id"],
+            target="site:1",
+            donor=payload["donor"],
+            success=True,
+            generation_time_s=0.01,
+            relevant_branches=1,
+            flipped_branches="1",
+            used_checks=1,
+            insertion_points="1 - 0 - 0 = 1",
+            check_size="2 -> 1",
+        )
+    )
+
+
+def _store_dir(cache_spec) -> Path:
+    return Path(str(cache_spec).split("::")[0]).parent
+
+
+def pid_slow_runner(payload: dict, cache_spec) -> dict:
+    """Advertise this node's pid, then work slowly enough to be killed."""
+    pids = _store_dir(cache_spec) / "pids"
+    pids.mkdir(parents=True, exist_ok=True)
+    (pids / str(os.getpid())).touch()
+    time.sleep(0.25)
+    return {"record": _fake_record(payload), "elapsed_s": 0.25}
+
+
+def marked_runner(payload: dict, cache_spec) -> dict:
+    """Record each execution so tests can assert what actually re-ran."""
+    ran = _store_dir(cache_spec) / "ran"
+    ran.mkdir(parents=True, exist_ok=True)
+    (ran / f"{payload['job_id']}-{time.monotonic_ns()}").touch()
+    return {"record": _fake_record(payload), "elapsed_s": 0.0}
+
+
+def half_failing_runner(payload: dict, cache_spec) -> dict:
+    """Deterministically fail half the jobs (odd content-addressed ids)."""
+    if int(payload["job_id"], 16) % 2:
+        raise ValueError("deterministic first-run failure")
+    return marked_runner(payload, cache_spec)
+
+
+def _plan(jobs: int, name: str):
+    return matrix_plan(
+        [(f"case-{index:03d}", "donor-a") for index in range(jobs)], name=name
+    )
+
+
+def _done_counts(store: RunStore) -> Counter:
+    # A kill may leave a torn trailing record; the skip-and-warn path is
+    # under test elsewhere — here we only care about the surviving lines.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        attempts = list(store.attempts())
+    return Counter(r.job_id for r in attempts if r.status == STATUS_DONE)
+
+
+def _options(**overrides) -> DistOptions:
+    base = dict(nodes=2, start_method="fork", poll_interval_s=0.01)
+    base.update(overrides)
+    return DistOptions(**base)
+
+
+def test_killing_one_node_mid_campaign_loses_and_duplicates_nothing(tmp_path):
+    plan = _plan(12, "kill-one-node")
+    store = RunStore(tmp_path / "run")
+    store.initialise(plan)
+    killed = {"pid": None}
+
+    def killer() -> None:
+        pids = store.directory / "pids"
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            victims = sorted(pids.iterdir()) if pids.exists() else []
+            if victims:
+                pid = int(victims[0].name)
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    return
+                killed["pid"] = pid
+                return
+            time.sleep(0.01)
+
+    thread = threading.Thread(target=killer, daemon=True)
+    thread.start()
+    report = DistributedCoordinator(
+        plan, store, _options(retries=1), runner=pid_slow_runner
+    ).run()
+    thread.join(timeout=10)
+
+    assert killed["pid"] is not None, "the killer never found a node to kill"
+    assert report.completed == len(plan)
+    assert not report.failed
+    assert store.completed_ids() == set(plan.job_ids())
+    done = _done_counts(store)
+    assert set(done) == set(plan.job_ids())
+    assert all(count == 1 for count in done.values()), done  # zero duplicates
+    assert report.metrics["counters"]["dist.node_failures"] >= 1
+
+
+def test_all_nodes_killed_campaign_still_finishes(tmp_path):
+    plan = _plan(6, "kill-all-nodes")
+    store = RunStore(tmp_path / "run")
+    store.initialise(plan)
+
+    def killer() -> None:
+        pids = store.directory / "pids"
+        seen: set[str] = set()
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline and len(seen) < 2:
+            for victim in sorted(pids.iterdir()) if pids.exists() else []:
+                if victim.name in seen:
+                    continue
+                seen.add(victim.name)
+                try:
+                    os.kill(int(victim.name), signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+            time.sleep(0.01)
+
+    thread = threading.Thread(target=killer, daemon=True)
+    thread.start()
+    # Budget covers both murders: 1 + 2 retries > 2 killed attempts.
+    report = DistributedCoordinator(
+        plan, store, _options(retries=2), runner=pid_slow_runner
+    ).run()
+    thread.join(timeout=15)
+
+    assert report.completed == len(plan)
+    done = _done_counts(store)
+    assert all(count == 1 for count in done.values()), done
+
+
+def _campaign_child(store_dir: str, jobs: int, name: str) -> None:
+    plan = _plan(jobs, name)
+    store = RunStore(store_dir)
+    DistributedCoordinator(
+        plan, store, _options(retries=1), runner=pid_slow_runner
+    ).run()
+
+
+def test_killed_coordinator_restart_resumes_from_store(tmp_path):
+    plan = _plan(12, "kill-coordinator")
+    store = RunStore(tmp_path / "run")
+    store.initialise(plan)
+
+    ctx = multiprocessing.get_context("fork")
+    child = ctx.Process(
+        target=_campaign_child,
+        args=(str(store.directory), 12, "kill-coordinator"),
+    )
+    child.start()
+    # Let it complete some (but not all) jobs, then kill the whole campaign.
+    deadline = time.monotonic() + 20
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        while time.monotonic() < deadline:
+            if store.records_path.exists() and len(store.completed_ids()) >= 2:
+                break
+            time.sleep(0.05)
+    os.kill(child.pid, signal.SIGKILL)
+    child.join(timeout=5)
+    # SIGKILL skipped the child's cleanup, so its node processes were
+    # orphaned rather than terminated: put them down before resuming.
+    pids = store.directory / "pids"
+    for victim in pids.iterdir() if pids.exists() else []:
+        try:
+            os.kill(int(victim.name), signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+    time.sleep(0.1)
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        before = store.completed_ids()
+    assert before, "child never completed a job"
+    assert len(before) < len(plan), "child finished before the kill"
+
+    report = DistributedCoordinator(
+        plan, store, _options(retries=1), runner=marked_runner
+    ).run()
+    assert report.skipped == len(before)
+    assert store.completed_ids() == set(plan.job_ids())
+    done = _done_counts(store)
+    assert all(count == 1 for count in done.values()), done
+    # The resumed run executed only the unfinished jobs.
+    ran = {
+        path.name.rsplit("-", 1)[0]
+        for path in (store.directory / "ran").iterdir()
+    }
+    assert ran == set(plan.job_ids()) - before
+
+
+def test_restart_after_partial_failures_runs_only_the_remainder(tmp_path):
+    plan = _plan(10, "partial-failures")
+    store = RunStore(tmp_path / "run")
+    store.initialise(plan)
+
+    first = DistributedCoordinator(
+        plan, store, _options(retries=0), runner=half_failing_runner
+    ).run()
+    failed = set(first.failed)
+    assert failed and first.completed == len(plan) - len(failed)
+
+    ran_dir = store.directory / "ran"
+    for path in ran_dir.iterdir():
+        path.unlink()
+    second = DistributedCoordinator(
+        plan, store, _options(retries=0), runner=marked_runner
+    ).run()
+    assert second.skipped == first.completed
+    assert second.completed == len(failed)
+    assert store.completed_ids() == set(plan.job_ids())
+    ran = {path.name.rsplit("-", 1)[0] for path in ran_dir.iterdir()}
+    assert ran == failed  # completed jobs never re-ran
+    done = _done_counts(store)
+    assert all(count == 1 for count in done.values()), done

@@ -1,0 +1,85 @@
+"""Consistent-hash ring: determinism, balance, minimal re-homing."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.dist import HashRing, shard_of, stable_hash
+
+
+def test_stable_hash_is_process_independent():
+    # SHA-1 derived: fixed values, unlike the salted builtin hash().
+    assert stable_hash("job-0") == stable_hash("job-0")
+    assert stable_hash("") == 0xDA39A3EE5E6B4B0D
+    assert stable_hash("a") != stable_hash("b")
+
+
+def test_owner_is_deterministic_and_total():
+    ring = HashRing(["node-0", "node-1", "node-2"])
+    keys = [f"key-{i}" for i in range(500)]
+    owners = [ring.owner(key) for key in keys]
+    assert owners == [ring.owner(key) for key in keys]
+    assert set(owners) == {"node-0", "node-1", "node-2"}
+
+
+def test_virtual_nodes_balance_load():
+    ring = HashRing([f"node-{i}" for i in range(4)], vnodes=64)
+    counts = Counter(ring.owner(f"key-{i}") for i in range(4000))
+    assert len(counts) == 4
+    for owner in counts.values():
+        # Perfect balance would be 1000; vnodes keep skew modest.
+        assert 500 < owner < 1600
+
+
+def test_removing_a_member_only_rehomes_its_keys():
+    ring = HashRing(["node-0", "node-1", "node-2"])
+    keys = [f"key-{i}" for i in range(1000)]
+    before = {key: ring.owner(key) for key in keys}
+    ring.remove("node-1")
+    for key in keys:
+        after = ring.owner(key)
+        if before[key] != "node-1":
+            assert after == before[key]  # survivors keep their keys
+        else:
+            assert after in {"node-0", "node-2"}
+
+
+def test_adding_a_member_is_idempotent_and_removal_symmetric():
+    ring = HashRing(["node-0"])
+    ring.add("node-1")
+    ring.add("node-1")
+    assert ring.members() == ["node-0", "node-1"]
+    ring.remove("node-1")
+    ring.remove("node-1")
+    assert ring.members() == ["node-0"]
+    assert "node-1" not in ring
+
+
+def test_empty_ring_owns_nothing():
+    ring = HashRing()
+    assert ring.owner("anything") is None
+    assert len(ring) == 0
+
+
+def test_shard_of_is_stable_and_in_range():
+    for partitions in (1, 2, 4, 7):
+        for i in range(200):
+            index = shard_of(f"key-{i}", partitions)
+            assert 0 <= index < partitions
+            assert index == shard_of(f"key-{i}", partitions)
+    # Single-partition fast path.
+    assert shard_of("whatever", 1) == 0
+
+
+def test_shard_of_spreads_keys_across_partitions():
+    counts = Counter(shard_of(f"key-{i}", 4) for i in range(2000))
+    assert set(counts) == {0, 1, 2, 3}
+
+
+def test_invalid_arguments_raise():
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
+    with pytest.raises(ValueError):
+        shard_of("key", 0)

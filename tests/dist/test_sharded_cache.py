@@ -1,0 +1,161 @@
+"""Partitioned verdict key-space: routing, locality metrics, sharing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    ShardedSolverCache,
+    open_solver_cache,
+    sharded_cache_spec,
+)
+from repro.campaign.cache import _OPEN_SHARDED
+from repro.dist.ring import shard_of
+from repro.obs import metrics as obs_metrics
+
+
+@pytest.fixture(autouse=True)
+def _metrics_registry():
+    obs_metrics.REGISTRY.reset()
+    obs_metrics.REGISTRY.enable()
+    yield
+    obs_metrics.REGISTRY.reset()
+    obs_metrics.REGISTRY.disable()
+
+
+def test_keys_route_to_their_home_shard_file(tmp_path):
+    cache = ShardedSolverCache(tmp_path, partitions=4)
+    keys = [f"digest-{i}||digest-{i + 1}" for i in range(40)]
+    for key in keys:
+        cache.put(key, {"verdict": "equivalent"})
+    for key in keys:
+        home = shard_of(key, 4)
+        assert cache.shard_index(key) == home
+        text = cache.shard_path(home).read_text()
+        assert any(json.loads(line)["k"] == key for line in text.splitlines())
+    # More than one shard file exists once enough keys are spread.
+    populated = [p for p in tmp_path.iterdir() if p.name.startswith("shard-")]
+    assert len(populated) > 1
+
+
+def test_cross_instance_sharing_regardless_of_local_partition(tmp_path):
+    writer = ShardedSolverCache(tmp_path, partitions=3, local_partition=0)
+    writer.put("shared-key", {"verdict": "equivalent"})
+    for partition in range(3):
+        reader = ShardedSolverCache(tmp_path, partitions=3, local_partition=partition)
+        assert reader.get("shared-key") == {"verdict": "equivalent"}
+
+
+def test_hop_and_hit_counters(tmp_path):
+    partitions = 4
+    key = "some-key||other"
+    home = shard_of(key, partitions)
+    local = ShardedSolverCache(tmp_path, partitions, local_partition=home)
+    remote = ShardedSolverCache(
+        tmp_path, partitions, local_partition=(home + 1) % partitions
+    )
+
+    assert local.get(key) is None
+    assert obs_metrics.REGISTRY.counter("dist.cache_misses") == 1
+    assert obs_metrics.REGISTRY.counter("dist.cache_hops") == 0
+
+    local.put(key, {"verdict": "equivalent"})  # home shard: no hop
+    assert obs_metrics.REGISTRY.counter("dist.cache_hops") == 0
+    assert local.get(key) is not None  # overlay hit
+    assert obs_metrics.REGISTRY.counter("dist.cache_local_hits") == 1
+
+    assert remote.get(key) is not None  # file hit on a non-local shard
+    assert obs_metrics.REGISTRY.counter("dist.cache_hops") == 1
+    assert obs_metrics.REGISTRY.counter("dist.cache_remote_hits") == 1
+    assert remote.get(key) is not None  # now in the overlay: local, no hop
+    assert obs_metrics.REGISTRY.counter("dist.cache_hops") == 1
+    assert obs_metrics.REGISTRY.counter("dist.cache_local_hits") == 2
+
+
+def test_contains_is_metric_free(tmp_path):
+    cache = ShardedSolverCache(tmp_path, partitions=2, local_partition=0)
+    cache_key = "probe||probe2"
+    assert cache_key not in cache
+    cache.put(cache_key, {"verdict": "equivalent"})
+    assert cache_key in cache
+    snapshot = obs_metrics.REGISTRY.snapshot()
+    assert "dist.cache_misses" not in snapshot["counters"]
+    assert snapshot["counters"].get("dist.cache_hops", 0) in (0, 1)  # put only
+
+
+def test_len_counts_distinct_keys_across_shards_and_overlay(tmp_path):
+    cache = ShardedSolverCache(tmp_path, partitions=3)
+    for i in range(10):
+        cache.put(f"key-{i}", {"verdict": "equivalent"})
+    assert len(cache) == 10
+    fresh = ShardedSolverCache(tmp_path, partitions=3)
+    for i in range(10):
+        assert fresh.get(f"key-{i}") is not None
+    assert len(fresh) == 10
+
+
+def test_spec_round_trip_and_memoization(tmp_path):
+    spec = sharded_cache_spec(tmp_path / "shards", 5, 2)
+    assert spec.endswith("::shards=5::local=2")
+    first = open_solver_cache(spec)
+    assert isinstance(first, ShardedSolverCache)
+    assert first.partitions == 5
+    assert first.local_partition == 2
+    # Memoized per spec: one warm overlay per node process.
+    assert open_solver_cache(spec) is first
+    try:
+        other = open_solver_cache(sharded_cache_spec(tmp_path / "shards", 5, 3))
+        assert other is not first
+    finally:
+        _OPEN_SHARDED.clear()
+
+
+def test_spec_without_local_partition(tmp_path):
+    spec = sharded_cache_spec(tmp_path / "shards", 2)
+    try:
+        cache = open_solver_cache(spec)
+        assert cache.local_partition is None
+        cache.put("k", {"verdict": "equivalent"})
+        assert obs_metrics.REGISTRY.counter("dist.cache_hops") == 0  # no locality
+    finally:
+        _OPEN_SHARDED.clear()
+
+
+def test_plain_path_opens_the_flat_cache(tmp_path):
+    from repro.campaign import PersistentSolverCache
+
+    cache = open_solver_cache(str(tmp_path / "cache.jsonl"))
+    assert isinstance(cache, PersistentSolverCache)
+
+
+def test_unknown_spec_field_raises(tmp_path):
+    with pytest.raises(ValueError, match="unknown cache spec field"):
+        open_solver_cache(f"{tmp_path}::bogus=1")
+
+
+def test_checker_accepts_a_sharded_spec(tmp_path):
+    """EquivalenceChecker routes a sharded spec through open_solver_cache."""
+    from repro.solver.equivalence import (
+        EquivalenceChecker,
+        EquivalenceOptions,
+        Verdict,
+    )
+    from repro.symbolic import builder
+
+    spec = sharded_cache_spec(tmp_path / "shards", 2, 0)
+    try:
+        options = EquivalenceOptions(persistent_cache_path=spec)
+        left = builder.mul(builder.input_field("/x", 16), builder.const(2, 16))
+        right = builder.shl(builder.input_field("/x", 16), builder.const(1, 16))
+
+        first = EquivalenceChecker(options=options)
+        assert first.equivalent(left, right).verdict is Verdict.EQUIVALENT
+        assert first.statistics.persistent_cache_hits == 0
+
+        second = EquivalenceChecker(options=options)
+        assert second.equivalent(left, right).verdict is Verdict.EQUIVALENT
+        assert second.statistics.persistent_cache_hits == 1
+    finally:
+        _OPEN_SHARDED.clear()

@@ -1,0 +1,122 @@
+"""Per-node distributed gauges must survive the coordinator's snapshot merge.
+
+Gauges merge by *maximum* (peak-across-sources semantics), so two nodes
+reporting the same gauge name would shadow each other.  The coordinator
+therefore namespaces per-node gauges (``dist.node.<id>.*``) — distinct
+names survive any merge order — and these tests pin that contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.campaign import RunStore, expand_plan
+from repro.core.reporting import TransferRecord
+from repro.dist import DistOptions, DistributedCoordinator
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+
+
+def test_distinct_node_gauge_names_survive_merge():
+    merged: dict = {}
+    merge_snapshots(
+        merged,
+        {
+            "counters": {"dist.steals": 2, "dist.cache_hops": 5},
+            "gauges": {
+                "dist.node.node-0.queue_depth_peak": 7,
+                "dist.node.node-0.utilization": 0.9,
+            },
+        },
+    )
+    merge_snapshots(
+        merged,
+        {
+            "counters": {"dist.steals": 1, "dist.cache_hops": 3},
+            "gauges": {
+                "dist.node.node-1.queue_depth_peak": 4,
+                "dist.node.node-1.utilization": 0.5,
+            },
+        },
+    )
+    # Counters add across sources; namespaced gauges all survive.
+    assert merged["counters"]["dist.steals"] == 3
+    assert merged["counters"]["dist.cache_hops"] == 8
+    assert merged["gauges"]["dist.node.node-0.queue_depth_peak"] == 7
+    assert merged["gauges"]["dist.node.node-1.queue_depth_peak"] == 4
+    assert merged["gauges"]["dist.node.node-0.utilization"] == 0.9
+    assert merged["gauges"]["dist.node.node-1.utilization"] == 0.5
+
+
+def test_same_name_gauges_keep_the_peak():
+    registry = MetricsRegistry()
+    registry.merge_snapshot({"gauges": {"campaign.queue_depth_peak": 3}})
+    registry.merge_snapshot({"gauges": {"campaign.queue_depth_peak": 9}})
+    registry.merge_snapshot({"gauges": {"campaign.queue_depth_peak": 5}})
+    assert registry.gauge("campaign.queue_depth_peak") == 9
+
+
+def _fake_record(payload: dict) -> dict:
+    return asdict(
+        TransferRecord(
+            recipient=payload["case_id"],
+            target="site:1",
+            donor=payload["donor"],
+            success=True,
+            generation_time_s=0.01,
+            relevant_branches=1,
+            flipped_branches="1",
+            used_checks=1,
+            insertion_points="1 - 0 - 0 = 1",
+            check_size="2 -> 1",
+        )
+    )
+
+
+def snapshot_runner(payload: dict, cache_spec) -> dict:
+    """Ship a worker-style metrics snapshot with per-job dist counters."""
+    return {
+        "record": _fake_record(payload),
+        "elapsed_s": 0.01,
+        "metrics": {
+            "counters": {
+                "dist.cache_hops": 2,
+                "dist.cache_local_hits": 5,
+                "solver.queries": 3,
+            },
+            "gauges": {},
+            "histograms": {},
+        },
+    }
+
+
+def test_coordinator_merges_node_snapshots_and_gauges(tmp_path):
+    plan = expand_plan(cases=["cwebp-jpegdec", "swfplay-rgb"], name="obs-dist")
+    store = RunStore(tmp_path / "run")
+    store.initialise(plan)
+    report = DistributedCoordinator(
+        plan,
+        store,
+        DistOptions(nodes=2, start_method="fork", poll_interval_s=0.01),
+        runner=snapshot_runner,
+    ).run()
+
+    counters = report.metrics["counters"]
+    gauges = report.metrics["gauges"]
+    # Worker snapshots folded in: counters add across jobs and nodes.
+    assert counters["dist.cache_hops"] == 2 * len(plan)
+    assert counters["dist.cache_local_hits"] == 5 * len(plan)
+    assert counters["solver.queries"] == 3 * len(plan)
+    # The coordinator's own control-plane metrics are merged alongside.
+    assert gauges["dist.nodes"] == 2
+    assert "campaign.worker_utilization" in gauges
+    for node_id in ("node-0", "node-1"):
+        assert f"dist.node.{node_id}.utilization" in gauges
+        assert f"dist.node.{node_id}.cache_hops" in gauges
+    # Per-node hop attribution sums back to the global counter.
+    attributed = sum(
+        gauges[f"dist.node.{node_id}.cache_hops"] for node_id in ("node-0", "node-1")
+    )
+    assert attributed == counters["dist.cache_hops"]
+    # The summary renders the distributed line from these merged metrics.
+    assert "distributed: 2 nodes" in report.summary()
