@@ -9,7 +9,11 @@ over procedurally generated donor/recipient pairs — every
 registered input formats.
 
 Emits ``results/scenario_matrix.json``: per-class transfer counts, success
-rates, and wall-time totals, plus corpus generation time.
+rates, and wall-time totals, plus corpus generation time.  A second summary,
+``results/scenario_matrix_hardness.json``, covers the full-hardness corpus
+(multi-defect, cross-format, adversarial near-miss, mutation dimensions)
+with a per-dimension success-rate table and the false-accept count — both
+feed ``benchmarks/trajectory.json`` through the perf ledger.
 """
 
 from __future__ import annotations
@@ -20,13 +24,22 @@ import pytest
 
 from repro.campaign import SchedulerOptions
 from repro.lang.trace import ErrorKind
-from repro.scenarios import generate_corpus, run_matrix
+from repro.scenarios import (
+    HARDNESS_DIMENSIONS,
+    CorpusConfig,
+    generate_corpus,
+    run_matrix,
+)
 
 from conftest import write_benchmark_summary
 
 SEED = 0
 PAIRS_PER_CLASS = 2
 WORKERS = 2
+
+#: Hard-matrix knobs: one pair per class per dimension keeps the CI smoke
+#: fast while still covering every (class x dimension) cell once.
+HARD_PAIRS_PER_CLASS = 1
 
 
 @pytest.fixture(scope="module")
@@ -115,6 +128,111 @@ def test_matrix_scales_past_the_paper_corpus(matrix_results):
     classes = {pair.error_kind for pair in corpus}
     assert len(classes) == len(ErrorKind)
     assert len({record.recipient for record in database.records}) == len(corpus)
+
+
+@pytest.fixture(scope="module")
+def hard_matrix_results(tmp_path_factory):
+    """Run the full-hardness matrix once and persist the per-dimension JSON."""
+    generation_start = time.perf_counter()
+    corpus = generate_corpus(
+        CorpusConfig(
+            seed=SEED,
+            pairs_per_class=HARD_PAIRS_PER_CLASS,
+            hardness=HARDNESS_DIMENSIONS,
+        )
+    )
+    generation_s = time.perf_counter() - generation_start
+
+    store_dir = tmp_path_factory.mktemp("scenario-matrix-hard") / "run"
+    report, database = run_matrix(
+        corpus, store_dir, options=SchedulerOptions(jobs=WORKERS, start_method="fork")
+    )
+
+    dimension_of = corpus.hardness_of_recipient()
+    per_dimension: dict[str, dict] = {
+        name: {"transfers": 0, "successful": 0} for name in HARDNESS_DIMENSIONS
+    }
+    for record in database.records:
+        entry = per_dimension.get(dimension_of.get(record.recipient))
+        if entry is None:
+            continue
+        entry["transfers"] += 1
+        entry["successful"] += 1 if record.success else 0
+    for entry in per_dimension.values():
+        entry["success_rate"] = (
+            round(entry["successful"] / entry["transfers"], 4)
+            if entry["transfers"]
+            else 0.0
+        )
+
+    # Every validated adversarial job is a false accept (the registered
+    # donor is the near-miss); the target the ledger tracks is zero.
+    false_accepts = per_dimension["adversarial"]["successful"]
+    counters = report.metrics.get("counters") or {}
+    payload = {
+        "seed": SEED,
+        "pairs_per_class": HARD_PAIRS_PER_CLASS,
+        "workers": WORKERS,
+        "hardness": list(HARDNESS_DIMENSIONS),
+        "corpus_generation_s": round(generation_s, 4),
+        "campaign_elapsed_s": round(report.elapsed_s, 4),
+        "dimensions": per_dimension,
+        "false_accept_rate": report.false_accept_rate(),
+    }
+    write_benchmark_summary(
+        "scenario_matrix_hardness",
+        wall_ms={
+            "corpus_generation": generation_s * 1000.0,
+            "campaign": report.elapsed_s * 1000.0,
+        },
+        counters={
+            "transfers": report.completed,
+            "false_accepts": false_accepts,
+            "multi_round_repairs": int(
+                counters.get("scenarios.multi_round_repairs", 0)
+            ),
+            # Per-dimension success rates: the ledger folds counters into
+            # trajectory.json, so the table is tracked across runs.
+            **{
+                f"success_rate_{name}": per_dimension[name]["success_rate"]
+                for name in HARDNESS_DIMENSIONS
+            },
+        },
+        extra=payload,
+    )
+    return corpus, report, payload
+
+
+def test_hard_matrix_dimension_table(hard_matrix_results):
+    corpus, report, payload = hard_matrix_results
+    assert report.completed == len(corpus)
+    assert not report.failed
+    per_dimension = payload["dimensions"]
+    expected = len(ErrorKind) * HARD_PAIRS_PER_CLASS
+    for name in HARDNESS_DIMENSIONS:
+        assert per_dimension[name]["transfers"] == expected, (
+            f"{name}: {per_dimension[name]['transfers']}/{expected} transfers ran"
+        )
+    # Positive dimensions must fully validate; adversarial must fully fail.
+    for name in ("baseline", "multi_defect", "cross_format", "mutation"):
+        assert per_dimension[name]["success_rate"] == 1.0, (
+            f"{name}: {per_dimension[name]['successful']}/{expected} validated"
+        )
+    assert per_dimension["adversarial"]["successful"] == 0, (
+        "near-miss donor validated: a false accept"
+    )
+    assert report.false_accept_rate() == 0.0
+    print(
+        f"\nhard matrix: {report.completed} transfers in {report.elapsed_s:.2f}s "
+        f"({payload['corpus_generation_s']:.2f}s corpus generation), "
+        f"false-accept rate {report.false_accept_rate():.1%}"
+    )
+    for name in HARDNESS_DIMENSIONS:
+        entry = per_dimension[name]
+        print(
+            f"  {name:14s} {entry['successful']}/{entry['transfers']} ok "
+            f"({entry['success_rate']:.0%})"
+        )
 
 
 def test_bench_scenario_matrix(tmp_path_factory, benchmark):

@@ -34,7 +34,10 @@ class RepairRequest:
     :class:`ErrorTarget`.  Pinning ``donor`` runs a single transfer; leaving
     it unset runs full donor selection (optionally restricted to
     ``donors``).  ``policy`` overrides the session's configured search
-    policy for this request only.
+    policy for this request only.  ``probe_inputs`` lists additional known
+    error triggers (one per defect for multi-defect recipients); any probe
+    still crashing a patched program counts as a residual error and drives
+    another recursive repair round.
     """
 
     recipient: ApplicationRef
@@ -45,6 +48,7 @@ class RepairRequest:
     donor: Optional[ApplicationRef] = None
     donors: Optional[Sequence[ApplicationRef]] = None
     policy: Union[str, SearchPolicy, None] = None
+    probe_inputs: Sequence[bytes] = ()
 
     @classmethod
     def for_case(
@@ -60,8 +64,14 @@ class RepairRequest:
         ``seed_input()``, ``error_input()``, and ``format_name`` — both the
         paper corpus (:class:`repro.experiments.ErrorCase`) and generated
         scenarios (:class:`repro.scenarios.ScenarioPair`) qualify, so every
-        driver funnels through one construction path.
+        driver funnels through one construction path.  Cases may optionally
+        expose ``probe_inputs()`` (multi-defect scenarios do) to declare one
+        known trigger per defect.
         """
+        probe_inputs: Sequence[bytes] = ()
+        probes = getattr(case, "probe_inputs", None)
+        if callable(probes):
+            probe_inputs = tuple(probes())
         return cls(
             recipient=case.application(),
             target=case.target(),
@@ -71,6 +81,7 @@ class RepairRequest:
             donor=donor,
             donors=donors,
             policy=policy,
+            probe_inputs=probe_inputs,
         )
 
 
@@ -165,6 +176,7 @@ class RepairSession:
                     request.error_input,
                     request.format_name,
                     policy=request.policy,
+                    probe_inputs=request.probe_inputs,
                 )
                 attempts: tuple[TransferOutcome, ...] = (outcome,)
             else:
@@ -179,6 +191,7 @@ class RepairSession:
                     request.format_name,
                     donors=donors,
                     policy=request.policy,
+                    probe_inputs=request.probe_inputs,
                 )
                 outcome, attempts = result.outcome, result.attempts
         finally:

@@ -118,10 +118,12 @@ class AttemptLedger:
 class ClassAccountant:
     """Folds settled jobs into a report's per-class transfer stats.
 
-    ``job_class`` maps a job to its reporting class (the scenario matrix
-    passes each case's :class:`~repro.lang.trace.ErrorKind`): either a
-    callable over :class:`~repro.campaign.plan.JobSpec` or a mapping keyed
-    by case id.  ``None`` disables class accounting entirely.
+    ``job_class`` maps a job to its reporting class(es): either a callable
+    over :class:`~repro.campaign.plan.JobSpec` or a mapping keyed by case
+    id.  A job may belong to several classes at once (the scenario matrix
+    reports each case under its :class:`~repro.lang.trace.ErrorKind` *and*
+    its hardness dimension) — the mapped value is one class name or an
+    iterable of them.  ``None`` disables class accounting entirely.
     """
 
     def __init__(self, job_class: Optional[object]) -> None:
@@ -138,19 +140,22 @@ class ClassAccountant:
         """Fold one settled (or skipped-as-done) job into the class stats."""
         if self._job_class is None:
             return
-        name = self._job_class(job)
-        if name is None:
+        names = self._job_class(job)
+        if names is None:
             return
-        counters = report.class_stats.setdefault(
-            name, {"jobs": 0, "completed": 0, "validated": 0, "failed": 0}
-        )
-        counters["jobs"] += 1
-        if completed:
-            counters["completed"] += 1
-            if success:
-                counters["validated"] += 1
-        else:
-            counters["failed"] += 1
+        if isinstance(names, str):
+            names = (names,)
+        for name in names:
+            counters = report.class_stats.setdefault(
+                name, {"jobs": 0, "completed": 0, "validated": 0, "failed": 0}
+            )
+            counters["jobs"] += 1
+            if completed:
+                counters["completed"] += 1
+                if success:
+                    counters["validated"] += 1
+            else:
+                counters["failed"] += 1
 
 
 def account_completed(report, result) -> None:

@@ -211,6 +211,19 @@ class CampaignReport:
             for name, counters in self.class_stats.items()
         }
 
+    def false_accept_rate(self) -> Optional[float]:
+        """Share of adversarial near-miss donors that validated anyway.
+
+        Adversarial jobs register a donor whose check *looks* protective but
+        is off-by-one or wrong-bound; a sound validation rejects every one,
+        so this rate's target is 0.0.  ``None`` when the run had no
+        adversarial jobs (the rate is then meaningless, not perfect).
+        """
+        counters = self.class_stats.get("hardness:adversarial")
+        if not counters or not counters["jobs"]:
+            return None
+        return counters["validated"] / counters["jobs"]
+
     @property
     def persistent_hit_rate(self) -> float:
         if not self.solver_queries:
@@ -298,6 +311,11 @@ class CampaignReport:
                 f"class {name}: {counters['validated']}/{counters['jobs']} "
                 f"transfers validated"
                 + (f", {counters['failed']} failed" if counters["failed"] else "")
+            )
+        false_accepts = self.false_accept_rate()
+        if false_accepts is not None:
+            lines.append(
+                f"false-accept rate (near-miss donors validated): {false_accepts:.1%}"
             )
         return "\n".join(lines)
 

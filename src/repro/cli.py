@@ -12,8 +12,10 @@ Subcommands::
                                          # (--nodes N: distributed over N
                                          # emulated worker nodes, repro.dist)
     codephage matrix [--seed N] [--pairs N] [--classes ...] [--formats ...]
-                                         # generate a scenario corpus and run the
+                     [--hardness ...]    # generate a scenario corpus and run the
                                          # N-pairs x error-class transfer matrix
+                                         # (--hardness adds adversarial dimensions
+                                         # and reports a false-accept rate)
     codephage trace JOB_ID [--chrome]    # export a stored job's trace (spans)
     codephage bundle JOB_ID [--out F]    # export a repair evidence bundle
     codephage discover CASE              # re-discover the error input with DIODE/fuzzing
@@ -24,7 +26,11 @@ is recorded in a resumable on-disk run store, and solver queries are shared
 through a persistent cross-process cache.  ``matrix`` additionally generates
 its corpus (:mod:`repro.scenarios`) from ``--seed`` — deterministically, so
 job ids are stable and ``--resume`` works across invocations — and reports
-per-error-class success rates.
+per-error-class success rates.  ``--hardness`` extends the corpus beyond the
+baseline diagonal (multi-defect recipients, cross-format donors, near-miss
+donors, fuzzer-discovered triggers); near-miss jobs are *expected to fail*
+validation, and the summary reports the false-accept rate (the share that
+validated anyway — target 0.0).
 
 Every subcommand routes repairs through the :mod:`repro.api` facade; this
 module contains no stage-sequencing logic of its own.
@@ -72,6 +78,7 @@ from .obs import (
     write_bundle,
 )
 from .scenarios import (
+    HARDNESS_DIMENSIONS,
     CorpusConfig,
     ScenarioError,
     corpus_plan,
@@ -337,6 +344,9 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         if args.classes
         else CorpusConfig().error_kinds
     )
+    hardness = tuple(dict.fromkeys(args.hardness or ("baseline",)))
+    if "all" in hardness:
+        hardness = HARDNESS_DIMENSIONS
     try:
         corpus = generate_corpus(
             CorpusConfig(
@@ -344,6 +354,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
                 pairs_per_class=args.pairs,
                 error_kinds=kinds,
                 formats=tuple(dict.fromkeys(args.formats or ())),
+                hardness=hardness,
             )
         )
         plan = _apply_backend(
@@ -358,7 +369,8 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     kind_of_recipient = corpus.kind_of_recipient()
     print(
         f"scenario corpus: {len(corpus)} generated pairs "
-        f"({args.pairs} per class, seed {args.seed}) -> {len(plan)} transfers "
+        f"({args.pairs} per class, seed {args.seed}, "
+        f"hardness: {'+'.join(hardness)}) -> {len(plan)} transfers "
         f"(manifest: {manifest_path})"
     )
     return _run_campaign(
@@ -609,6 +621,16 @@ def main(argv: list[str] | None = None) -> int:
         nargs="+",
         choices=[strategy.value for strategy in PatchStrategy],
         help="patch strategies to cross with the generated pairs",
+    )
+    matrix.add_argument(
+        "--hardness",
+        nargs="+",
+        choices=[*HARDNESS_DIMENSIONS, "all"],
+        help=(
+            "hardness dimensions to generate (default: baseline); "
+            "'all' selects every dimension — adversarial pairs report a "
+            "false-accept rate in the campaign summary"
+        ),
     )
 
     trace = sub.add_parser(

@@ -93,10 +93,22 @@ class PatchValidated(PipelineEvent):
 
 @dataclass(frozen=True)
 class ResidualErrorFound(PipelineEvent):
-    """The DIODE rescan found residual errors; a recursive round follows."""
+    """The post-patch rescan found residual errors; a recursive round follows.
+
+    ``kinds`` lists the error kinds still reproducible on the patched
+    program, in repair order: probe-input failures first (the order the
+    recipient's defects were declared in), then DIODE rescan findings.
+    """
 
     count: int
     round_index: int
+    kinds: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        # JSON round-trips deliver lists; normalise so restored events
+        # compare equal to the originals.
+        if not isinstance(self.kinds, tuple):
+            object.__setattr__(self, "kinds", tuple(self.kinds))
 
 
 # -- serialization ---------------------------------------------------------------------

@@ -35,6 +35,7 @@ from ..formats.registry import get_format
 from ..lang.checker import Program, compile_program
 from ..lang.patcher import PatchError, apply_patch
 from ..lang.trace import ErrorKind
+from ..lang.vm import VM, VMConfig
 from ..solver.backends import diff_snapshots
 from ..solver.equivalence import EquivalenceChecker
 from .check_discovery import discover_candidate_checks, relevant_fields, run_instrumented
@@ -575,8 +576,16 @@ class TransferEngine:
         error_input: bytes,
         format_name: Optional[str] = None,
         policy: Union[str, SearchPolicy, None] = None,
+        probe_inputs: Sequence[bytes] = (),
     ) -> TransferOutcome:
-        """Transfer a check from ``donor`` to eliminate ``target`` in ``recipient``."""
+        """Transfer a check from ``donor`` to eliminate ``target`` in ``recipient``.
+
+        ``probe_inputs`` are additional known error triggers (multi-defect
+        recipients declare one per defect); after every validated patch each
+        probe is re-run against the patched program and any still-crashing
+        probe becomes a residual error driving another recursive round, in
+        declaration order, ahead of DIODE rescan findings.
+        """
         policy = get_policy(policy or self.options.search_policy)
         start = time.perf_counter()
         format_spec = get_format(format_name or recipient.formats[0])
@@ -636,13 +645,26 @@ class TransferEngine:
                 )
                 ctx.current_source = transferred.patched_source
 
-                # Residual errors discovered by the DIODE rescan drive recursion.
+                # Residual errors drive recursion: declared probe inputs that
+                # still crash the patched program (in declaration order) come
+                # first, then anything the DIODE rescan discovered.
+                probe_failures = self._probe_residuals(ctx, probe_inputs)
                 residual = transferred.validation.residual_findings
-                if residual:
+                if probe_failures or residual:
+                    ordered = [data for data, _ in probe_failures]
+                    kinds = [kind.value for _, kind in probe_failures]
+                    for finding in residual:
+                        ordered.append(finding.error_input)
+                        if finding.result.error is not None:
+                            kinds.append(finding.result.error.kind.value)
                     self.events.emit(
-                        ResidualErrorFound(count=len(residual), round_index=round_index)
+                        ResidualErrorFound(
+                            count=len(ordered),
+                            round_index=round_index,
+                            kinds=tuple(dict.fromkeys(kinds)),
+                        )
                     )
-                    ctx.current_error = residual[0].error_input
+                    ctx.current_error = ordered[0]
                 else:
                     ctx.current_error = None
 
@@ -676,6 +698,26 @@ class TransferEngine:
         self.run_stage(self.discovery_stage, ctx, detail=ctx.donor.full_name)
         return policy.select_check(self, ctx)
 
+    def _probe_residuals(
+        self, ctx: TransferContext, probe_inputs: Sequence[bytes]
+    ) -> list[tuple[bytes, ErrorKind]]:
+        """Probe inputs that still crash ``ctx.current_source``, with their kinds.
+
+        The just-repaired error input is among the probes by construction and
+        drops out here (it no longer crashes), so the surviving list is exactly
+        the recipient's *remaining* defects in declaration order.
+        """
+        failures: list[tuple[bytes, ErrorKind]] = []
+        if not probe_inputs:
+            return failures
+        program = compile_program(ctx.current_source, name=ctx.recipient.full_name)
+        for data in probe_inputs:
+            vm = VM(program, config=VMConfig(track_symbolic=False))
+            result = vm.run(data, field_map=ctx.format_spec.field_map(data))
+            if result.error is not None:
+                failures.append((data, result.error.kind))
+        return failures
+
     # -- repair (donor loop) -----------------------------------------------------------
 
     def repair(
@@ -687,6 +729,7 @@ class TransferEngine:
         format_name: Optional[str] = None,
         donors: Optional[Sequence[Application]] = None,
         policy: Union[str, SearchPolicy, None] = None,
+        probe_inputs: Sequence[bytes] = (),
     ) -> RepairResult:
         """Full pipeline including donor selection, driven by the policy."""
         policy = get_policy(policy or self.options.search_policy)
@@ -721,7 +764,14 @@ class TransferEngine:
                 DonorAttempted(donor=donor.full_name, index=index, total=len(donors))
             )
             outcome = self.transfer(
-                recipient, target, donor, seed, error_input, format_spec.name, policy=policy
+                recipient,
+                target,
+                donor,
+                seed,
+                error_input,
+                format_spec.name,
+                policy=policy,
+                probe_inputs=probe_inputs,
             )
             outcomes.append(outcome)
             if outcome.success and policy.stop_on_first_donor:

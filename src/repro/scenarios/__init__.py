@@ -9,23 +9,37 @@ exercise thousands of distinct transfers instead of replaying Figure 8:
   :class:`~repro.lang.trace.ErrorKind`: what the seeded bug looks like in
   the recipient, and what protective check the donor carries;
 * :mod:`repro.scenarios.generate` — pair synthesis: reader codegen from the
-  format's field layout, template instantiation, content-addressed naming;
-* :mod:`repro.scenarios.corpus` — deterministic seeded batches with a JSON
-  manifest for cross-process campaigns;
+  format's field layout, template instantiation, content-addressed naming —
+  including the adversarial synthesizers (multi-defect stacks, cross-format
+  donors, near-miss donors, mutation-discovered triggers);
+* :mod:`repro.scenarios.corpus` — deterministic seeded batches spanning
+  hardness dimensions (:data:`~repro.scenarios.corpus.HARDNESS_DIMENSIONS`)
+  with a JSON manifest for cross-process campaigns;
 * :mod:`repro.scenarios.runner` — the campaign worker entry point and the
   ``codephage matrix`` driver helpers.
 
-See ``docs/SCENARIOS.md`` for the error-class taxonomy, the generation
-knobs, and the determinism guarantees.
+See ``docs/SCENARIOS.md`` for the error-class and hardness taxonomies, the
+generation knobs, the false-accept-rate semantics, and the determinism
+guarantees.
 """
 
 from .corpus import (
     DEFAULT_ERROR_KINDS,
+    HARDNESS_DIMENSIONS,
     CorpusConfig,
     ScenarioCorpus,
     generate_corpus,
 )
-from .generate import ScenarioError, ScenarioPair, synthesize_pair
+from .generate import (
+    ScenarioError,
+    ScenarioPair,
+    suitable_fields,
+    synthesize_cross_format_pair,
+    synthesize_multi_defect_pair,
+    synthesize_mutation_pair,
+    synthesize_near_miss_pair,
+    synthesize_pair,
+)
 from .runner import (
     MANIFEST_NAME,
     corpus_plan,
@@ -34,14 +48,16 @@ from .runner import (
     prepare_matrix_store,
     run_matrix,
 )
-from .templates import TEMPLATES, DefectTemplate, FieldAccess
+from .templates import NEAR_MISS_MODES, TEMPLATES, DefectTemplate, FieldAccess
 
 __all__ = [
     "CorpusConfig",
     "DEFAULT_ERROR_KINDS",
     "DefectTemplate",
     "FieldAccess",
+    "HARDNESS_DIMENSIONS",
     "MANIFEST_NAME",
+    "NEAR_MISS_MODES",
     "ScenarioCorpus",
     "ScenarioError",
     "ScenarioPair",
@@ -52,5 +68,10 @@ __all__ = [
     "matrix_scheduler_kwargs",
     "prepare_matrix_store",
     "run_matrix",
+    "suitable_fields",
+    "synthesize_cross_format_pair",
+    "synthesize_multi_defect_pair",
+    "synthesize_mutation_pair",
+    "synthesize_near_miss_pair",
     "synthesize_pair",
 ]

@@ -79,9 +79,25 @@ def matrix_job_runner(payload: dict, cache_path: Optional[str], manifest_path: s
     obs_metrics.REGISTRY.reset()
     obs_metrics.REGISTRY.enable()
     start = time.perf_counter()
-    with scoped_registration(pair.recipient, pair.donor):
+    # Multi-defect pairs ship decoy donors: run full donor selection over the
+    # pool so the recursive repair loop has to recover from partial fixes.
+    donor_pool = pair.donor_pool
+    with scoped_registration(pair.recipient, *donor_pool):
         session = RepairSession(options=job.build_options(cache_path))
-        report = session.run_case(pair, donor=pair.donor)
+        if len(donor_pool) > 1:
+            report = session.run_case(pair, donors=donor_pool)
+        else:
+            report = session.run_case(pair, donor=pair.donor)
+    # An adversarial pair's registered donor is the near-miss: any success is
+    # a false accept, the number the hard-matrix gate drives to zero.  The
+    # counter is recorded even at zero so aggregated telemetry shows the
+    # gate was exercised, not skipped.
+    if pair.adversarial:
+        obs_metrics.REGISTRY.inc(
+            "scenarios.false_accepts", 1 if report.outcome.success else 0
+        )
+    if len(report.outcome.checks) > 1:
+        obs_metrics.REGISTRY.inc("scenarios.multi_round_repairs")
     record = TransferRecord.from_outcome(report.outcome)
     return {
         "record": asdict(record),
@@ -134,7 +150,7 @@ def matrix_scheduler_kwargs(corpus: ScenarioCorpus, manifest_path: str | Path) -
     """The :class:`CampaignScheduler` wiring every matrix driver shares."""
     return {
         "runner": partial(matrix_job_runner, manifest_path=str(manifest_path)),
-        "job_class": corpus.kind_of_case(),
+        "job_class": corpus.classes_of_case(),
     }
 
 

@@ -27,10 +27,22 @@ generated transfers validatable by the unchanged pipeline:
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..lang.trace import ErrorKind
+
+#: The two near-miss donor flavours adversarial corpora generate.
+#:
+#: ``fails-open`` violates the *rejection window*: the check's bound is
+#: pushed past the error value, so it never fires and check discovery finds
+#: no flipped branch — the transfer must fail before a patch exists.
+#: ``overbroad`` violates the *benign window*: the bound is pulled inside the
+#: regression corpus's value range, so the check flips on the error input
+#: (and is discovered), but the generated patch changes regression behaviour
+#: and validation must reject it.
+NEAR_MISS_MODES: tuple[str, ...] = ("fails-open", "overbroad")
 
 
 @dataclass(frozen=True)
@@ -75,6 +87,14 @@ class DefectTemplate:
     #: Whether the field's format default must be non-zero (divide-by-zero
     #: uses the default as the benign divisor).
     requires_nonzero_default: bool = False
+    #: MicroC locals this template's bodies introduce.  Multi-defect
+    #: synthesis renames them per defect slot so stacked bodies never
+    #: collide in one function scope.
+    local_names: tuple[str, ...] = ()
+    #: Comparison operator of the protective check's condition; the generic
+    #: near-miss construction shifts its bound (templates whose checks are
+    #: not simple single-field comparisons override the construction).
+    comparator: str = ">"
 
     def suits(self, field: FieldAccess) -> bool:
         if field.size * 8 < self.min_field_bits:
@@ -93,12 +113,94 @@ class DefectTemplate:
     def instantiate(self, fields: Sequence[FieldAccess], rng: random.Random) -> DefectPlan:
         raise NotImplementedError
 
+    # -- near-miss (adversarial) donor synthesis ---------------------------------------
+
+    def near_miss_condition(
+        self,
+        fields: Sequence[FieldAccess],
+        plan: Optional[DefectPlan],
+        mode: str,
+        regression_rows: Sequence[dict],
+    ) -> Optional[str]:
+        """The almost-protective check condition for ``mode``, or ``None``.
+
+        ``regression_rows`` holds the per-field values of the deterministic
+        regression corpus the validator will replay (one dict per input),
+        so the ``overbroad`` bound is provably inside the benign window.
+        Returns ``None`` when a mode is infeasible for these fields (e.g.
+        no regression value exceeds the field's format default).  The
+        ``overbroad`` construction never consults ``plan``, so feasibility
+        can be probed with ``plan=None`` before a defect is instantiated.
+        """
+        (field,) = fields
+        if mode == "fails-open":
+            error_value = plan.error_values[field.path]
+            if self.comparator == ">":
+                return f"{field.var} > {error_value}"
+            return f"{field.var} >= {error_value + 1}"
+        top = max(row[field.path] for row in regression_rows)
+        if top <= field.default:
+            return None
+        if self.comparator == ">":
+            return f"{field.var} > {field.default}"
+        return f"{field.var} >= {field.default + 1}"
+
+    def near_miss_donor_body(
+        self,
+        fields: Sequence[FieldAccess],
+        plan: DefectPlan,
+        mode: str,
+        regression_rows: Sequence[dict],
+    ) -> Optional[tuple[str, ...]]:
+        """The donor body whose check is off-by-one/wrong-bound, or ``None``.
+
+        ``fails-open`` donors pair the dead check with a branch-free filler
+        computation: the template's real computation would crash on the
+        error input *and* its data-dependent branches (loop bounds) would
+        hand discovery a legitimately protective flip, turning the intended
+        rejection probe into a valid transfer.
+
+        ``overbroad`` donors keep the real computation — their check fires
+        on the error input, so the crash-prone code is never reached — and
+        only the bound is wrong.
+        """
+        if mode not in NEAR_MISS_MODES:
+            raise ValueError(f"unknown near-miss mode {mode!r}; one of {NEAR_MISS_MODES}")
+        condition = self.near_miss_condition(fields, plan, mode, regression_rows)
+        if condition is None:
+            return None
+        if mode == "fails-open":
+            digest = " + ".join(field.var for field in fields)
+            return (
+                "    // Almost-protective check: the bound sits past every",
+                "    // error value, so it never fires.",
+                f"    if ({condition}) {{",
+                "        return 0;",
+                "    }",
+                f"    u32 digest = ({digest}) * 3;",
+                "    emit(digest);",
+            )
+        return replace_check_condition(plan.donor_body, condition)
+
 
 class IntegerOverflowTemplate(DefectTemplate):
     """``width * height * 4`` wraps at 32 bits at the allocation site."""
 
     kind = ErrorKind.INTEGER_OVERFLOW
     field_count = 2
+    local_names = ("stride", "pixels")
+
+    def near_miss_condition(self, fields, plan, mode, regression_rows):
+        first, second = fields
+        product = f"(((u64) {first.var}) * ((u64) {second.var}))"
+        if mode == "fails-open":
+            bound = plan.error_values[first.path] * plan.error_values[second.path]
+            return f"{product} > {bound}"
+        benign = first.default * second.default
+        top = max(row[first.path] * row[second.path] for row in regression_rows)
+        if top <= benign:
+            return None
+        return f"{product} > {benign}"
 
     def instantiate(self, fields, rng):
         first, second = fields
@@ -147,6 +249,7 @@ class OutOfBoundsWriteTemplate(DefectTemplate):
     """An initialisation loop bounded by an unchecked field overruns a table."""
 
     kind = ErrorKind.OUT_OF_BOUNDS_WRITE
+    local_names = ("table", "entry")
 
     def instantiate(self, fields, rng):
         (field,) = fields
@@ -200,6 +303,8 @@ class OutOfBoundsReadTemplate(DefectTemplate):
     """An unchecked field indexes directly into a fixed-size table."""
 
     kind = ErrorKind.OUT_OF_BOUNDS_READ
+    local_names = ("table", "looked_up")
+    comparator = ">="
 
     def instantiate(self, fields, rng):
         (field,) = fields
@@ -249,6 +354,18 @@ class DivideByZeroTemplate(DefectTemplate):
     kind = ErrorKind.DIVIDE_BY_ZERO
     min_field_bits = 8
     requires_nonzero_default = True
+    local_names = ("per_unit", "leftover")
+
+    def near_miss_condition(self, fields, plan, mode, regression_rows):
+        (field,) = fields
+        if mode == "fails-open":
+            # Checks for a sentinel the format never produces instead of
+            # zero (regression values and defaults stay at or below 64).
+            return f"{field.var} == {field.max_value}"
+        rows = [row[field.path] for row in regression_rows]
+        if min(rows) >= field.default:
+            return None
+        return f"{field.var} <= {field.default - 1}"
 
     def instantiate(self, fields, rng):
         (field,) = fields
@@ -288,6 +405,7 @@ class NullDereferenceTemplate(DefectTemplate):
 
     kind = ErrorKind.NULL_DEREFERENCE
     min_field_bits = 8
+    local_names = ("scratch",)
 
     def instantiate(self, fields, rng):
         (field,) = fields
@@ -333,6 +451,7 @@ class ResourceExhaustedTemplate(DefectTemplate):
     """A 64-bit allocation request scales past the VM's heap budget."""
 
     kind = ErrorKind.RESOURCE_EXHAUSTED
+    local_names = ("arena",)
     #: Bytes requested per field unit; with the VM's 1 TiB heap budget the
     #: request exhausts the heap once the field exceeds 2**14.
     UNIT = 1 << 26
@@ -374,6 +493,36 @@ class ResourceExhaustedTemplate(DefectTemplate):
             defect_marker=defect,
             description=f"arena of {field.var} * {self.UNIT} bytes exhausts the heap budget",
         )
+
+
+def rename_locals(lines: Sequence[str], mapping: dict[str, str]) -> tuple[str, ...]:
+    """Rename whole-word occurrences of template locals in body lines.
+
+    Multi-defect synthesis stacks several template bodies in one function
+    scope; each slot renames its template's :attr:`~DefectTemplate.local_names`
+    (e.g. ``table`` -> ``table_d2``) so redeclarations never collide.
+    """
+    if not mapping:
+        return tuple(lines)
+    pattern = re.compile("|".join(rf"\b{re.escape(name)}\b" for name in mapping))
+    return tuple(pattern.sub(lambda m: mapping[m.group(0)], line) for line in lines)
+
+
+def replace_check_condition(body: Sequence[str], condition: str) -> tuple[str, ...]:
+    """Rewrite the condition of a donor body's protective check.
+
+    The protective check is, by template construction, the first ``if``
+    statement of the body (comment lines may precede it); its indentation
+    is preserved.
+    """
+    lines = list(body)
+    for index, line in enumerate(lines):
+        stripped = line.lstrip()
+        if stripped.startswith("if ("):
+            indent = line[: len(line) - len(stripped)]
+            lines[index] = f"{indent}if ({condition}) {{"
+            return tuple(lines)
+    raise ValueError("donor body has no protective check to rewrite")
 
 
 #: Every template, keyed by the error class it seeds.

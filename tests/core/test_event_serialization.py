@@ -37,7 +37,9 @@ SAMPLE_EVENTS = [
     events_module.PatchValidated(
         donor="feh", function="f", line=7, excised_size=5, translated_size=4
     ),
-    events_module.ResidualErrorFound(count=2, round_index=0),
+    events_module.ResidualErrorFound(
+        count=2, round_index=0, kinds=("divide-by-zero", "null-dereference")
+    ),
 ]
 
 
