@@ -1,0 +1,130 @@
+"""Service throughput: submit→done round-trips at 1/8/32 concurrent clients.
+
+Drives the live HTTP daemon (real sockets, real worker threads, real
+store writes) with a stub runner, so the numbers measure the service
+layer itself — routing, queueing, settlement, persistence — rather than
+the repair pipeline.  Per concurrency level the bench reports requests
+per second and the p95 submit→done latency; the acceptance bar is the
+32-client level finishing every job with zero lost or duplicated ids.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.events import StageFinished, StageStarted
+from repro.service import RepairDaemon, ServiceClient, ServiceConfig
+
+from conftest import write_benchmark_summary
+
+CLIENT_LEVELS = (1, 8, 32)
+JOBS_PER_CLIENT = 6
+PAYLOAD = {"kind": "transfer", "case": "cwebp-jpegdec", "donor": "feh"}
+
+
+def _stub_runner(manager, state):
+    for spec in state.submission.specs:
+        state.buffer(StageStarted(stage="bench"))
+        state.buffer(StageFinished(stage="bench", elapsed_s=0.001))
+    return {"success": True, "recipient": "bench", "donor": "feh"}
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    base = tmp_path_factory.mktemp("service-throughput")
+    config = ServiceConfig(
+        store_dir=str(base / "store"),
+        stores_root=str(base),
+        workers=4,
+        pool_size=1,
+        queue_limit=512,
+        enable_metrics=False,
+    )
+    instance = RepairDaemon(config, runner=_stub_runner).start()
+    try:
+        yield instance
+    finally:
+        instance.stop()
+
+
+def _drive_level(daemon: RepairDaemon, clients: int) -> dict:
+    """Run ``clients`` threads × JOBS_PER_CLIENT submit→done round trips."""
+    latencies: list[float] = []
+    job_ids: list[str] = []
+    lock = threading.Lock()
+    errors: list[Exception] = []
+
+    def one_client() -> None:
+        client = ServiceClient(daemon.base_url, timeout=30)
+        try:
+            for _ in range(JOBS_PER_CLIENT):
+                started = time.perf_counter()
+                state = client.submit(PAYLOAD)
+                final = client.wait(state["job_id"], timeout=60, poll_s=0.005)
+                elapsed = time.perf_counter() - started
+                assert final["status"] == "done"
+                with lock:
+                    latencies.append(elapsed)
+                    job_ids.append(state["job_id"])
+        except Exception as exc:  # noqa: BLE001 - surfaced via the assert below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=one_client) for _ in range(clients)]
+    wall_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    wall_s = time.perf_counter() - wall_started
+
+    assert not errors, errors
+    expected = clients * JOBS_PER_CLIENT
+    assert len(job_ids) == expected
+    assert len(set(job_ids)) == expected  # zero lost or duplicated jobs
+    latencies.sort()
+    p95 = latencies[max(0, int(len(latencies) * 0.95) - 1)]
+    return {
+        "clients": clients,
+        "jobs": expected,
+        "wall_s": wall_s,
+        "rps": expected / wall_s,
+        "p95_ms": p95 * 1000.0,
+    }
+
+
+def test_service_throughput_scales_to_32_clients(daemon):
+    levels = [_drive_level(daemon, clients) for clients in CLIENT_LEVELS]
+    for level in levels:
+        print(
+            f"\n{level['clients']:>2} clients: {level['rps']:7.1f} jobs/s, "
+            f"p95 {level['p95_ms']:6.1f} ms ({level['jobs']} jobs)"
+        )
+
+    # Every submitted job settled into the store exactly once.
+    stored = daemon.store.results()
+    assert len(stored) == sum(level["jobs"] for level in levels)
+
+    wall_ms = {f"clients_{level['clients']}": level["wall_s"] * 1000.0 for level in levels}
+    wall_ms["total"] = sum(wall_ms.values())
+    write_benchmark_summary(
+        "service_throughput",
+        wall_ms,
+        counters={
+            "jobs": float(sum(level["jobs"] for level in levels)),
+            "rps_32_clients": round(levels[-1]["rps"], 2),
+        },
+        extra={
+            "levels": [
+                {
+                    "clients": level["clients"],
+                    "rps": round(level["rps"], 2),
+                    "p95_ms": round(level["p95_ms"], 2),
+                }
+                for level in levels
+            ],
+            "jobs_per_client": JOBS_PER_CLIENT,
+        },
+    )

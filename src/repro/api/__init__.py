@@ -45,7 +45,7 @@ from ..core.stages import (
     get_policy,
 )
 from ..lang.vm import default_execution_tier, set_default_execution_tier
-from .facade import RepairReport, RepairRequest, RepairSession, repair
+from .facade import RepairReport, RepairRequest, RepairSession, SessionPool, repair
 from .progress import ProgressPrinter
 
 __all__ = [
@@ -68,6 +68,7 @@ __all__ = [
     "RepairSession",
     "ResidualErrorFound",
     "SearchPolicy",
+    "SessionPool",
     "SmallestPatchPolicy",
     "Stage",
     "StageFinished",

@@ -8,12 +8,29 @@ and the campaign workers (:func:`repro.experiments.execute_job`).  A
 :class:`~repro.solver.equivalence.EquivalenceChecker`, so every request run
 through the same session shares solver verdicts; batch drivers (all-donors
 sweeps, campaign workers) construct one session and reuse it.
+
+Thread-safety contract
+----------------------
+
+A :class:`RepairSession` is **not** thread-safe: ``run`` subscribes a
+per-request :class:`~repro.core.events.EventLog` on the session's bus and
+the solver checker mutates shared per-session state (learned clauses,
+statistics), so two threads running requests through one session would
+interleave event capture and corrupt solver accounting.  Concurrent
+drivers — the :mod:`repro.service` daemon's worker threads — go through a
+:class:`SessionPool` instead, which hands each thread exclusive use of one
+warm session at a time while all pooled sessions still share the
+process-wide compile cache, interned expression table, and (when
+configured) one persistent solver-cache file, all of which *are*
+thread-safe.
 """
 
 from __future__ import annotations
 
+import contextlib
+import queue
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 from ..apps import get_application
 from ..apps.registry import Application, ErrorTarget
@@ -239,6 +256,83 @@ class RepairSession:
         if isinstance(reference, Application):
             return reference
         return get_application(reference)
+
+
+class SessionPool:
+    """A fixed set of warm :class:`RepairSession`\\ s checked out one at a time.
+
+    Sessions are built eagerly at construction (so the first request after
+    daemon start pays no engine warm-up) and handed out through
+    :meth:`checkout`, a context manager that blocks until a session is free
+    and returns it to the pool on exit — including when the request raises.
+    Exclusivity is the whole point: each session is single-threaded by
+    contract (see the module docstring), so the pool is what makes the
+    facade safe to drive from :class:`ThreadingHTTPServer` worker threads.
+
+    All pooled sessions share one ``options`` object; callers whose request
+    needs different options (per-request overrides) must build a dedicated
+    session instead of checking one out.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        options: Optional[CodePhageOptions] = None,
+        observers: Sequence[Observer] = (),
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.size = size
+        self.options = options or CodePhageOptions()
+        self._idle: "queue.Queue[RepairSession]" = queue.Queue()
+        self._sessions = tuple(
+            RepairSession(options=self.options, observers=observers)
+            for _ in range(size)
+        )
+        for session in self._sessions:
+            self._idle.put(session)
+
+    def idle_count(self) -> int:
+        """How many sessions are currently checked in (approximate under load)."""
+        return self._idle.qsize()
+
+    @contextlib.contextmanager
+    def checkout(self, timeout: Optional[float] = None) -> Iterator[RepairSession]:
+        """Borrow one session exclusively; blocks until one is free.
+
+        Raises :class:`queue.Empty` if ``timeout`` (seconds) elapses with no
+        session available.  A session that raised inside the ``with`` body is
+        still returned to the pool — the engine and checker are built to
+        survive failed transfers, and recycling keeps the warm solver cache.
+        """
+        session = self._idle.get(timeout=timeout)
+        try:
+            yield session
+        finally:
+            self._idle.put(session)
+
+    def solver_statistics(self) -> dict:
+        """Pool-wide solver accounting: per-session counters summed.
+
+        Gauge-like fields (``batch_dedupe_rate``) take the maximum instead.
+        Reads the counters without checking sessions out, so numbers for a
+        session mid-request may be slightly stale — fine for monitoring.
+        """
+        merged: dict = {}
+        for session in self._sessions:
+            stats = session.solver_statistics()
+            backends = stats.pop("backends", {})
+            for name, value in stats.items():
+                if name == "batch_dedupe_rate":
+                    merged[name] = max(merged.get(name, 0.0), value)
+                else:
+                    merged[name] = merged.get(name, 0) + value
+            merged_backends = merged.setdefault("backends", {})
+            for backend, counters in backends.items():
+                slot = merged_backends.setdefault(backend, {})
+                for name, value in counters.items():
+                    slot[name] = slot.get(name, 0) + value
+        return merged
 
 
 def repair(

@@ -461,6 +461,42 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
     return 0
 
 
+DEFAULT_SERVICE_STORE = "results/service"
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the service pulls in the HTTP stack, which no other
+    # subcommand needs.
+    from .service import RepairDaemon, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        pool_size=args.pool_size,
+        queue_limit=args.queue_limit,
+        retries=args.retries,
+        default_budget_s=args.budget,
+        max_budget_s=args.max_budget,
+        store_dir=args.store,
+        stores_root=args.stores_root,
+    )
+    daemon = RepairDaemon(config)
+    host, port = daemon.address
+    print(
+        f"codephage service on http://{host}:{port} "
+        f"({config.workers} workers, {config.pool_size} warm sessions, "
+        f"queue limit {config.queue_limit}, store {config.store_dir})"
+    )
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        daemon.stop()
+    return 0
+
+
 def _cmd_discover(args: argparse.Namespace) -> int:
     error_input = discover_error_input(args.case)
     if error_input is None:
@@ -663,6 +699,48 @@ def main(argv: list[str] | None = None) -> int:
     discover = sub.add_parser("discover", help="re-discover an error input")
     discover.add_argument("case", choices=sorted(ERROR_CASES))
 
+    serve = sub.add_parser(
+        "serve", help="run the repair-as-a-service HTTP daemon (see docs/SERVICE.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="repair worker threads"
+    )
+    serve.add_argument(
+        "--pool-size", type=int, default=2, help="warm sessions in the pool"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="bounded job queue size (429 once full)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=0, help="extra attempts per failing job"
+    )
+    serve.add_argument(
+        "--budget", type=float, default=30.0, help="default per-job budget (seconds)"
+    )
+    serve.add_argument(
+        "--max-budget",
+        type=float,
+        default=300.0,
+        help="largest accepted per-job budget (seconds)",
+    )
+    serve.add_argument(
+        "--store",
+        default=DEFAULT_SERVICE_STORE,
+        help="run store directory for service jobs",
+    )
+    serve.add_argument(
+        "--stores-root",
+        default="results",
+        help="directory whose campaign stores /v1/stores exposes",
+    )
+
     args = parser.parse_args(argv)
     if getattr(args, "no_compile", False):
         # Flip the process-wide default so every VM in this run (including
@@ -678,6 +756,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "bundle": _cmd_bundle,
         "discover": _cmd_discover,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

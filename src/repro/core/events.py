@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, fields
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 Observer = Callable[["PipelineEvent"], None]
 
@@ -182,6 +182,99 @@ def events_from_jsonl(text: str) -> list["PipelineEvent"]:
 def events_as_dicts(events: Sequence["PipelineEvent"]) -> list[dict]:
     """The event stream as a list of dicts (payload transport)."""
     return [event_to_dict(event) for event in events]
+
+
+# -- SSE wire framing --------------------------------------------------------------------
+#
+# The repair service (:mod:`repro.service`) streams live events to HTTP
+# clients as Server-Sent Events.  The framing lives here, next to the JSON
+# serializers it wraps, so the wire format is covered by the same
+# exhaustiveness tests that guard the registry: a new event type that
+# round-trips through JSONL round-trips through SSE by construction.
+#
+# One event per frame::
+#
+#     id: 7
+#     event: StageFinished
+#     data: {"event":"StageFinished","stage":"excision",...}
+#
+# The ``event`` field carries the registry tag and the ``data`` JSON embeds
+# the same tag, so a frame is self-describing even for SSE clients that only
+# surface the data payload.
+
+
+def event_to_sse(event: "PipelineEvent", event_id: Optional[int] = None) -> str:
+    """One event as a complete SSE frame (terminated by a blank line)."""
+    payload = event_to_dict(event)
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append(f"event: {payload['event']}")
+    # Per the SSE spec a payload may span several data: lines (re-joined
+    # with newlines on receipt); compact JSON never contains one, but the
+    # parser below handles the general form, so stay symmetric.
+    for chunk in json.dumps(payload, separators=(",", ":")).split("\n"):
+        lines.append(f"data: {chunk}")
+    return "\n".join(lines) + "\n\n"
+
+
+def event_from_sse(frame: str) -> "PipelineEvent":
+    """Rebuild an event from one :func:`event_to_sse` frame.
+
+    Raises ``ValueError`` on frames without a data payload, on unknown event
+    types, and on frames whose ``event`` field disagrees with the tag inside
+    the data JSON — a disagreement means the frame was assembled by
+    something other than :func:`event_to_sse` and must not be trusted.
+    """
+    name: Optional[str] = None
+    data_chunks: list[str] = []
+    for line in frame.split("\n"):
+        if not line or line.startswith(":"):
+            continue  # blank terminator / keep-alive comment
+        field_name, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if field_name == "event":
+            name = value
+        elif field_name == "data":
+            data_chunks.append(value)
+    if not data_chunks:
+        raise ValueError("SSE frame has no data payload")
+    payload = json.loads("\n".join(data_chunks))
+    if name is not None and payload.get("event") != name:
+        raise ValueError(
+            f"SSE frame event field {name!r} disagrees with data tag "
+            f"{payload.get('event')!r}"
+        )
+    return event_from_dict(payload)
+
+
+def events_to_sse(events: Iterable["PipelineEvent"], start_id: int = 0) -> str:
+    """A whole event stream as consecutive SSE frames with sequential ids."""
+    return "".join(
+        event_to_sse(event, event_id=start_id + index)
+        for index, event in enumerate(events)
+    )
+
+
+def events_from_sse(text: str) -> list["PipelineEvent"]:
+    """Parse every *pipeline-event* frame out of an SSE stream.
+
+    Frames carrying non-pipeline event names (the service's ``status`` /
+    ``end`` control frames, keep-alive comments) are skipped; a frame that
+    *claims* a registered event type but fails to parse raises.
+    """
+    events = []
+    for frame in text.split("\n\n"):
+        if not frame.strip():
+            continue
+        name = None
+        for line in frame.split("\n"):
+            if line.startswith("event:"):
+                name = line.partition(":")[2].strip()
+                break
+        if name in EVENT_TYPES:
+            events.append(event_from_sse(frame))
+    return events
 
 
 class EventBus:

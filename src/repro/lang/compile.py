@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import operator
+import threading
 import time
 from collections import OrderedDict
 
@@ -1387,6 +1388,13 @@ def program_digest(program: Program) -> str:
 _COMPILE_CACHE: "OrderedDict[str, CompiledProgram]" = OrderedDict()
 _COMPILE_CACHE_CAPACITY = 128
 
+#: Guards the LRU bookkeeping (lookup + move_to_end, insert + eviction).
+#: ``OrderedDict.move_to_end`` racing an insert/eviction from another repair
+#: worker thread can raise or corrupt the recency order; compilation itself
+#: runs outside the lock (two threads may compile the same digest once each
+#: — the first insert wins, which is merely redundant work, never wrong).
+_COMPILE_CACHE_LOCK = threading.Lock()
+
 
 def compile_program(program: Program, observed: bool = False) -> CompiledProgram:
     """Compile ``program`` (or fetch it from the content-addressed cache).
@@ -1398,18 +1406,23 @@ def compile_program(program: Program, observed: bool = False) -> CompiledProgram
     digest = program_digest(program)
     key = (digest, "observed") if observed else digest
     registry = obs_metrics.REGISTRY if obs_metrics.REGISTRY.enabled else None
-    cached = _COMPILE_CACHE.get(key)
+    with _COMPILE_CACHE_LOCK:
+        cached = _COMPILE_CACHE.get(key)
+        if cached is not None:
+            _COMPILE_CACHE.move_to_end(key)
     if cached is not None:
-        _COMPILE_CACHE.move_to_end(key)
         if registry is not None:
             registry.inc("vm.compile_cache_hits")
         return cached
     tracer = obs_tracing.active()
     started = time.perf_counter() if (tracer or registry) else 0.0
     compiled = _ProgramCompiler(program, observed).compile()
-    _COMPILE_CACHE[key] = compiled
-    while len(_COMPILE_CACHE) > _COMPILE_CACHE_CAPACITY:
-        _COMPILE_CACHE.popitem(last=False)
+    with _COMPILE_CACHE_LOCK:
+        winner = _COMPILE_CACHE.setdefault(key, compiled)
+        if winner is compiled:
+            while len(_COMPILE_CACHE) > _COMPILE_CACHE_CAPACITY:
+                _COMPILE_CACHE.popitem(last=False)
+    compiled = winner
     if registry is not None:
         registry.inc("vm.compile_cache_misses")
         registry.inc("vm.compiles")
@@ -1427,15 +1440,17 @@ def compile_program(program: Program, observed: bool = False) -> CompiledProgram
 
 def clear_compile_cache() -> None:
     """Drop all compiled programs (tests and memory-pressure escape hatch)."""
-    _COMPILE_CACHE.clear()
+    with _COMPILE_CACHE_LOCK:
+        _COMPILE_CACHE.clear()
 
 
 def compile_cache_info() -> dict:
     """Introspection for tests and diagnostics."""
-    return {
-        "entries": len(_COMPILE_CACHE),
-        "capacity": _COMPILE_CACHE_CAPACITY,
-        "digests": list(_COMPILE_CACHE),
+    with _COMPILE_CACHE_LOCK:
+        return {
+            "entries": len(_COMPILE_CACHE),
+            "capacity": _COMPILE_CACHE_CAPACITY,
+            "digests": list(_COMPILE_CACHE),
     }
 
 

@@ -24,6 +24,7 @@ scale) while tracking count/sum/min/max.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 #: Histogram bucket upper bounds, in seconds (observations above the last
@@ -87,10 +88,18 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Counters, gauges, and histograms behind one enable/disable switch."""
+    """Counters, gauges, and histograms behind one enable/disable switch.
+
+    Thread-safe: every mutation is a read-modify-write (``inc``,
+    ``gauge_max``, histogram buckets), so recording from concurrent repair
+    worker threads (the :mod:`repro.service` daemon) without a lock loses
+    updates.  The lock is taken only after the enabled check — the disabled
+    hot path stays one attribute test.
+    """
 
     def __init__(self) -> None:
         self._enabled = False
+        self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -109,36 +118,41 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every recorded value (the switch state is kept)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     # -- recording (no-ops while disabled) ---------------------------------------
 
     def inc(self, name: str, value: float = 1) -> None:
         if not self._enabled:
             return
-        self._counters[name] = self._counters.get(name, 0) + value
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
 
     def set_gauge(self, name: str, value: float) -> None:
         if not self._enabled:
             return
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     def gauge_max(self, name: str, value: float) -> None:
         """Set the gauge to ``value`` if it exceeds the current reading."""
         if not self._enabled:
             return
-        if value > self._gauges.get(name, float("-inf")):
-            self._gauges[name] = value
+        with self._lock:
+            if value > self._gauges.get(name, float("-inf")):
+                self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         if not self._enabled:
             return
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = Histogram()
-        histogram.observe(value)
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
 
     # -- reading -----------------------------------------------------------------
 
@@ -153,14 +167,15 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """JSON-ready snapshot of everything recorded so far."""
-        return {
-            "counters": dict(self._counters),
-            "gauges": dict(self._gauges),
-            "histograms": {
-                name: histogram.as_dict()
-                for name, histogram in self._histograms.items()
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: histogram.as_dict()
+                    for name, histogram in self._histograms.items()
+                },
+            }
 
     def merge_snapshot(self, snapshot: dict) -> None:
         """Fold another registry's snapshot into this one (worker -> report).
@@ -169,17 +184,18 @@ class MetricsRegistry:
         histograms merge bucket-wise.  Works regardless of the enabled
         switch — aggregation is bookkeeping, not instrumentation.
         """
-        for name, value in (snapshot.get("counters") or {}).items():
-            self._counters[name] = self._counters.get(name, 0) + value
-        for name, value in (snapshot.get("gauges") or {}).items():
-            if value > self._gauges.get(name, float("-inf")):
-                self._gauges[name] = value
-        for name, payload in (snapshot.get("histograms") or {}).items():
-            histogram = self._histograms.get(name)
-            if histogram is None:
-                bounds = tuple(payload.get("bounds") or DEFAULT_BOUNDS)
-                histogram = self._histograms[name] = Histogram(bounds)
-            histogram.merge_dict(payload)
+        with self._lock:
+            for name, value in (snapshot.get("counters") or {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in (snapshot.get("gauges") or {}).items():
+                if value > self._gauges.get(name, float("-inf")):
+                    self._gauges[name] = value
+            for name, payload in (snapshot.get("histograms") or {}).items():
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    bounds = tuple(payload.get("bounds") or DEFAULT_BOUNDS)
+                    histogram = self._histograms[name] = Histogram(bounds)
+                histogram.merge_dict(payload)
 
 
 def merge_snapshots(target: dict, snapshot: dict) -> dict:

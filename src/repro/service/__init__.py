@@ -1,0 +1,55 @@
+"""``repro.service`` — repair-as-a-service over the facade.
+
+A stdlib-only HTTP daemon (:class:`RepairDaemon`, served by ``codephage
+serve``) that accepts transfer/matrix jobs validated with the campaign
+planner's own validators, runs them on a warm
+:class:`~repro.api.SessionPool` behind a bounded queue with per-job budgets
+and 429 backpressure, persists every outcome to a campaign-compatible
+:class:`~repro.campaign.store.RunStore`, and streams live
+:class:`~repro.core.events.PipelineEvent`\\ s per job over SSE.  See
+``docs/SERVICE.md`` for the endpoint reference and semantics.
+"""
+
+from .app import RepairDaemon, ServiceConfig
+from .client import ServiceClient, ServiceError
+from .jobs import (
+    STATUS_QUEUED,
+    STATUS_RUNNING,
+    TERMINAL_STATUSES,
+    EventBuffer,
+    JobManager,
+    JobState,
+    QueueFullError,
+    default_service_runner,
+)
+from .models import (
+    KIND_MATRIX,
+    KIND_TRANSFER,
+    MAX_MATRIX_TRANSFERS,
+    JobSubmission,
+    RequestError,
+    parse_submission,
+)
+from .sse import job_stream
+
+__all__ = [
+    "EventBuffer",
+    "JobManager",
+    "JobState",
+    "JobSubmission",
+    "KIND_MATRIX",
+    "KIND_TRANSFER",
+    "MAX_MATRIX_TRANSFERS",
+    "QueueFullError",
+    "RepairDaemon",
+    "RequestError",
+    "STATUS_QUEUED",
+    "STATUS_RUNNING",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "TERMINAL_STATUSES",
+    "default_service_runner",
+    "job_stream",
+    "parse_submission",
+]

@@ -1,0 +1,421 @@
+"""The repair daemon: a stdlib ``ThreadingHTTPServer`` over the facade.
+
+Endpoints (all JSON unless noted)::
+
+    GET  /v1/healthz                    liveness + queue/pool/worker gauges
+    GET  /v1/metrics                    process metrics snapshot
+    GET  /v1/spans                      service request spans (JSON list)
+    POST /v1/jobs                       submit a transfer/matrix job (202)
+    GET  /v1/jobs                       every job this daemon has seen
+    GET  /v1/jobs/<id>                  one job's status
+    GET  /v1/jobs/<id>/events           live SSE stream (text/event-stream)
+    GET  /v1/jobs/<id>/bundle           evidence bundle of a done transfer
+    GET  /v1/stores                     campaign stores under the stores root
+    GET  /v1/stores/<name>/results      latest attempt per job in a store
+    GET  /v1/stores/<name>/class-stats  per-recipient success stats
+
+Error vocabulary: 400 (malformed payload), 404 (unknown job/store), 405,
+409 (bundle requested before the job is done), 413 (payload or matrix over
+the admission caps), and 429 with ``Retry-After`` once the bounded job
+queue is full — admission control *rejects* rather than queues unboundedly,
+so a client always learns immediately whether its job was accepted.
+
+Every HTTP request is recorded as a leaf span on the daemon's tracer (the
+tracer is not thread-safe, so the daemon serialises span recording behind
+its own lock) and counted under ``service.http.*`` in the metrics registry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional
+from urllib.parse import urlsplit
+
+from ..api.facade import SessionPool
+from ..campaign.store import RunStore
+from ..core.pipeline import CodePhageOptions
+from ..obs import metrics
+from ..obs.bundle import build_bundle
+from ..obs.tracing import Tracer
+from ..solver.equivalence import EquivalenceOptions
+from .jobs import STATUS_DONE, JobManager, QueueFullError
+from .models import KIND_TRANSFER, RequestError, parse_submission
+from .sse import job_stream
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``codephage serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: pick a free port (tests); the CLI defaults to 8642
+    workers: int = 2
+    pool_size: int = 2
+    queue_limit: int = 16
+    retries: int = 0
+    default_budget_s: float = 30.0
+    max_budget_s: float = 300.0
+    keepalive_s: float = 5.0
+    retry_after_s: float = 1.0
+    store_dir: str = "results/service"
+    stores_root: str = "results"
+    max_body_bytes: int = 1 << 20
+    enable_metrics: bool = True
+
+
+class _ServiceServer(ThreadingHTTPServer):
+    daemon_threads = True  # handler threads must not block process exit
+    # The stdlib default listen backlog of 5 drops (RSTs) connections the
+    # moment a few dozen clients connect at once; admission control must
+    # come from the job queue's 429s, not from kernel connection drops.
+    request_queue_size = 128
+    codephage_daemon: "RepairDaemon"
+
+
+class RepairDaemon:
+    """Owns the store, the warm session pool, the job manager, and the server."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None, runner=None) -> None:
+        self.config = config or ServiceConfig()
+        self.store = RunStore(self.config.store_dir)
+        self.store.directory.mkdir(parents=True, exist_ok=True)
+        # All pooled sessions share one persistent verdict file — the same
+        # cache campaign workers would use against this store directory.
+        options = CodePhageOptions(
+            equivalence_options=EquivalenceOptions(
+                persistent_cache_path=str(self.store.cache_path)
+            )
+        )
+        self.pool = SessionPool(self.config.pool_size, options=options)
+        self.manager = JobManager(
+            self.store,
+            self.pool,
+            workers=self.config.workers,
+            queue_limit=self.config.queue_limit,
+            retries=self.config.retries,
+            retry_after_s=self.config.retry_after_s,
+            runner=runner,
+        )
+        self.tracer = Tracer()
+        self.tracer_lock = threading.Lock()
+        if self.config.enable_metrics:
+            metrics.enable()
+        self.httpd = _ServiceServer(
+            (self.config.host, self.config.port), _ServiceHandler
+        )
+        self.httpd.codephage_daemon = self
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.httpd.server_address[0], self.httpd.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "RepairDaemon":
+        """Serve on a background thread (tests and embedded use)."""
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever, name="svc-http", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path)."""
+        self.httpd.serve_forever()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.manager.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+
+    # -- spans -------------------------------------------------------------------------
+
+    def record_request_span(self, name: str, elapsed_s: float, status: int) -> None:
+        with self.tracer_lock:
+            self.tracer.record(name, "service.http", elapsed_s, status=status)
+
+    def spans(self) -> list[dict]:
+        with self.tracer_lock:
+            return [span.to_dict() for span in self.tracer.spans]
+
+    # -- store reads -------------------------------------------------------------------
+
+    def store_for(self, name: str) -> Optional[RunStore]:
+        """A read-only view of one store under the stores root (or None)."""
+        if not name or "/" in name or "\\" in name or name.startswith("."):
+            return None
+        directory = Path(self.config.stores_root) / name
+        if not directory.is_dir():
+            return None
+        return RunStore(directory)
+
+    def list_stores(self) -> list[dict]:
+        root = Path(self.config.stores_root)
+        if not root.is_dir():
+            return []
+        listing = []
+        for entry in sorted(root.iterdir()):
+            if not entry.is_dir():
+                continue
+            store = RunStore(entry)
+            if not store.records_path.exists():
+                continue
+            results = store.results()
+            listing.append(
+                {
+                    "name": entry.name,
+                    "jobs": len(results),
+                    "completed": sum(1 for r in results.values() if r.completed),
+                    "has_plan": store.plan_path.exists(),
+                }
+            )
+        return listing
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: _ServiceServer
+
+    @property
+    def daemon(self) -> RepairDaemon:
+        return self.server.codephage_daemon
+
+    def log_message(self, format: str, *args) -> None:
+        pass  # requests are observable via metrics and spans, not stderr
+
+    # -- plumbing ----------------------------------------------------------------------
+
+    def _send_json(self, status: int, payload, headers: dict = {}) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str, headers: dict = {}) -> None:
+        self._send_json(status, {"error": message}, headers=headers)
+
+    def _finish_request(self, started: float, route: str, status: int) -> None:
+        elapsed = time.monotonic() - started
+        metrics.inc("service.http.requests")
+        metrics.inc(f"service.http.status.{status}")
+        metrics.observe("service.http.request_seconds", elapsed)
+        self.daemon.record_request_span(
+            f"{self.command} {route}", elapsed, status
+        )
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        started = time.monotonic()
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        segments = [part for part in path.split("/") if part]
+        status = 500
+        try:
+            status = self._route(method, segments)
+        except BrokenPipeError:
+            metrics.inc("service.sse.disconnects")
+            status = 499  # client closed the connection mid-response
+            self.close_connection = True
+        except ConnectionResetError:
+            metrics.inc("service.sse.disconnects")
+            status = 499
+            self.close_connection = True
+        except Exception as exc:  # a handler bug must not kill the thread
+            status = 500
+            try:
+                self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            except OSError:
+                pass
+        finally:
+            self._finish_request(started, "/" + "/".join(segments[:3]), status)
+
+    def _route(self, method: str, segments: list[str]) -> int:
+        if len(segments) < 2 or segments[0] != "v1":
+            self._send_error_json(404, "unknown endpoint")
+            return 404
+        head = segments[1]
+        rest = segments[2:]
+        if head == "healthz" and method == "GET" and not rest:
+            return self._get_healthz()
+        if head == "metrics" and method == "GET" and not rest:
+            self._send_json(200, metrics.snapshot())
+            return 200
+        if head == "spans" and method == "GET" and not rest:
+            self._send_json(200, {"spans": self.daemon.spans()})
+            return 200
+        if head == "jobs":
+            return self._route_jobs(method, rest)
+        if head == "stores" and method == "GET":
+            return self._route_stores(rest)
+        self._send_error_json(405 if head in ("jobs", "stores") else 404, "not routable")
+        return 405 if head in ("jobs", "stores") else 404
+
+    # -- health / jobs -----------------------------------------------------------------
+
+    def _get_healthz(self) -> int:
+        manager = self.daemon.manager
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "queue_depth": manager.queue_depth(),
+                "queue_limit": self.daemon.config.queue_limit,
+                "workers_alive": manager.workers_alive(),
+                "idle_sessions": self.daemon.pool.idle_count(),
+                "jobs_seen": len(manager.jobs()),
+            },
+        )
+        return 200
+
+    def _route_jobs(self, method: str, rest: list[str]) -> int:
+        if not rest:
+            if method == "POST":
+                return self._post_job()
+            self._send_json(
+                200,
+                {"jobs": [state.as_dict() for state in self.daemon.manager.jobs()]},
+            )
+            return 200
+        state = self.daemon.manager.job(rest[0])
+        if state is None:
+            self._send_error_json(404, f"unknown job {rest[0]!r}")
+            return 404
+        if method != "GET":
+            self._send_error_json(405, "jobs are read-only once submitted")
+            return 405
+        if len(rest) == 1:
+            self._send_json(200, state.as_dict())
+            return 200
+        if rest[1:] == ["events"]:
+            return self._stream_events(state)
+        if rest[1:] == ["bundle"]:
+            return self._get_bundle(state)
+        self._send_error_json(404, "unknown job sub-resource")
+        return 404
+
+    def _post_job(self) -> int:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > self.daemon.config.max_body_bytes:
+            self._send_error_json(413, "request body too large")
+            return 413
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            self._send_error_json(400, f"request body is not JSON: {exc}")
+            return 400
+        try:
+            submission = parse_submission(
+                payload,
+                default_budget_s=self.daemon.config.default_budget_s,
+                max_budget_s=self.daemon.config.max_budget_s,
+            )
+        except RequestError as exc:
+            self._send_error_json(exc.status, str(exc))
+            return exc.status
+        try:
+            state = self.daemon.manager.submit(submission)
+        except QueueFullError as exc:
+            self._send_error_json(
+                429,
+                "job queue is full; retry later",
+                headers={"Retry-After": str(max(1, round(exc.retry_after_s)))},
+            )
+            return 429
+        self._send_json(202, state.as_dict())
+        return 202
+
+    def _stream_events(self, state) -> int:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        # No Content-Length and no chunking: the stream ends when the job
+        # does, so the connection closes with it.
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        metrics.inc("service.sse.streams")
+        for chunk in job_stream(state, keepalive_s=self.daemon.config.keepalive_s):
+            self.wfile.write(chunk.encode("utf-8"))
+            self.wfile.flush()
+        return 200
+
+    def _get_bundle(self, state) -> int:
+        if state.status != STATUS_DONE or state.result is None:
+            self._send_error_json(
+                409, f"job is {state.status}; bundles exist only for done jobs"
+            )
+            return 409
+        if state.kind != KIND_TRANSFER or state.result.record is None:
+            self._send_error_json(409, "bundles cover single transfers only")
+            return 409
+        job_dict = dict(state.submission.specs[0].to_dict(), job_id=state.job_id)
+        bundle = build_bundle(
+            job=job_dict,
+            record=state.result.record,
+            events=self.daemon.store.load_event_dicts(state.job_id),
+            attempt_elapsed_s=state.result.elapsed_s,
+            source="service",
+        )
+        self._send_json(200, bundle)
+        return 200
+
+    # -- stores ------------------------------------------------------------------------
+
+    def _route_stores(self, rest: list[str]) -> int:
+        if not rest:
+            self._send_json(200, {"stores": self.daemon.list_stores()})
+            return 200
+        store = self.daemon.store_for(rest[0])
+        if store is None:
+            self._send_error_json(404, f"unknown store {rest[0]!r}")
+            return 404
+        if rest[1:] == ["results"]:
+            results = {
+                job_id: result.to_dict()
+                for job_id, result in sorted(store.results().items())
+            }
+            self._send_json(200, {"store": rest[0], "results": results})
+            return 200
+        if rest[1:] == ["class-stats"]:
+            stats: dict[str, dict] = {}
+            for result in store.results().values():
+                record = result.record or {}
+                name = record.get("recipient")
+                if not result.completed or not name:
+                    continue
+                counters = stats.setdefault(
+                    name, {"transfers": 0, "successful": 0, "success_rate": 0.0}
+                )
+                counters["transfers"] += 1
+                counters["successful"] += 1 if record.get("success") else 0
+            for counters in stats.values():
+                counters["success_rate"] = round(
+                    counters["successful"] / counters["transfers"], 4
+                )
+            self._send_json(200, {"store": rest[0], "classes": stats})
+            return 200
+        self._send_error_json(404, "unknown store sub-resource")
+        return 404

@@ -1,0 +1,169 @@
+"""A stdlib HTTP client for the repair daemon (tests, CI smoke, benchmarks).
+
+Plain-JSON endpoints go through one-shot :mod:`http.client` requests; the
+SSE endpoint is consumed incrementally (:meth:`ServiceClient.open_events`
+yields parsed frames as the daemon emits them, and closing the context
+mid-stream is exactly the "client disconnected" case the fault tests
+exercise).  Errors surface as :class:`ServiceError` carrying the HTTP
+status and, for 429 responses, the parsed ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import http.client
+import json
+import time
+from typing import Iterator, Optional
+from urllib.parse import urlsplit
+
+from ..core.events import EVENT_TYPES, PipelineEvent, event_from_dict
+from .sse import frame_data, frame_event_name, iter_frames
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx daemon response."""
+
+    def __init__(
+        self, status: int, message: str, retry_after_s: Optional[float] = None
+    ) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after_s = retry_after_s
+
+
+class ServiceClient:
+    """Talks to one daemon; a new connection per call (thread-safe by design)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(f"expected an http://host:port base url, got {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                try:
+                    message = json.loads(raw).get("error", raw.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    message = raw.decode("utf-8", errors="replace")
+                retry_after = response.headers.get("Retry-After")
+                raise ServiceError(
+                    response.status,
+                    message,
+                    retry_after_s=float(retry_after) if retry_after else None,
+                )
+            return json.loads(raw) if raw else {}
+        finally:
+            connection.close()
+
+    # -- endpoints ---------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def spans(self) -> list[dict]:
+        return self._request("GET", "/v1/spans")["spans"]
+
+    def submit(self, payload: dict) -> dict:
+        """POST a job; returns its state dict (raises ServiceError on 4xx)."""
+        return self._request("POST", "/v1/jobs", payload=payload)
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def bundle(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/bundle")
+
+    def stores(self) -> list[dict]:
+        return self._request("GET", "/v1/stores")["stores"]
+
+    def store_results(self, name: str) -> dict:
+        return self._request("GET", f"/v1/stores/{name}/results")["results"]
+
+    def class_stats(self, name: str) -> dict:
+        return self._request("GET", f"/v1/stores/{name}/class-stats")["classes"]
+
+    # -- waiting and streaming ---------------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 60.0, poll_s: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal status; returns its state."""
+        from .jobs import TERMINAL_STATUSES  # local import: avoid cycle at module load
+
+        deadline = time.monotonic() + timeout
+        while True:
+            state = self.job(job_id)
+            if state["status"] in TERMINAL_STATUSES:
+                return state
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state['status']} after {timeout}s"
+                )
+            time.sleep(poll_s)
+
+    @contextlib.contextmanager
+    def open_events(self, job_id: str) -> Iterator[Iterator[tuple[str, dict]]]:
+        """Stream a job's SSE frames as ``(event_name, payload)`` pairs.
+
+        Exiting the ``with`` block closes the socket immediately — even
+        mid-stream — which is how the fault tests model an SSE client that
+        disconnects while the job is still running.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status != 200:
+                raise ServiceError(response.status, response.read().decode("utf-8"))
+
+            def frames() -> Iterator[tuple[str, dict]]:
+                for frame in iter_frames(response):
+                    yield frame_event_name(frame), frame_data(frame)
+
+            yield frames()
+        finally:
+            connection.close()
+
+    def stream_events(self, job_id: str, timeout: float = 60.0) -> list[PipelineEvent]:
+        """Consume a job's whole SSE stream; returns its pipeline events.
+
+        Control frames (``status``/``end``) delimit the stream; everything
+        carrying a registered event name is deserialized through the same
+        registry the store's JSONL uses, so the returned list is directly
+        comparable to the persisted stream.
+        """
+        events: list[PipelineEvent] = []
+        deadline = time.monotonic() + timeout
+        with self.open_events(job_id) as frames:
+            for name, payload in frames:
+                if name == "end":
+                    break
+                if name in EVENT_TYPES:
+                    events.append(event_from_dict(payload))
+                if time.monotonic() > deadline:
+                    raise TimeoutError(f"SSE stream for {job_id} exceeded {timeout}s")
+        return events

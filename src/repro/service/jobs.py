@@ -1,0 +1,448 @@
+"""The daemon's execution core: a bounded queue feeding warm worker threads.
+
+Lifecycle of one submission::
+
+    POST /v1/jobs -> JobManager.submit -> bounded queue -> worker thread
+                        |                                     |
+                        v                                     v
+                 JobState (queued)                   runner -> _settle
+                                                              |
+                                              RunStore record + event stream
+
+**Status discipline.**  A job's *public* status moves monotonically through
+``queued -> running -> <terminal>`` where terminal is one of ``done``,
+``error``, ``crashed``, or ``timeout`` (the campaign store's status
+vocabulary, so service stores read back with the same tools as campaign
+stores).  Internal retries re-enqueue the job but never move the public
+status backwards — a client polling ``GET /v1/jobs/<id>`` can cache the
+fact that the job started and only ever observe a terminal refinement.
+
+**Settlement is first-writer-wins.**  ``_settle`` is the single place a job
+becomes terminal, guarded by the manager lock: the budget watchdog timing a
+job out and the worker finishing it late race benignly — whichever settles
+first wins and the loser's result is discarded, so ``records.jsonl`` holds
+exactly one terminal record per job.
+
+**Worker death.**  A runner raising ``Exception`` consumes an attempt from
+the job's :class:`~repro.campaign.execution.AttemptLedger` and retries until
+the budget is exhausted (then ``error``).  A runner raising
+``BaseException`` kills the worker thread itself: the dying worker settles
+its job as ``crashed`` on the way out, and the watchdog respawns a
+replacement thread, so one poisoned job never shrinks the pool.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import queue
+import threading
+import time
+from dataclasses import asdict
+from typing import Callable, Iterator, Optional
+
+from ..api.facade import RepairSession, SessionPool
+from ..campaign.execution import AttemptLedger
+from ..campaign.plan import JobSpec
+from ..campaign.store import (
+    STATUS_CRASHED,
+    STATUS_DONE,
+    STATUS_ERROR,
+    STATUS_TIMEOUT,
+    JobResult,
+    RunStore,
+)
+from ..core.events import PipelineEvent, event_to_dict
+from ..core.patch import PatchStrategy
+from ..core.reporting import TransferRecord
+from ..experiments import ERROR_CASES
+from ..obs import metrics
+from .models import KIND_TRANSFER, JobIdMinter, JobSubmission
+
+#: Public (pre-terminal) statuses; terminals reuse the campaign vocabulary.
+STATUS_QUEUED = "queued"
+STATUS_RUNNING = "running"
+
+TERMINAL_STATUSES = frozenset(
+    {STATUS_DONE, STATUS_ERROR, STATUS_CRASHED, STATUS_TIMEOUT}
+)
+
+#: How often the watchdog scans for blown budgets and dead workers.
+_WATCHDOG_TICK_S = 0.05
+
+
+class QueueFullError(RuntimeError):
+    """Admission control rejection; the handler answers 429 + Retry-After."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__("job queue is full")
+        self.retry_after_s = retry_after_s
+
+
+class EventBuffer:
+    """Thread-safe, append-only event sink with blocking readers.
+
+    Subscribed to a session's bus for the duration of one job (the same
+    pattern as :class:`~repro.core.events.EventLog`, plus a lock): the
+    worker thread appends, any number of SSE handler threads read.  Readers
+    never touch the bus — a disconnecting SSE client abandons its read
+    position and nothing else, which is what makes client disconnects
+    structurally unable to wedge the pipeline.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._items: list[dict] = []
+        self._closed = False
+
+    def __call__(self, event: PipelineEvent) -> None:
+        self.append(event_to_dict(event))
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def append(self, payload: dict) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._items.append(payload)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def snapshot(self) -> list[dict]:
+        with self._cond:
+            return list(self._items)
+
+    def wait(self, index: int, timeout: float) -> tuple[list[dict], bool]:
+        """Block until items beyond ``index`` exist (or close, or timeout).
+
+        Returns ``(new_items, closed)``; an empty list with ``closed`` False
+        means the timeout elapsed — SSE streaming uses that to emit a
+        keep-alive comment.
+        """
+        with self._cond:
+            self._cond.wait_for(
+                lambda: len(self._items) > index or self._closed, timeout
+            )
+            return list(self._items[index:]), self._closed
+
+
+class JobState:
+    """One submission's live state; mutated only under the manager lock."""
+
+    def __init__(self, job_id: str, submission: JobSubmission) -> None:
+        self.job_id = job_id
+        self.submission = submission
+        self.buffer = EventBuffer()
+        self.status = STATUS_QUEUED
+        self.history: list[str] = [STATUS_QUEUED]
+        self.settling = False  # claimed by a settler; terminal flip pending
+        self.attempt = 0
+        self.error = ""
+        self.result: Optional[JobResult] = None
+        self.created_unix = time.time()
+        self.started_monotonic: Optional[float] = None
+        self.deadline_monotonic: Optional[float] = None
+        self.elapsed_s = 0.0
+
+    @property
+    def kind(self) -> str:
+        return self.submission.kind
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def as_dict(self) -> dict:
+        record = self.result.record if self.result else None
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "description": self.submission.describe(),
+            "status": self.status,
+            "attempt": self.attempt,
+            "budget_s": self.submission.budget_s,
+            "created_unix": round(self.created_unix, 3),
+            "elapsed_s": round(self.elapsed_s, 4),
+            "error": self.error,
+            "events": len(self.buffer),
+            "success": bool(record.get("success")) if record else None,
+        }
+
+
+def default_service_runner(manager: "JobManager", state: JobState) -> dict:
+    """Run one service job through the facade; returns the record to store.
+
+    Transfers run on a pooled warm session when they are default-shaped
+    (exit strategy, no overrides) and on a dedicated session — still sharing
+    the store's persistent solver cache — otherwise.  Matrix jobs run their
+    expanded transfers serially on this worker, all feeding one event
+    buffer, and store a summary record wrapping the per-transfer records.
+    """
+    records: list[dict] = []
+    for spec in state.submission.specs:
+        case = ERROR_CASES[spec.case_id]
+        with manager.session_for(spec) as session:
+            session.events.subscribe(state.buffer)
+            try:
+                report = session.run_case(case, donor=spec.donor)
+            finally:
+                session.events.unsubscribe(state.buffer)
+        records.append(asdict(TransferRecord.from_outcome(report.outcome)))
+    if state.kind == KIND_TRANSFER:
+        return records[0]
+    return {
+        "success": all(record["success"] for record in records),
+        "transfers": len(records),
+        "validated": sum(1 for record in records if record["success"]),
+        "records": records,
+    }
+
+
+class JobManager:
+    """Bounded admission, warm execution, durable settlement.
+
+    ``runner`` is injectable (tests and the throughput benchmark substitute
+    stubs that skip the repair pipeline) with the fixed signature
+    ``runner(manager, state) -> record_dict``; raising ``Exception`` retries
+    per the attempt ledger, raising ``BaseException`` crashes the worker.
+    """
+
+    def __init__(
+        self,
+        store: RunStore,
+        pool: SessionPool,
+        workers: int = 2,
+        queue_limit: int = 16,
+        retries: int = 0,
+        retry_after_s: float = 1.0,
+        runner: Optional[Callable[["JobManager", JobState], dict]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if queue_limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {queue_limit}")
+        self.store = store
+        self.pool = pool
+        self.retry_after_s = retry_after_s
+        self.runner = runner or default_service_runner
+        self.ledger = AttemptLedger(retries)
+        self.minter = JobIdMinter()
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_limit)
+        self._lock = threading.RLock()
+        self._store_lock = threading.Lock()  # RunStore appends are not atomic
+        self._jobs: dict[str, JobState] = {}
+        self._stopping = threading.Event()
+        self._workers: list[threading.Thread] = []
+        for index in range(workers):
+            self._workers.append(self._spawn_worker(index))
+        self._watchdog = threading.Thread(
+            target=self._watchdog_loop, name="svc-watchdog", daemon=True
+        )
+        self._watchdog.start()
+
+    # -- admission ---------------------------------------------------------------------
+
+    def submit(self, submission: JobSubmission) -> JobState:
+        """Admit one submission; raises :class:`QueueFullError` when full."""
+        state = JobState(self.minter.mint(submission), submission)
+        with self._lock:
+            self._jobs[state.job_id] = state
+        try:
+            self._queue.put_nowait(state)
+        except queue.Full:
+            with self._lock:
+                del self._jobs[state.job_id]
+            metrics.inc("service.jobs.rejected")
+            raise QueueFullError(self.retry_after_s) from None
+        metrics.inc("service.jobs.submitted")
+        metrics.gauge_max("service.queue.peak_depth", self._queue.qsize())
+        return state
+
+    def job(self, job_id: str) -> Optional[JobState]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[JobState]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def workers_alive(self) -> int:
+        with self._lock:
+            return sum(1 for worker in self._workers if worker.is_alive())
+
+    # -- execution ---------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def session_for(self, spec: JobSpec) -> Iterator[RepairSession]:
+        """The session a spec runs on: pooled when default-shaped.
+
+        A spec with option overrides or a non-default strategy cannot use
+        the shared-options pool; it gets a dedicated session whose
+        equivalence options still point at the store's persistent solver
+        cache, so even one-off configurations warm (and are warmed by) the
+        shared verdict file.
+        """
+        if spec.strategy == PatchStrategy.EXIT.value and not spec.overrides:
+            with self.pool.checkout() as session:
+                yield session
+        else:
+            yield RepairSession(
+                options=spec.build_options(str(self.store.cache_path))
+            )
+
+    def _spawn_worker(self, index: int) -> threading.Thread:
+        worker = threading.Thread(
+            target=self._worker_loop, name=f"svc-worker-{index}", daemon=True
+        )
+        worker.start()
+        return worker
+
+    def _worker_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                state = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            try:
+                self._run_attempt(state)
+            except Exception:
+                # _run_attempt settles the job itself; a leak here would
+                # kill the worker over bookkeeping, which helps nobody.
+                pass
+            except BaseException:
+                # The runner took the whole thread down (the fault tests
+                # simulate a killed worker this way).  Settle the job as
+                # crashed and let the thread die — the watchdog respawns.
+                self._settle(state, STATUS_CRASHED, error="worker thread died")
+                metrics.inc("service.workers.deaths")
+                raise
+            finally:
+                self._queue.task_done()
+
+    def _run_attempt(self, state: JobState) -> None:
+        with self._lock:
+            if state.terminal or state.settling:
+                return  # settled while queued (shutdown or watchdog)
+            state.attempt = self.ledger.begin(state.job_id)
+            if state.status == STATUS_QUEUED:
+                state.status = STATUS_RUNNING
+                state.history.append(STATUS_RUNNING)
+            if state.started_monotonic is None:
+                state.started_monotonic = time.monotonic()
+                state.deadline_monotonic = (
+                    state.started_monotonic + state.submission.budget_s
+                )
+        try:
+            record = self.runner(self, state)
+        except Exception as exc:
+            self._on_attempt_failure(state, exc)
+            return
+        elapsed = time.monotonic() - (state.started_monotonic or time.monotonic())
+        self._settle(state, STATUS_DONE, record=record, elapsed_s=elapsed)
+
+    def _on_attempt_failure(self, state: JobState, exc: Exception) -> None:
+        metrics.inc("service.jobs.attempt_failures")
+        if not self.ledger.exhausted(state.job_id):
+            try:
+                self._queue.put_nowait(state)  # retry; public status unchanged
+                return
+            except queue.Full:
+                pass  # no room to retry — fall through to a terminal error
+        elapsed = time.monotonic() - (state.started_monotonic or time.monotonic())
+        self._settle(
+            state,
+            STATUS_ERROR,
+            error=f"{type(exc).__name__}: {exc}",
+            elapsed_s=elapsed,
+        )
+
+    # -- settlement --------------------------------------------------------------------
+
+    def _settle(
+        self,
+        state: JobState,
+        status: str,
+        record: Optional[dict] = None,
+        error: str = "",
+        elapsed_s: float = 0.0,
+    ) -> bool:
+        """Move a job to a terminal status; False if it already was terminal.
+
+        First writer wins: a late worker result arriving after the watchdog
+        timed the job out (or vice versa) is discarded here, never recorded.
+        The public status flips *last*, after the store append, the event
+        persistence, and the metric increments — a client that observes a
+        terminal status is therefore guaranteed to find the record, the
+        persisted event stream, and the settled counters already in place.
+        """
+        with self._lock:
+            if state.terminal or state.settling:
+                return False
+            state.settling = True  # claim; losers bail at the check above
+        state.buffer.close()
+        result = JobResult(
+            job_id=state.job_id,
+            status=status,
+            attempt=max(1, state.attempt),
+            elapsed_s=round(elapsed_s, 4),
+            record=record,
+            error=error,
+        )
+        with self._store_lock:
+            self.store.append(result)
+            self.store.write_events(state.job_id, state.buffer.snapshot())
+        metrics.inc(f"service.jobs.{status}")
+        metrics.observe("service.job_seconds", elapsed_s)
+        with self._lock:
+            state.result = result
+            state.error = error
+            state.elapsed_s = elapsed_s
+            state.status = status
+            state.history.append(status)
+        return True
+
+    # -- supervision -------------------------------------------------------------------
+
+    def _watchdog_loop(self) -> None:
+        while not self._stopping.wait(_WATCHDOG_TICK_S):
+            now = time.monotonic()
+            for state in self.jobs():
+                if (
+                    not state.terminal
+                    and state.deadline_monotonic is not None
+                    and now > state.deadline_monotonic
+                ):
+                    if self._settle(
+                        state,
+                        STATUS_TIMEOUT,
+                        error=f"budget of {state.submission.budget_s}s exhausted",
+                        elapsed_s=now - (state.started_monotonic or now),
+                    ):
+                        metrics.inc("service.jobs.budget_kills")
+            with self._lock:
+                for index, worker in enumerate(self._workers):
+                    if not worker.is_alive() and not self._stopping.is_set():
+                        self._workers[index] = self._spawn_worker(index)
+                        metrics.inc("service.workers.respawns")
+            metrics.set_gauge("service.queue.depth", self._queue.qsize())
+            metrics.set_gauge("service.workers.alive", self.workers_alive())
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop accepting work and wind down workers and the watchdog."""
+        self._stopping.set()
+        deadline = time.monotonic() + timeout
+        for thread in [*self._workers, self._watchdog]:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))

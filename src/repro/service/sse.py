@@ -1,0 +1,114 @@
+"""SSE stream assembly for ``GET /v1/jobs/<id>/events``.
+
+Pipeline events use the wire framing from :mod:`repro.core.events`
+(``event: <registry tag>`` + compact JSON ``data:``), so the stream a
+client replays with :func:`repro.core.events.events_from_sse` is exactly
+the event sequence the store persisted.  Around those frames the service
+adds control traffic that deliberately stays *outside* the pipeline event
+registry, so event parsers skip it by construction:
+
+* a ``status`` frame first (the job's current state dict), so a client
+  connecting late knows what it attached to;
+* ``: keep-alive`` comment lines while the job is idle, so proxies and
+  clients can distinguish a slow job from a dead connection;
+* an ``end`` frame last, carrying the terminal status — the one signal a
+  client needs to stop reading.
+
+The generator reads only the job's :class:`~repro.service.jobs.EventBuffer`
+— never the session or its bus — so a client disconnecting mid-stream
+(``BrokenPipeError`` on write) tears down nothing but its own generator.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Iterator
+
+from ..core.events import event_to_sse, events_from_sse  # noqa: F401  (re-export)
+from .jobs import JobState
+
+
+def control_frame(name: str, payload: dict) -> str:
+    """A non-pipeline frame (``status``/``end``); skipped by event parsers."""
+    data = json.dumps(payload, separators=(",", ":"))
+    return f"event: {name}\ndata: {data}\n\n"
+
+
+def keepalive_comment() -> str:
+    return ": keep-alive\n\n"
+
+
+def job_stream(state: JobState, keepalive_s: float = 5.0) -> Iterator[str]:
+    """Yield the SSE chunks for one job, from its start to its end frame.
+
+    Replays the buffer from index 0 (a late subscriber sees the full
+    history — the acceptance contract is that the streamed sequence equals
+    the persisted one), then follows the live buffer until the job settles.
+    """
+    yield control_frame("status", state.as_dict())
+    index = 0
+    while True:
+        items, closed = state.buffer.wait(index, timeout=keepalive_s)
+        for payload in items:
+            frame_id = index
+            index += 1
+            data = json.dumps(payload, separators=(",", ":"))
+            yield (
+                f"id: {frame_id}\nevent: {payload['event']}\ndata: {data}\n\n"
+            )
+        if closed and index >= len(state.buffer):
+            break
+        if not items:
+            yield keepalive_comment()
+    # The buffer closes at the start of settlement; the public status flips
+    # at its end.  Give the flip a moment so the end frame carries the
+    # terminal status rather than a stale "running".
+    for _ in range(100):
+        if state.terminal:
+            break
+        time.sleep(0.01)
+    yield control_frame("end", state.as_dict())
+
+
+# -- client-side incremental parsing -----------------------------------------------------
+
+
+def iter_frames(stream: IO[bytes]) -> Iterator[str]:
+    """Yield complete SSE frames (sans trailing blank line) from a socket file.
+
+    Reads line-wise so a slow producer yields frames as they complete;
+    returns when the server closes the connection.  Comment-only frames
+    (keep-alives) are skipped.
+    """
+    lines: list[str] = []
+    while True:
+        raw = stream.readline()
+        if not raw:
+            return
+        line = raw.decode("utf-8").rstrip("\r\n")
+        if line:
+            lines.append(line)
+            continue
+        frame = "\n".join(lines)
+        lines = []
+        if frame and not all(entry.startswith(":") for entry in frame.split("\n")):
+            yield frame
+
+
+def frame_event_name(frame: str) -> str:
+    """The ``event:`` field of a frame ("" when absent)."""
+    for line in frame.split("\n"):
+        if line.startswith("event:"):
+            return line.partition(":")[2].strip()
+    return ""
+
+
+def frame_data(frame: str) -> dict:
+    """The JSON payload of a frame's ``data:`` lines."""
+    chunks = []
+    for line in frame.split("\n"):
+        if line.startswith("data:"):
+            value = line.partition(":")[2]
+            chunks.append(value[1:] if value.startswith(" ") else value)
+    return json.loads("\n".join(chunks)) if chunks else {}

@@ -268,8 +268,12 @@ class _InternMeta(type):
             if canonical is not None:
                 return canonical
         instance._finalize(key)
-        _INTERN_TABLE[key] = instance
-        return instance
+        # setdefault, not assignment: two threads racing past the miss above
+        # both build a candidate, but only the first insert wins and *both*
+        # receive the winner — a plain assignment would let the loser replace
+        # the canonical node, silently breaking identity equality (and every
+        # identity-keyed memo) for nodes the other thread already holds.
+        return _INTERN_TABLE.setdefault(key, instance)
 
 
 @dataclass(frozen=True, eq=False, repr=True)

@@ -1,0 +1,46 @@
+"""Fixtures for the service suite: disposable daemons on free ports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics
+from repro.service import RepairDaemon, ServiceClient, ServiceConfig
+
+
+@pytest.fixture
+def make_daemon(tmp_path):
+    """Factory for daemons bound to a free port over a tmp store.
+
+    Every daemon is stopped on teardown, and the process-wide metrics
+    registry (which the daemon enables) is restored to its disabled default
+    so the rest of the suite keeps its zero-overhead assumption.
+    """
+    daemons: list[RepairDaemon] = []
+
+    def factory(runner=None, **overrides) -> RepairDaemon:
+        settings = dict(
+            store_dir=str(tmp_path / f"service-{len(daemons)}"),
+            stores_root=str(tmp_path),
+            workers=2,
+            pool_size=1,
+            keepalive_s=0.2,
+        )
+        settings.update(overrides)
+        daemon = RepairDaemon(ServiceConfig(**settings), runner=runner).start()
+        daemons.append(daemon)
+        return daemon
+
+    yield factory
+    for daemon in daemons:
+        daemon.stop()
+    metrics.disable()
+    metrics.REGISTRY.reset()
+
+
+@pytest.fixture
+def client_for():
+    def factory(daemon: RepairDaemon) -> ServiceClient:
+        return ServiceClient(daemon.base_url, timeout=10.0)
+
+    return factory

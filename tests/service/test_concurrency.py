@@ -1,0 +1,147 @@
+"""Concurrency stress: many clients hammering one live daemon.
+
+The acceptance contract for the service: 32 concurrent submitting clients,
+zero lost or duplicated job ids, monotonically consistent status
+transitions, and an uncorrupted shared solver cache.  The heavy client
+fan-out runs against the stub runner (the HTTP/queue/settlement machinery
+is what is under test); one smaller test drives real repairs through the
+warm session pool and then audits the shared persistent solver cache
+byte-for-byte, the same check as ``tests/campaign/test_cache_hammer.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.campaign.store import STATUS_DONE
+from repro.core.events import StageFinished, StageStarted
+from repro.service import ServiceClient, ServiceError
+from repro.service.jobs import STATUS_QUEUED, STATUS_RUNNING, TERMINAL_STATUSES
+
+CLIENTS = 32
+JOBS_PER_CLIENT = 4
+
+
+def stub_runner(manager, state):
+    state.buffer(StageStarted(stage="stub"))
+    state.buffer(StageFinished(stage="stub", elapsed_s=0.001))
+    return {"success": True, "recipient": "stub", "target": "t", "donor": "d"}
+
+
+def _submit_batch(daemon, count: int, job_ids: list, errors: list) -> None:
+    """One client thread: submit ``count`` jobs, retrying through 429s."""
+    client = ServiceClient(daemon.base_url, timeout=15.0)
+    for _ in range(count):
+        while True:
+            try:
+                state = client.submit({"case": "cwebp-jpegdec"})
+            except ServiceError as exc:
+                if exc.status == 429:
+                    continue  # backpressure is flow control, not failure
+                errors.append(exc)
+                return
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+                return
+            job_ids.append(state["job_id"])
+            break
+
+
+class TestThirtyTwoClients:
+    def test_no_lost_or_duplicated_jobs_under_32_clients(
+        self, make_daemon, client_for
+    ):
+        daemon = make_daemon(runner=stub_runner, workers=4, queue_limit=256)
+        job_ids: list[str] = []
+        errors: list[Exception] = []
+        threads = [
+            threading.Thread(
+                target=_submit_batch, args=(daemon, JOBS_PER_CLIENT, job_ids, errors)
+            )
+            for _ in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        expected = CLIENTS * JOBS_PER_CLIENT
+
+        # Zero duplicated ids: every submission minted a distinct job.
+        assert len(job_ids) == expected
+        assert len(set(job_ids)) == expected
+
+        # Zero lost jobs: every id settles, every settlement is recorded.
+        client = client_for(daemon)
+        for job_id in job_ids:
+            final = client.wait(job_id, timeout=60)
+            assert final["status"] == STATUS_DONE
+        stored = daemon.store.results()
+        assert set(job_ids) <= set(stored)
+        assert all(stored[job_id].completed for job_id in job_ids)
+
+        # The daemon's own accounting agrees with the clients'.
+        listed = {job["job_id"] for job in client.jobs()}
+        assert set(job_ids) == listed
+
+    def test_status_transitions_are_monotonic_for_every_job(self, make_daemon):
+        daemon = make_daemon(runner=stub_runner, workers=4, queue_limit=256)
+        job_ids: list[str] = []
+        errors: list[Exception] = []
+        threads = [
+            threading.Thread(target=_submit_batch, args=(daemon, 4, job_ids, errors))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        client = ServiceClient(daemon.base_url, timeout=15.0)
+        for job_id in job_ids:
+            client.wait(job_id, timeout=60)
+
+        # The server-side history is the ground truth for transition order:
+        # queued, at most one running, exactly one terminal — in that order.
+        for job_id in job_ids:
+            history = daemon.manager.job(job_id).history
+            assert history[0] == STATUS_QUEUED
+            assert history[-1] in TERMINAL_STATUSES
+            middle = history[1:-1]
+            assert middle in ([], [STATUS_RUNNING])
+            assert sum(1 for status in history if status in TERMINAL_STATUSES) == 1
+
+
+class TestRealJobsShareTheCacheSafely:
+    def test_parallel_real_repairs_leave_the_solver_cache_uncorrupted(
+        self, make_daemon, client_for
+    ):
+        daemon = make_daemon(workers=2, pool_size=2, queue_limit=32)
+        client = client_for(daemon)
+        submitted = [
+            client.submit(
+                {"case": "cwebp-jpegdec", "donor": donor, "budget_s": 120}
+            )["job_id"]
+            for donor in ("feh", "mtpaint")
+            for _ in range(2)
+        ]
+        for job_id in submitted:
+            final = client.wait(job_id, timeout=180)
+            assert final["status"] == STATUS_DONE
+            assert final["success"] is True
+
+        # The hammer check: every line of the shared persistent cache must
+        # parse — concurrent writers may interleave entries, never bytes.
+        cache_path = daemon.store.cache_path
+        assert cache_path.exists()
+        keys = set()
+        for line in cache_path.read_text().splitlines():
+            entry = json.loads(line)  # raises on interleaved bytes
+            keys.add(entry["k"])
+        assert keys  # the repairs actually exercised the shared cache
+
+        # Warm-pool payoff: later duplicate jobs hit the shared verdicts.
+        stats = daemon.pool.solver_statistics()
+        assert stats["queries"] > 0
+        assert stats["cache_hits"] + stats["persistent_cache_hits"] > 0

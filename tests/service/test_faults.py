@@ -1,0 +1,238 @@
+"""Fault injection against the live daemon: dead workers, full queues,
+vanished SSE clients, blown budgets.
+
+All runners here are injected stubs wired to ``threading.Event``s so each
+failure mode is deterministic: a ``BaseException`` models a killed worker
+thread, a blocking runner models a wedged job, and closing the SSE socket
+mid-stream models a client that walked away.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.campaign.store import STATUS_CRASHED, STATUS_DONE, STATUS_ERROR, STATUS_TIMEOUT
+from repro.core.events import StageStarted
+from repro.service import ServiceError
+from repro.service.jobs import STATUS_QUEUED, STATUS_RUNNING
+
+
+class WorkerKilled(BaseException):
+    """Not an Exception: takes down the worker thread, like a real kill."""
+
+
+def _wait_until(predicate, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestWorkerDeath:
+    # The kill deliberately escapes the worker thread (that's the point);
+    # pytest would otherwise flag the dying thread's BaseException.
+    @pytest.mark.filterwarnings("ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_killed_worker_yields_crashed_verdict_and_no_wedge(
+        self, make_daemon, client_for
+    ):
+        def killing_runner(manager, state):
+            raise WorkerKilled("simulated worker kill")
+
+        daemon = make_daemon(runner=killing_runner, workers=2)
+        client = client_for(daemon)
+        state = client.submit({"case": "cwebp-jpegdec"})
+        final = client.wait(state["job_id"], timeout=30)
+        assert final["status"] == STATUS_CRASHED
+        assert "died" in final["error"]
+
+        # The crash is durably recorded with the campaign status vocabulary.
+        stored = daemon.store.results()[state["job_id"]]
+        assert stored.status == STATUS_CRASHED
+
+        # The watchdog replaces the dead thread: full strength again ...
+        assert _wait_until(lambda: daemon.manager.workers_alive() == 2)
+
+        # ... and the daemon is not wedged: it keeps crashing jobs cleanly
+        # (every submission kills a worker; every worker is respawned).
+        second = client.submit({"case": "cwebp-jpegdec"})
+        assert client.wait(second["job_id"], timeout=30)["status"] == STATUS_CRASHED
+        assert _wait_until(lambda: daemon.manager.workers_alive() == 2)
+        counters = client.metrics()["counters"]
+        assert counters["service.workers.respawns"] >= 2
+
+    def test_runner_exception_retries_then_errors(self, make_daemon, client_for):
+        failures = []
+
+        def flaky_runner(manager, state):
+            failures.append(state.attempt)
+            raise RuntimeError("transient failure")
+
+        daemon = make_daemon(runner=flaky_runner, retries=2)
+        client = client_for(daemon)
+        state = client.submit({"case": "cwebp-jpegdec"})
+        final = client.wait(state["job_id"], timeout=30)
+        assert final["status"] == STATUS_ERROR
+        assert "transient failure" in final["error"]
+        assert failures == [1, 2, 3]  # 1 + retries attempts, via the ledger
+
+        # Public status never regressed across the internal retries.
+        history = daemon.manager.job(state["job_id"]).history
+        assert history == [STATUS_QUEUED, STATUS_RUNNING, STATUS_ERROR]
+
+    def test_one_success_after_a_failure_settles_done(self, make_daemon, client_for):
+        def second_try_runner(manager, state):
+            if state.attempt == 1:
+                raise RuntimeError("first attempt dies")
+            return {"success": True}
+
+        client = client_for(make_daemon(runner=second_try_runner, retries=1))
+        state = client.submit({"case": "cwebp-jpegdec"})
+        final = client.wait(state["job_id"], timeout=30)
+        assert final["status"] == STATUS_DONE
+        assert final["attempt"] == 2
+
+
+class TestBackpressure:
+    def test_full_queue_answers_429_with_retry_after(self, make_daemon, client_for):
+        release = threading.Event()
+
+        def blocking_runner(manager, state):
+            assert release.wait(timeout=30)
+            return {"success": True}
+
+        daemon = make_daemon(runner=blocking_runner, workers=1, queue_limit=2)
+        client = client_for(daemon)
+        try:
+            accepted = [client.submit({"case": "cwebp-jpegdec"})]
+            # One job occupies the worker; fill the two queue slots.
+            assert _wait_until(lambda: daemon.manager.queue_depth() == 0)
+            accepted += [client.submit({"case": "cwebp-jpegdec"}) for _ in range(2)]
+
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit({"case": "cwebp-jpegdec"})
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after_s is not None
+            assert excinfo.value.retry_after_s >= 1
+
+            # A rejected submission leaves no trace: not listed, not stored.
+            assert len(client.jobs()) == len(accepted)
+        finally:
+            release.set()
+        for state in accepted:
+            assert client.wait(state["job_id"], timeout=30)["status"] == STATUS_DONE
+
+    def test_rejections_are_counted(self, make_daemon, client_for):
+        release = threading.Event()
+
+        def blocking_runner(manager, state):
+            assert release.wait(timeout=30)
+            return {"success": True}
+
+        daemon = make_daemon(runner=blocking_runner, workers=1, queue_limit=1)
+        client = client_for(daemon)
+        try:
+            client.submit({"case": "cwebp-jpegdec"})
+            assert _wait_until(lambda: daemon.manager.queue_depth() == 0)
+            client.submit({"case": "cwebp-jpegdec"})
+            for _ in range(3):
+                with pytest.raises(ServiceError):
+                    client.submit({"case": "cwebp-jpegdec"})
+            assert client.metrics()["counters"]["service.jobs.rejected"] == 3
+        finally:
+            release.set()
+
+
+class TestSSEDisconnect:
+    def test_client_disconnect_mid_stream_leaks_nothing(
+        self, make_daemon, client_for
+    ):
+        first_event = threading.Event()
+        release = threading.Event()
+
+        def slow_runner(manager, state):
+            state.buffer(StageStarted(stage="slow"))
+            first_event.set()
+            assert release.wait(timeout=30)
+            return {"success": True}
+
+        daemon = make_daemon(runner=slow_runner, workers=1, pool_size=1)
+        client = client_for(daemon)
+        state = client.submit({"case": "cwebp-jpegdec"})
+
+        # Connect, read one live event, then vanish mid-stream.
+        with client.open_events(state["job_id"]) as frames:
+            for name, _ in frames:
+                if name == "StageStarted":
+                    break
+        assert first_event.wait(timeout=10)
+
+        # The abandoned stream must not block the job or the event bus.
+        release.set()
+        final = client.wait(state["job_id"], timeout=30)
+        assert final["status"] == STATUS_DONE
+
+        # No session leaked: the warm pool is back to full strength.
+        assert _wait_until(lambda: daemon.pool.idle_count() == 1)
+
+        # And the stream is still fully replayable for the next client.
+        events = client.stream_events(state["job_id"])
+        assert [type(event).__name__ for event in events] == ["StageStarted"]
+
+    def test_many_disconnecting_streamers_never_wedge_the_daemon(
+        self, make_daemon, client_for
+    ):
+        release = threading.Event()
+
+        def slow_runner(manager, state):
+            state.buffer(StageStarted(stage="slow"))
+            assert release.wait(timeout=30)
+            return {"success": True}
+
+        daemon = make_daemon(runner=slow_runner, workers=1)
+        client = client_for(daemon)
+        state = client.submit({"case": "cwebp-jpegdec"})
+        for _ in range(8):
+            with client.open_events(state["job_id"]) as frames:
+                next(iter(frames))  # read the status frame, then hang up
+        release.set()
+        assert client.wait(state["job_id"], timeout=30)["status"] == STATUS_DONE
+
+
+class TestBudgets:
+    def test_blown_budget_times_out_and_discards_the_late_result(
+        self, make_daemon, client_for
+    ):
+        release = threading.Event()
+        finished = threading.Event()
+
+        def overrunning_runner(manager, state):
+            assert release.wait(timeout=30)
+            finished.set()
+            return {"success": True, "late": True}
+
+        daemon = make_daemon(runner=overrunning_runner, workers=1)
+        client = client_for(daemon)
+        state = client.submit({"case": "cwebp-jpegdec", "budget_s": 0.3})
+        final = client.wait(state["job_id"], timeout=30)
+        assert final["status"] == STATUS_TIMEOUT
+        assert "budget" in final["error"]
+
+        # Let the worker finish late: first-writer-wins settlement must
+        # discard its result — on the wire and in the store.
+        release.set()
+        assert finished.wait(timeout=10)
+        time.sleep(0.2)
+        assert client.job(state["job_id"])["status"] == STATUS_TIMEOUT
+        stored = daemon.store.results()[state["job_id"]]
+        assert stored.status == STATUS_TIMEOUT
+        assert stored.record is None
+
+        # The worker is free again for new jobs.
+        follow_up = client.submit({"case": "cwebp-jpegdec", "budget_s": 30})
+        release.set()
+        assert client.wait(follow_up["job_id"], timeout=30)["status"] == STATUS_DONE

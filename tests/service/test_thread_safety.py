@@ -1,0 +1,212 @@
+"""Regression tests for the latent thread-unsafety the service surfaced.
+
+Serving repairs from ``ThreadingHTTPServer`` worker threads turned three
+pieces of process-global state into shared state for the first time; each
+class below hammers one of them the way the daemon does and pins the fix:
+
+* :class:`repro.obs.metrics.MetricsRegistry` — read-modify-write counters
+  (lost updates without the registry lock);
+* the symbolic expression intern table — check-then-insert publication (two
+  racing constructors could break identity equality, the invariant the
+  whole solver layer leans on);
+* the MicroC compile cache — an LRU ``OrderedDict`` mutated during lookup
+  (``move_to_end``) as well as insert/evict.
+
+``sys.setswitchinterval(1e-6)`` forces preemption inside the critical
+sections, turning these races from once-a-week flakes into near-certain
+failures on unfixed code.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.lang.compile import clear_compile_cache, compile_cache_info, compile_program
+from repro.obs.metrics import MetricsRegistry
+from repro.symbolic import builder
+from repro.symbolic.expr import clear_intern_table
+
+THREADS = 8
+ROUNDS = 2_000
+
+
+@pytest.fixture(autouse=True)
+def aggressive_preemption():
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
+
+
+def _run_threads(target, count: int = THREADS) -> list[Exception]:
+    errors: list[Exception] = []
+
+    def guarded(index: int) -> None:
+        try:
+            target(index)
+        except Exception as exc:  # noqa: BLE001 - surfaced via the assert
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=guarded, args=(index,)) for index in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    return errors
+
+
+class TestMetricsRegistryUnderThreads:
+    def test_concurrent_increments_lose_no_updates(self):
+        registry = MetricsRegistry()
+        registry.enable()
+
+        def hammer(_: int) -> None:
+            for _ in range(ROUNDS):
+                registry.inc("service.test.counter")
+                registry.inc("service.test.weighted", 0.5)
+
+        assert not _run_threads(hammer)
+        assert registry.counter("service.test.counter") == THREADS * ROUNDS
+        assert registry.counter("service.test.weighted") == THREADS * ROUNDS * 0.5
+
+    def test_concurrent_observe_keeps_histogram_count_consistent(self):
+        registry = MetricsRegistry()
+        registry.enable()
+
+        def hammer(index: int) -> None:
+            for round_index in range(ROUNDS):
+                registry.observe("service.test.hist", (index + round_index) % 7 * 0.01)
+
+        assert not _run_threads(hammer)
+        histogram = registry.histogram("service.test.hist")
+        assert histogram.count == THREADS * ROUNDS
+        assert sum(histogram.buckets) == THREADS * ROUNDS
+
+    def test_gauge_max_is_a_true_maximum_under_contention(self):
+        registry = MetricsRegistry()
+        registry.enable()
+
+        def hammer(index: int) -> None:
+            for round_index in range(ROUNDS):
+                registry.gauge_max("service.test.peak", index * ROUNDS + round_index)
+
+        assert not _run_threads(hammer)
+        assert registry.gauge("service.test.peak") == THREADS * ROUNDS - 1
+
+    def test_snapshot_during_writes_is_internally_consistent(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        snapshots: list[dict] = []
+
+        def writer(_: int) -> None:
+            for _ in range(ROUNDS):
+                registry.inc("service.test.counter")
+
+        def reader(_: int) -> None:
+            for _ in range(200):
+                snapshots.append(registry.snapshot())
+
+        def mixed(index: int) -> None:
+            (reader if index % 2 else writer)(index)
+
+        assert not _run_threads(mixed)
+        for snapshot in snapshots:
+            value = snapshot["counters"].get("service.test.counter", 0)
+            assert 0 <= value <= (THREADS // 2) * ROUNDS
+
+
+class TestInternTableUnderThreads:
+    def test_racing_constructors_agree_on_one_canonical_node(self):
+        clear_intern_table()
+        try:
+            for round_index in range(50):
+                barrier = threading.Barrier(THREADS)
+                winners: list[object] = []
+
+                def construct(_: int, round_index=round_index, barrier=barrier,
+                              winners=winners) -> None:
+                    barrier.wait()  # all threads intern the same fresh key at once
+                    winners.append(
+                        builder.input_field(f"/race/{round_index}", 16)
+                    )
+
+                assert not _run_threads(construct)
+                assert len(winners) == THREADS
+                # Identity, not just equality: the solver keys memo tables
+                # by id(), so every thread must hold the *same* node.
+                assert len({id(node) for node in winners}) == 1
+        finally:
+            clear_intern_table()
+
+    def test_compound_expressions_stay_identity_equal_across_threads(self):
+        clear_intern_table()
+        try:
+            results: list[object] = []
+
+            def construct(_: int) -> None:
+                for index in range(100):
+                    field = builder.input_field(f"/shared/{index % 5}", 16)
+                    results.append(builder.const(index % 5, 16))
+                    results.append(field)
+
+            assert not _run_threads(construct)
+            by_repr: dict[str, set[int]] = {}
+            for node in results:
+                by_repr.setdefault(repr(node), set()).add(id(node))
+            for identities in by_repr.values():
+                assert len(identities) == 1
+        finally:
+            clear_intern_table()
+
+
+class TestCompileCacheUnderThreads:
+    def _programs(self, count: int):
+        from repro.lang.checker import compile_program as check_source
+
+        return [
+            check_source(
+                f"int main() {{ int x; x = {index}; return x + {index}; }}",
+                name=f"race-{index}",
+            )
+            for index in range(count)
+        ]
+
+    def test_concurrent_compiles_converge_on_one_cached_program(self):
+        clear_compile_cache()
+        programs = self._programs(4)
+        compiled: list[object] = []
+
+        def hammer(index: int) -> None:
+            for round_index in range(50):
+                program = programs[(index + round_index) % len(programs)]
+                compiled.append(compile_program(program))
+
+        assert not _run_threads(hammer)
+        info = compile_cache_info()
+        assert info["entries"] <= info["capacity"]
+        # One CompiledProgram per source: racing compilers must all adopt
+        # the setdefault winner, never publish private copies.
+        for program in programs:
+            assert compile_program(program) is compile_program(program)
+
+    def test_eviction_churn_under_threads_never_corrupts_the_lru(self):
+        clear_compile_cache()
+        from repro.lang.compile import _COMPILE_CACHE_CAPACITY
+
+        programs = self._programs(12)
+
+        def hammer(index: int) -> None:
+            for round_index in range(40):
+                compile_program(programs[(index * 7 + round_index) % len(programs)])
+
+        assert not _run_threads(hammer)
+        info = compile_cache_info()
+        assert info["entries"] <= _COMPILE_CACHE_CAPACITY
+        assert len(info["digests"]) == info["entries"]
